@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Ablation: SRAM bandwidth provisioning (paper Section V: "to exploit
+ * the full sparsity speedup, SRAM BW should be equal or more than the
+ * normalized speedup times the baseline bandwidth").
+ *
+ * Sweeps the window-advance cap of Sparse.AB* and Sparse.B* from
+ * baseline (1x) to the full window depth.
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv, "Ablation: SRAM bandwidth scaling",
+        /*default_sample=*/0.05, /*default_rowcap=*/48);
+
+    Table t("SRAM bandwidth ablation — suite speedup vs provisioned "
+            "A-step bandwidth",
+            {"bw scale", "Sparse.B* @DNN.B", "Sparse.AB* @DNN.AB"});
+    for (double bw : {1.0, 1.5, 2.0, 3.0, 5.0, 9.0}) {
+        auto b_star = sparseBStar();
+        b_star.bwScale = bw;
+        auto ab_star = sparseABStar();
+        ab_star.bwScale = bw;
+        t.addRow({Table::num(bw, 1) + "x",
+                  Table::num(bench::suiteSpeedup(b_star, DnnCategory::B,
+                                                 args.run)),
+                  Table::num(bench::suiteSpeedup(
+                      ab_star, DnnCategory::AB, args.run))});
+    }
+    bench::show(t, args);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: the load-balancing shuffle.
+ *
+ * (a) shuffle on/off across lane-imbalance depths — the mechanism of
+ *     paper observation VI-A(3) (shuffle gains come from structured,
+ *     not i.i.d., sparsity);
+ * (b) crossbar granularity: the paper's K0/4 local 4x4 crossbars vs a
+ *     full K0 x K0 crossbar ("this localization does not impact the
+ *     load balancing").
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "sched/b_preprocess.hh"
+#include "tensor/sparsity.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv, "Ablation: shuffle benefit vs mask structure",
+        /*default_sample=*/0.05, /*default_rowcap=*/48);
+
+    Table t("Shuffle ablation — B(6,0,0) suite speedup vs lane bias",
+            {"weight lane bias", "shuffle off", "shuffle on", "gain"});
+    for (double bias : {0.0, 0.3, 0.5, 0.8}) {
+        auto opt = args.run;
+        opt.weightLaneBias = bias;
+        ArchConfig off = denseBaseline();
+        off.routing = RoutingConfig::sparseB(6, 0, 0, false);
+        off.name = "B(6,0,0,off)";
+        ArchConfig on = off;
+        on.routing = RoutingConfig::sparseB(6, 0, 0, true);
+        on.name = "B(6,0,0,on)";
+        const double s_off =
+            bench::suiteSpeedup(off, DnnCategory::B, opt);
+        const double s_on =
+            bench::suiteSpeedup(on, DnnCategory::B, opt);
+        t.addRow({Table::num(bias, 1), Table::num(s_off),
+                  Table::num(s_on),
+                  Table::num(100.0 * (s_on / s_off - 1.0), 1) + "%"});
+    }
+    bench::show(t, args);
+
+    // Crossbar granularity on one biased tile set: schedule length of
+    // the B packing under local 4x4 rotation vs a full-width crossbar.
+    Table xbar("Crossbar granularity — B packing cycles on biased "
+               "weights (lower is better)",
+               {"granularity", "stream cycles", "vs dense steps"});
+    Rng rng(1234);
+    auto b = laneBiasedSparse(1024, 16, 0.85, 0.8, 4, rng);
+    const TileShape shape{};
+    TileViewB view(b, shape, 0);
+    const Borrow db{6, 0, 0};
+    for (int group : {1, 4, 16}) {
+        Shuffler sh(group > 1, shape.k0, group == 1 ? 4 : group);
+        auto stream = preprocessB(view, db, sh, false);
+        xbar.addRow({group == 1 ? "off"
+                                : (std::to_string(group) + "x" +
+                                   std::to_string(group)),
+                     Table::count(static_cast<std::uint64_t>(
+                         stream.cycles())),
+                     Table::num(static_cast<double>(view.steps()) /
+                                    static_cast<double>(
+                                        stream.cycles()),
+                                2) + "x"});
+    }
+    bench::show(xbar, args);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Regenerates paper Fig. 5: the weight-only (Sparse.B) design-space
+ * sweep — normalized speedup on the DNN.B suite plus effective
+ * power/area efficiency on DNN.B (y axis) and DNN.dense (x axis).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv,
+        "Fig. 5: Sparse.B design space (speedup and efficiency)",
+        /*default_sample=*/0.02, /*default_rowcap=*/32);
+
+    // The configurations the paper's bars display (db1 in {2,4,6}).
+    const int points[][3] = {
+        {2, 0, 0}, {2, 1, 0}, {2, 2, 0}, {2, 0, 1}, {2, 1, 1},
+        {2, 0, 2}, {4, 0, 0}, {4, 0, 1}, {4, 0, 2}, {6, 0, 0},
+        {6, 0, 1},
+    };
+
+    Table t("Fig. 5 — Sparse.B sweep (suite geomean)",
+            {"config", "speedup", "TOPS/W @DNN.B", "TOPS/mm2 @DNN.B",
+             "TOPS/W @dense", "TOPS/mm2 @dense"});
+    for (const auto &p : points) {
+        for (bool shuffle : {false, true}) {
+            ArchConfig arch = denseBaseline();
+            arch.routing =
+                RoutingConfig::sparseB(p[0], p[1], p[2], shuffle);
+            arch.name = arch.routing.str();
+            const double s =
+                bench::suiteSpeedup(arch, DnnCategory::B, args.run);
+            t.addRow({arch.name, Table::num(s),
+                      Table::num(effectiveTopsPerWatt(
+                          arch, DnnCategory::B, s)),
+                      Table::num(effectiveTopsPerMm2(
+                          arch, DnnCategory::B, s)),
+                      Table::num(effectiveTopsPerWatt(
+                          arch, DnnCategory::Dense, 1.0)),
+                      Table::num(effectiveTopsPerMm2(
+                          arch, DnnCategory::Dense, 1.0))});
+        }
+    }
+    // The paper's comparison rows.
+    for (const auto &arch : {tclB(), sparseBStar()}) {
+        const double s =
+            bench::suiteSpeedup(arch, DnnCategory::B, args.run);
+        t.addRow({arch.name, Table::num(s),
+                  Table::num(effectiveTopsPerWatt(arch, DnnCategory::B,
+                                                  s)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::B,
+                                                 s)),
+                  Table::num(effectiveTopsPerWatt(
+                      arch, DnnCategory::Dense, 1.0)),
+                  Table::num(effectiveTopsPerMm2(
+                      arch, DnnCategory::Dense, 1.0))});
+    }
+    bench::show(t, args);
+    return 0;
+}

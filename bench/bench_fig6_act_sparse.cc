@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Regenerates paper Fig. 6: the activation-only (Sparse.A) design
+ * sweep — speedup on the DNN.A suite plus effective efficiency on
+ * DNN.A (y) and DNN.dense (x).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv,
+        "Fig. 6: Sparse.A design space (speedup and efficiency)",
+        /*default_sample=*/0.02, /*default_rowcap=*/32);
+
+    const int points[][3] = {
+        {1, 0, 0}, {1, 1, 0}, {2, 0, 0}, {2, 1, 0}, {3, 0, 0},
+        {3, 1, 0}, {2, 0, 1}, {2, 1, 1}, {2, 1, 2}, {4, 0, 0},
+        {4, 0, 1},
+    };
+
+    Table t("Fig. 6 — Sparse.A sweep (suite geomean)",
+            {"config", "speedup", "TOPS/W @DNN.A", "TOPS/mm2 @DNN.A",
+             "TOPS/W @dense", "TOPS/mm2 @dense"});
+    for (const auto &p : points) {
+        for (bool shuffle : {false, true}) {
+            ArchConfig arch = denseBaseline();
+            arch.routing =
+                RoutingConfig::sparseA(p[0], p[1], p[2], shuffle);
+            arch.name = arch.routing.str();
+            const double s =
+                bench::suiteSpeedup(arch, DnnCategory::A, args.run);
+            t.addRow({arch.name, Table::num(s),
+                      Table::num(effectiveTopsPerWatt(
+                          arch, DnnCategory::A, s)),
+                      Table::num(effectiveTopsPerMm2(
+                          arch, DnnCategory::A, s)),
+                      Table::num(effectiveTopsPerWatt(
+                          arch, DnnCategory::Dense, 1.0)),
+                      Table::num(effectiveTopsPerMm2(
+                          arch, DnnCategory::Dense, 1.0))});
+        }
+    }
+    bench::show(t, args);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates paper Fig. 7: the dual-sparse (Sparse.AB) design sweep —
+ * speedup on the DNN.AB suite plus effective efficiency on DNN.AB (y)
+ * and DNN.A (x).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv,
+        "Fig. 7: Sparse.AB design space (speedup and efficiency)",
+        /*default_sample=*/0.02, /*default_rowcap=*/32);
+
+    // Best-performing points under the AMUX <= 16 limit; da3 excluded
+    // per observation VI-C(3).
+    const int points[][6] = {
+        {0, 0, 0, 4, 0, 1}, {0, 0, 0, 4, 0, 2}, {1, 0, 0, 3, 0, 1},
+        {1, 0, 0, 3, 1, 0}, {2, 0, 0, 2, 0, 0}, {2, 0, 0, 2, 0, 1},
+        {2, 0, 0, 2, 0, 2}, {2, 0, 0, 3, 0, 1}, {2, 0, 0, 4, 0, 1},
+        {2, 0, 0, 4, 0, 2},
+    };
+
+    Table t("Fig. 7 — Sparse.AB sweep (suite geomean)",
+            {"config", "speedup @DNN.AB", "TOPS/W @DNN.AB",
+             "TOPS/mm2 @DNN.AB", "speedup @DNN.A", "TOPS/W @DNN.A",
+             "TOPS/mm2 @DNN.A"});
+    auto add = [&](const ArchConfig &arch) {
+        const double s_ab =
+            bench::suiteSpeedup(arch, DnnCategory::AB, args.run);
+        const double s_a =
+            bench::suiteSpeedup(arch, DnnCategory::A, args.run);
+        t.addRow({arch.name, Table::num(s_ab),
+                  Table::num(effectiveTopsPerWatt(arch,
+                                                  DnnCategory::AB,
+                                                  s_ab)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::AB,
+                                                 s_ab)),
+                  Table::num(s_a),
+                  Table::num(effectiveTopsPerWatt(arch, DnnCategory::A,
+                                                  s_a)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::A,
+                                                 s_a))});
+    };
+    for (const auto &p : points) {
+        for (bool shuffle : {false, true}) {
+            ArchConfig arch = denseBaseline();
+            arch.routing = RoutingConfig::sparseAB(p[0], p[1], p[2],
+                                                   p[3], p[4], p[5],
+                                                   shuffle);
+            arch.name = arch.routing.str();
+            add(arch);
+        }
+    }
+    // The paper's dual-sparse comparison points.
+    add(tdashAB());
+    bench::show(t, args);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8: power efficiency vs area efficiency of all
+ * architectures across the four DNN categories, plus the headline
+ * Griffin-vs-SparTen ratios of the abstract (1.2/3.0/3.1/1.4x power).
+ */
+
+#include <map>
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(
+        argc, argv,
+        "Fig. 8: overall efficiency, all architectures x categories",
+        /*default_sample=*/0.02, /*default_rowcap=*/32);
+
+    std::map<std::pair<std::string, DnnCategory>,
+             std::pair<double, double>>
+        efficiency; // (TOPS/W, TOPS/mm2)
+
+    for (DnnCategory cat : allCategories) {
+        Table t(std::string("Fig. 8 — ") + toString(cat),
+                {"architecture", "speedup", "TOPS/W", "TOPS/mm2"});
+        for (const auto &arch : tableSevenPresets()) {
+            const double s =
+                cat == DnnCategory::Dense
+                    ? 1.0
+                    : bench::suiteSpeedup(arch, cat, args.run);
+            const double watt = effectiveTopsPerWatt(arch, cat, s);
+            const double mm2 = effectiveTopsPerMm2(arch, cat, s);
+            efficiency[{arch.name, cat}] = {watt, mm2};
+            t.addRow({arch.name, Table::num(s), Table::num(watt),
+                      Table::num(mm2)});
+        }
+        bench::show(t, args);
+    }
+
+    Table headline("Headline — Griffin vs SparTen.AB (paper: power "
+                   "1.2/3.0/3.1/1.4x; area 3.8/3.1/3.7/1.8x for "
+                   "dense/B/A/AB)",
+                   {"category", "power-efficiency ratio",
+                    "area-efficiency ratio"});
+    for (DnnCategory cat :
+         {DnnCategory::Dense, DnnCategory::B, DnnCategory::A,
+          DnnCategory::AB}) {
+        const auto g = efficiency[{"Griffin", cat}];
+        const auto s = efficiency[{"SparTen.AB", cat}];
+        headline.addRow({toString(cat),
+                         Table::num(g.first / s.first, 2) + "x",
+                         Table::num(g.second / s.second, 2) + "x"});
+    }
+    bench::show(headline, args);
+
+    Table tax("Sparsity tax on DNN.dense (paper: Griffin 29%/24%, "
+              "SparTen 42%/80%)",
+              {"architecture", "power-eff tax", "area-eff tax"});
+    const auto base = efficiency[{"Baseline", DnnCategory::Dense}];
+    for (const char *name : {"Griffin", "Sparse.AB*", "SparTen.AB"}) {
+        const auto e = efficiency[{name, DnnCategory::Dense}];
+        tax.addRow({name,
+                    Table::num(100.0 * (1.0 - e.first / base.first),
+                               0) + "%",
+                    Table::num(100.0 * (1.0 - e.second / base.second),
+                               0) + "%"});
+    }
+    bench::show(tax, args);
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: the
+ * window scheduler, B preprocessing, the asynchronous dual engine,
+ * and the SparTen bit-mask matcher.  These guard the "laptop-runnable"
+ * property the reproduction depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/presets.hh"
+#include "baselines/sparten.hh"
+#include "common/rng.hh"
+#include "sched/a_arbiter.hh"
+#include "sched/b_preprocess.hh"
+#include "sched/dual_scheduler.hh"
+#include "sim/gemm_sim.hh"
+#include "tensor/sparsity.hh"
+
+namespace griffin {
+namespace {
+
+const TileShape kShape{};
+
+void
+BM_PreprocessB(benchmark::State &state)
+{
+    Rng rng(7);
+    const auto sparsity = static_cast<double>(state.range(0)) / 100.0;
+    auto b = randomSparse(1024, 16, sparsity, rng);
+    TileViewB view(b, kShape, 0);
+    Shuffler sh(true, kShape.k0);
+    const Borrow db{4, 0, 1};
+    for (auto _ : state) {
+        auto stream = preprocessB(view, db, sh, false);
+        benchmark::DoNotOptimize(stream.cycles());
+    }
+    state.counters["steps/s"] = benchmark::Counter(
+        static_cast<double>(view.steps()) *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PreprocessB)->Arg(50)->Arg(80)->Arg(95);
+
+void
+BM_ScheduleA(benchmark::State &state)
+{
+    Rng rng(8);
+    auto a = randomSparse(4, 1024, 0.5, rng);
+    TileViewA view(a, kShape, 0);
+    Shuffler sh(true, kShape.k0);
+    const Borrow da{2, 1, 0};
+    for (auto _ : state) {
+        auto result = scheduleA(view, da, sh, 3.0, false);
+        benchmark::DoNotOptimize(result.stats.cycles);
+    }
+}
+BENCHMARK(BM_ScheduleA);
+
+void
+BM_DualAsync(benchmark::State &state)
+{
+    Rng rng(9);
+    auto a = randomSparse(4, 1024, 0.5, rng);
+    auto b = randomSparse(1024, 16, 0.8, rng);
+    TileViewA va(a, kShape, 0);
+    TileViewB vb(b, kShape, 0);
+    Shuffler sh(true, kShape.k0);
+    const auto cfg = RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true);
+    auto stream = preprocessB(vb, cfg.b, sh, false);
+    for (auto _ : state) {
+        auto dual = scheduleDual(va, vb, cfg, sh, &stream, 9.0, false);
+        benchmark::DoNotOptimize(dual.cycles);
+    }
+}
+BENCHMARK(BM_DualAsync);
+
+void
+BM_GemmSimSparseB(benchmark::State &state)
+{
+    Rng rng(10);
+    auto a = randomSparse(64, 1152, 0.0, rng);
+    auto b = randomSparse(1152, 256, 0.8, rng);
+    auto arch = sparseBStar();
+    for (auto _ : state) {
+        auto r = simulateGemm(a, b, arch, DnnCategory::B);
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+    state.counters["MACs/s"] = benchmark::Counter(
+        static_cast<double>(64) * 1152 * 256 *
+            static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSimSparseB);
+
+void
+BM_SparTenMatch(benchmark::State &state)
+{
+    Rng rng(11);
+    auto a = randomSparse(64, 1152, 0.5, rng);
+    auto b = randomSparse(1152, 256, 0.8, rng);
+    auto arch = sparTenAB();
+    for (auto _ : state) {
+        auto r = simulateSparTen(a, b, arch, DnnCategory::AB);
+        benchmark::DoNotOptimize(r.totalCycles);
+    }
+}
+BENCHMARK(BM_SparTenMatch);
+
+} // namespace
+} // namespace griffin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Regenerates paper Table I: benchmark categories and the architecture
+ * class that is optimal for each.
+ */
+
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table I: DNN categories and optimal "
+                                 "architectures");
+
+    Table t("Table I — benchmark categories",
+            {"benchmarks", "A/B sparsity", "DNN category",
+             "optimal architecture"});
+    t.addRow({"CNN+Non-ReLU, Transformer+GeLU", "dense/dense",
+              toString(DnnCategory::Dense), "Dense"});
+    t.addRow({"CNN+ReLU, Transformer+ReLU", "sparse/dense",
+              toString(DnnCategory::A), "Sparse.A"});
+    t.addRow({"Pruned CNN+Non-ReLU, Pruned Transformer+GeLU",
+              "dense/sparse", toString(DnnCategory::B), "Sparse.B"});
+    t.addRow({"Pruned CNN+ReLU, Pruned Transformer+ReLU",
+              "sparse/sparse", toString(DnnCategory::AB), "Sparse.AB"});
+    bench::show(t, args);
+
+    Table suite("Suite categorisation at Table IV sparsity ratios",
+                {"network", "weight sparsity", "act sparsity",
+                 "category"});
+    for (const auto &net : benchmarkSuite()) {
+        const auto cat = categorize(net.actSparsity > 0.0,
+                                    net.weightSparsity > 0.0);
+        suite.addRow({net.name, Table::num(net.weightSparsity, 2),
+                      Table::num(net.actSparsity, 2), toString(cat)});
+    }
+    bench::show(suite, args);
+    return 0;
+}

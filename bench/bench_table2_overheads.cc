@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Regenerates paper Table II: hardware overheads of the Sparse.A and
+ * Sparse.B families, per borrowing direction.
+ */
+
+#include "arch/overhead.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+namespace {
+
+void
+addRow(Table &t, const RoutingConfig &cfg)
+{
+    const auto hw = computeOverhead(cfg, TileShape{});
+    const bool b_side = cfg.mode == SparsityMode::B;
+    t.addRow({cfg.str(), std::to_string(hw.abufDepth),
+              std::to_string(hw.amuxFanin),
+              b_side ? "-" : std::to_string(hw.bbufDepth),
+              b_side ? "-" : std::to_string(hw.bmuxFanin),
+              std::to_string(hw.adtPerPe)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table II: overheads of single-sparse "
+                                 "architectures");
+
+    Table t("Table II — hardware overhead per borrowing direction",
+            {"architecture", "ABUF depth", "AMUX fan-in", "BBUF depth",
+             "BMUX fan-in", "ADT / PE"});
+    for (int d = 1; d <= 3; ++d)
+        addRow(t, RoutingConfig::sparseA(d, 0, 0, false));
+    for (int d = 1; d <= 2; ++d)
+        addRow(t, RoutingConfig::sparseA(1, d, 0, false));
+    for (int d = 1; d <= 2; ++d)
+        addRow(t, RoutingConfig::sparseA(1, 0, d, false));
+    addRow(t, RoutingConfig::sparseA(2, 1, 1, false));
+    for (int d = 1; d <= 4; ++d)
+        addRow(t, RoutingConfig::sparseB(d, 0, 0, false));
+    for (int d = 1; d <= 2; ++d)
+        addRow(t, RoutingConfig::sparseB(1, d, 0, false));
+    for (int d = 1; d <= 2; ++d)
+        addRow(t, RoutingConfig::sparseB(1, 0, d, false));
+    addRow(t, RoutingConfig::sparseB(4, 0, 1, false));
+    bench::show(t, args);
+
+    Table dual("Section IV-A — dual-sparse overheads",
+               {"architecture", "ABUF depth (L)", "BBUF depth",
+                "AMUX fan-in", "BMUX fan-in", "ADT / PE",
+                "metadata bits"});
+    for (const auto &cfg :
+         {RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true),
+          RoutingConfig::sparseAB(1, 0, 0, 3, 0, 1, true),
+          RoutingConfig::sparseAB(2, 0, 0, 4, 0, 2, true),
+          RoutingConfig::sparseAB(3, 1, 0, 3, 1, 0, false, false)}) {
+        const auto hw = computeOverhead(cfg, TileShape{});
+        dual.addRow({cfg.str(), std::to_string(hw.abufDepth),
+                     std::to_string(hw.bbufDepth),
+                     std::to_string(hw.amuxFanin),
+                     std::to_string(hw.bmuxFanin),
+                     std::to_string(hw.adtPerPe),
+                     std::to_string(hw.metadataBits)});
+    }
+    bench::show(dual, args);
+    return 0;
+}

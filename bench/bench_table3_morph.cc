@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates paper Table III: Griffin's morphing vs the rigid dual
+ * design downgrading, on single-sparse workloads.
+ */
+
+#include "arch/overhead.hh"
+#include "arch/presets.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table III: Griffin morph vs dual "
+                                 "downgrade");
+
+    // Structural comparison (the paper's table contents).
+    Table t("Table III — configuration on single-sparse models",
+            {"model", "design", "configuration", "BMUX fan-in",
+             "ABUF entries used", "metadata bits"});
+    {
+        const auto down_a = RoutingConfig::sparseA(2, 0, 0, true);
+        const auto morph_a = griffinMorph(DnnCategory::A);
+        const auto hw_down = computeOverhead(down_a, TileShape{});
+        const auto hw_morph = computeOverhead(morph_a, TileShape{});
+        t.addRow({"DNN.A", "dual downgrade", down_a.str(),
+                  std::to_string(hw_down.bmuxFanin),
+                  std::to_string(hw_down.abufDepth), "-"});
+        t.addRow({"DNN.A", "Griffin morph", morph_a.str(),
+                  std::to_string(hw_morph.bmuxFanin),
+                  std::to_string(hw_morph.abufDepth + 2), "-"});
+        const auto down_b =
+            RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true);
+        const auto morph_b = griffinMorph(DnnCategory::B);
+        t.addRow({"DNN.B", "dual downgrade", "B(2,0,1,on)", "-", "3",
+                  std::to_string(
+                      computeOverhead(down_b, TileShape{}).metadataBits)});
+        t.addRow({"DNN.B", "Griffin morph", morph_b.str(), "-", "9",
+                  std::to_string(
+                      computeOverhead(morph_b, TileShape{}).metadataBits)});
+    }
+    bench::show(t, args);
+
+    // Measured speedups over the benchmark suite.
+    Table perf("Griffin morph vs dual downgrade — measured speedup "
+               "(suite geomean)",
+               {"model", "dual Sparse.AB*", "Griffin", "gain"});
+    for (DnnCategory cat : {DnnCategory::A, DnnCategory::B}) {
+        const double rigid =
+            bench::suiteSpeedup(sparseABStar(), cat, args.run);
+        const double hybrid =
+            bench::suiteSpeedup(griffinArch(), cat, args.run);
+        perf.addRow({toString(cat), Table::num(rigid),
+                     Table::num(hybrid),
+                     Table::num(hybrid / rigid, 3) + "x"});
+    }
+    bench::show(perf, args);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Regenerates paper Table IV: the benchmark suite with sparsity
+ * ratios, accuracy, and dense-baseline latency (ours vs paper).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table IV: benchmark suite summary");
+
+    Table t("Table IV — benchmarks",
+            {"network", "sparsity (B,A)", "accuracy", "MACs",
+             "dense cycles (ours)", "dense cycles (paper)", "ratio"});
+    for (const auto &net : benchmarkSuite()) {
+        const auto cycles = net.denseCycles(TileShape{});
+        t.addRow({net.name,
+                  "(" + Table::num(net.weightSparsity, 2) + "," +
+                      Table::num(net.actSparsity, 2) + ")",
+                  net.accuracy, Table::count(
+                      static_cast<std::uint64_t>(net.macs())),
+                  Table::count(static_cast<std::uint64_t>(cycles)),
+                  Table::count(static_cast<std::uint64_t>(
+                      net.paperDenseCycles)),
+                  Table::num(static_cast<double>(cycles) /
+                                 static_cast<double>(
+                                     net.paperDenseCycles),
+                             2)});
+    }
+    bench::show(t, args);
+
+    Table cfg("Table IV — architecture configuration",
+              {"parameter", "value"});
+    const ArchConfig base = denseBaseline();
+    cfg.addRow({"core (K0,N0,M0)", "(16,16,4) = 1024 MACs"});
+    cfg.addRow({"ASRAM / BSRAM", "512 KB / 32 KB"});
+    cfg.addRow({"ASRAM-BW / BSRAM-BW", "51.2 GB/s / 204.8 GB/s"});
+    cfg.addRow({"DRAM-BW",
+                Table::num(base.mem.dramGBs, 0) + " GB/s"});
+    cfg.addRow({"frequency", "800 MHz @ 0.71 V (7 nm)"});
+    cfg.addRow({"dataflow", "output stationary"});
+    bench::show(cfg, args);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates paper Table V: routing dimensions of A and B for the
+ * state-of-the-art architectures, expressed in the unified framework
+ * (paper contribution 2).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table V: SOTA routing dimensions");
+
+    Table t("Table V — routing dimension comparison",
+            {"architecture", "da1", "da2", "da3", "db1", "db2", "db3",
+             "shuffle", "sparsity support"});
+    auto add = [&](const ArchConfig &arch, const char *support) {
+        const auto &r = arch.routing;
+        auto dim = [&](bool used, int v) {
+            return used ? std::to_string(v) : std::string("-");
+        };
+        t.addRow({arch.name, dim(r.sparseA(), r.a.d1),
+                  dim(r.sparseA(), r.a.d2), dim(r.sparseA(), r.a.d3),
+                  dim(r.sparseB(), r.b.d1), dim(r.sparseB(), r.b.d2),
+                  dim(r.sparseB(), r.b.d3), r.shuffle ? "yes" : "no",
+                  support});
+    };
+    add(denseBaseline(), "dense");
+    add(cnvlutinA(), "activation only");
+    add(cambriconXB(), "weight only (16x16 window)");
+    add(tclB(), "weight only");
+    add(tdashAB(), "dual (on-the-fly)");
+    add(sparTenAB(), "dual (MAC grid)");
+    add(sparseBStar(), "weight only (ours)");
+    add(sparseAStar(), "activation only (ours)");
+    add(sparseABStar(), "dual (ours)");
+    add(griffinArch(), "hybrid (ours)");
+    bench::show(t, args);
+    return 0;
+}

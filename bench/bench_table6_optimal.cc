@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Regenerates paper Table VI: the optimal design points and Griffin's
+ * three morph configurations, with their measured suite speedups.
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table VI: optimal design points");
+
+    Table t("Table VI — optimal design points",
+            {"design", "configuration", "category", "suite speedup"});
+    auto add = [&](const std::string &name, const ArchConfig &arch,
+                   DnnCategory cat) {
+        const double s = bench::suiteSpeedup(arch, cat, args.run);
+        t.addRow({name, arch.effectiveRouting(cat).str(),
+                  toString(cat), Table::num(s)});
+    };
+    add("Sparse.B*", sparseBStar(), DnnCategory::B);
+    add("Sparse.A*", sparseAStar(), DnnCategory::A);
+    add("Sparse.AB*", sparseABStar(), DnnCategory::AB);
+    add("Griffin conf.B", griffinArch(), DnnCategory::B);
+    add("Griffin conf.A", griffinArch(), DnnCategory::A);
+    add("Griffin conf.AB", griffinArch(), DnnCategory::AB);
+    bench::show(t, args);
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Regenerates paper Table VII: power and area breakdown of the eight
+ * architectures, our structural estimate next to the paper's
+ * synthesis numbers (totals).
+ */
+
+#include "arch/presets.hh"
+#include "bench_util.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+namespace {
+
+/** Paper totals (Table VII) for the ours-vs-paper columns. */
+struct PaperRow
+{
+    const char *name;
+    double powerMw;
+    double areaKum2;
+};
+
+constexpr PaperRow kPaper[] = {
+    {"Baseline", 151, 217},  {"Sparse.B*", 206, 258},
+    {"TCL.B", 209, 233},     {"Sparse.A*", 223, 253},
+    {"Sparse.AB*", 282, 282}, {"Griffin", 284, 286},
+    {"TDash.AB", 284, 276},  {"SparTen.AB", 991, 1139},
+};
+
+std::string
+cell(double v)
+{
+    return v == 0.0 ? std::string("-") : Table::num(v, 1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseArgs(argc, argv,
+                                 "Table VII: power/area breakdown");
+
+    Table power("Table VII — power breakdown, mW (ours)",
+                {"architecture", "CTRL", "SHF", "ABUF", "BBUF",
+                 "REG/WR", "ACC", "MUL", "ADT", "MUX", "SRAM", "total",
+                 "paper", "ratio"});
+    Table area("Table VII — area breakdown, 1000 um^2 (ours)",
+               {"architecture", "CTRL", "SHF", "ABUF", "BBUF", "REG/WR",
+                "ACC", "MUL", "ADT", "MUX", "SRAM", "total", "paper",
+                "ratio"});
+    for (const auto &arch : tableSevenPresets()) {
+        const auto cost = estimateCost(arch);
+        const PaperRow *paper = nullptr;
+        for (const auto &row : kPaper)
+            if (arch.name == row.name)
+                paper = &row;
+        const auto &p = cost.powerMw;
+        power.addRow(
+            {arch.name, cell(p.ctrl), cell(p.shf), cell(p.abuf),
+             cell(p.bbuf), cell(p.regwr), cell(p.acc), cell(p.mul),
+             cell(p.adt), cell(p.mux), cell(p.sram),
+             Table::num(p.total(), 1),
+             paper ? Table::num(paper->powerMw, 0) : std::string("?"),
+             paper ? Table::num(p.total() / paper->powerMw, 2)
+                   : std::string("?")});
+        const auto &a = cost.areaKum2;
+        area.addRow(
+            {arch.name, cell(a.ctrl), cell(a.shf), cell(a.abuf),
+             cell(a.bbuf), cell(a.regwr), cell(a.acc), cell(a.mul),
+             cell(a.adt), cell(a.mux), cell(a.sram),
+             Table::num(a.total(), 1),
+             paper ? Table::num(paper->areaKum2, 0) : std::string("?"),
+             paper ? Table::num(a.total() / paper->areaKum2, 2)
+                   : std::string("?")});
+    }
+    bench::show(power, args);
+    bench::show(area, args);
+    return 0;
+}

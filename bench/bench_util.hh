@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration benches.
+ *
+ * Every bench accepts the same flags (--sample, --rowcap, --seed,
+ * --csv) so the whole suite can be re-run at higher fidelity with one
+ * knob.  Defaults are tuned to finish the full suite in minutes on a
+ * laptop; the shapes are stable well below these settings (tests pin
+ * sampling accuracy).
+ */
+
+#ifndef GRIFFIN_BENCH_BENCH_UTIL_HH
+#define GRIFFIN_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "griffin/accelerator.hh"
+
+namespace griffin {
+namespace bench {
+
+/** Parsed common flags. */
+struct BenchArgs
+{
+    RunOptions run;
+    bool csv = false;
+};
+
+inline BenchArgs
+parseArgs(int argc, const char *const *argv,
+          const std::string &description, double default_sample = 0.04,
+          std::int64_t default_rowcap = 48)
+{
+    Cli cli(description);
+    cli.addDouble("sample", default_sample,
+                  "fraction of tiles simulated per layer");
+    cli.addInt("rowcap", default_rowcap,
+               "max activation rows simulated per layer");
+    cli.addInt("seed", 1, "tensor generation seed");
+    cli.addDouble("lanebias", 0.5,
+                  "weight lane-imbalance depth (see sparsity.hh)");
+    cli.addBool("csv", false, "emit CSV instead of boxed tables");
+    cli.parse(argc, argv);
+
+    BenchArgs args;
+    args.run.sim.sampleFraction = cli.getDouble("sample");
+    args.run.sim.minSampledTiles = 4;
+    args.run.rowCap = cli.getInt("rowcap");
+    args.run.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    args.run.weightLaneBias = cli.getDouble("lanebias");
+    args.csv = cli.getBool("csv");
+    return args;
+}
+
+inline void
+show(const Table &table, const BenchArgs &args)
+{
+    if (args.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << '\n';
+}
+
+/** Geometric-mean speedup of one architecture over the whole suite. */
+inline double
+suiteSpeedup(const ArchConfig &arch, DnnCategory cat,
+             const RunOptions &opt)
+{
+    Accelerator acc(arch);
+    return geomeanSpeedup(acc.runSuite(cat, opt));
+}
+
+} // namespace bench
+} // namespace griffin
+
+#endif // GRIFFIN_BENCH_BENCH_UTIL_HH

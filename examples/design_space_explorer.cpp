@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Interactive design-space exploration (the paper's Section VI
+ * methodology as a tool): enumerate the legal routing configurations
+ * of one sparsity family, score each with the fast analytical model,
+ * then cycle-simulate the top candidates on a chosen network.
+ *
+ *   ./design_space_explorer --family=b --network=bert --top=6
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "arch/dse.hh"
+#include "arch/presets.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "griffin/accelerator.hh"
+#include "model/analytic.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("routing design-space explorer");
+    cli.addString("family", "b", "sparsity family to explore: a|b|ab");
+    cli.addString("network", "resnet50", "workload for simulation");
+    cli.addInt("top", 6, "simulate this many analytically-best points");
+    cli.addDouble("sample", 0.04, "tile sampling fraction");
+    cli.parse(argc, argv);
+
+    const TileShape shape{};
+    const auto family = cli.getString("family");
+    const auto net = networkByName(cli.getString("network"));
+
+    std::vector<RoutingConfig> space;
+    DnnCategory cat;
+    if (family == "b") {
+        space = enumerateSparseB(shape);
+        cat = DnnCategory::B;
+    } else if (family == "a") {
+        space = enumerateSparseA(shape);
+        cat = DnnCategory::A;
+    } else if (family == "ab") {
+        space = enumerateSparseAB(shape);
+        cat = DnnCategory::AB;
+    } else {
+        fatal("unknown family '", family, "' (want a|b|ab)");
+    }
+    std::cout << space.size() << " legal configurations in the Sparse."
+              << family << " space (fan-in limits of Section VI)\n\n";
+
+    // Rank analytically first — this is why the paper built the model.
+    const double asp = hasSparseA(cat) ? net.actSparsity : 0.0;
+    const double bsp = hasSparseB(cat) ? net.weightSparsity : 0.0;
+    std::vector<std::pair<double, RoutingConfig>> ranked;
+    for (const auto &cfg : space)
+        ranked.push_back({analyticSpeedup(cfg, shape, asp, bsp), cfg});
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &x, const auto &y) {
+                  return x.first > y.first;
+              });
+
+    const auto top = std::min<std::size_t>(
+        ranked.size(), static_cast<std::size_t>(cli.getInt("top")));
+    RunOptions opt;
+    opt.sim.sampleFraction = cli.getDouble("sample");
+    opt.rowCap = 48;
+
+    Table t("top configurations on " + net.name,
+            {"config", "analytic", "simulated", "TOPS/W", "TOPS/mm2"});
+    for (std::size_t i = 0; i < top; ++i) {
+        ArchConfig arch = denseBaseline();
+        arch.routing = ranked[i].second;
+        arch.name = arch.routing.str();
+        Accelerator acc(arch);
+        const auto result = acc.run(net, cat, opt);
+        t.addRow({arch.name, Table::num(ranked[i].first),
+                  Table::num(result.speedup),
+                  Table::num(result.topsPerWatt),
+                  Table::num(result.topsPerMm2)});
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * End-to-end inference latency of a benchmark network on any
+ * architecture, in any workload category, with a per-layer breakdown.
+ *
+ *   ./network_inference --network=resnet50 --arch=Griffin \
+ *       --category=ab --layers
+ */
+
+#include <iostream>
+
+#include "arch/presets.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "griffin/accelerator.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("end-to-end network inference simulation");
+    cli.addString("network", "resnet50",
+                  "alexnet|googlenet|resnet50|inceptionv3|mobilenetv2|"
+                  "bert");
+    cli.addString("arch", "Griffin",
+                  "architecture preset name (see arch/presets.hh)");
+    cli.addString("category", "ab", "dense|a|b|ab");
+    cli.addBool("layers", false, "print the per-layer breakdown");
+    cli.addDouble("sample", 0.05, "tile sampling fraction");
+    cli.addInt("rowcap", 64, "max activation rows simulated per layer");
+    cli.parse(argc, argv);
+
+    const auto net = networkByName(cli.getString("network"));
+    const auto arch = presetByName(cli.getString("arch"));
+    const auto cat = categoryFromString(cli.getString("category"));
+
+    RunOptions opt;
+    opt.sim.sampleFraction = cli.getDouble("sample");
+    opt.rowCap = cli.getInt("rowcap");
+
+    Accelerator acc(arch);
+    const auto result = acc.run(net, cat, opt);
+
+    std::cout << net.name << " (" << net.accuracy << ") on "
+              << arch.name << ", " << toString(cat) << "\n"
+              << "  dense latency  : " << result.denseCycles
+              << " cycles\n"
+              << "  latency        : " << result.totalCycles
+              << " cycles ("
+              << Table::num(result.totalCycles /
+                                (arch.mem.freqGHz * 1e6),
+                            3)
+              << " ms at 800 MHz)\n"
+              << "  speedup        : " << Table::num(result.speedup)
+              << "x\n"
+              << "  efficiency     : "
+              << Table::num(result.topsPerWatt) << " TOPS/W, "
+              << Table::num(result.topsPerMm2) << " TOPS/mm2\n";
+
+    if (cli.getBool("layers")) {
+        Table t("per-layer breakdown",
+                {"layer", "MACs", "dense", "cycles", "speedup"});
+        for (const auto &layer : result.layers) {
+            t.addRow({layer.name,
+                      Table::count(
+                          static_cast<std::uint64_t>(layer.macs)),
+                      Table::count(static_cast<std::uint64_t>(
+                          layer.denseCycles)),
+                      Table::count(static_cast<std::uint64_t>(
+                          layer.totalCycles)),
+                      Table::num(layer.speedup)});
+        }
+        t.print(std::cout);
+    }
+    return 0;
+}

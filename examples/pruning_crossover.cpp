@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Where does sparse hardware start paying off?  Sweep weight sparsity
+ * on one network and find the crossover where each sparse design's
+ * *effective power efficiency* overtakes the dense baseline — the
+ * trade the paper's intro motivates ("the sparsity tax spent for the
+ * sake of the sparsity gain").
+ *
+ *   ./pruning_crossover --network=resnet50
+ */
+
+#include <iostream>
+
+#include "arch/presets.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "griffin/accelerator.hh"
+#include "power/cost_model.hh"
+
+using namespace griffin;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("sparsity crossover analysis");
+    cli.addString("network", "resnet50", "workload network");
+    cli.addDouble("sample", 0.03, "tile sampling fraction");
+    cli.parse(argc, argv);
+
+    auto net = networkByName(cli.getString("network"));
+    RunOptions opt;
+    opt.sim.sampleFraction = cli.getDouble("sample");
+    opt.rowCap = 48;
+
+    const auto baseline_eff = effectiveTopsPerWatt(
+        denseBaseline(), DnnCategory::Dense, 1.0);
+    std::cout << "dense baseline: " << Table::num(baseline_eff)
+              << " TOPS/W\n\n";
+
+    Table t("effective TOPS/W vs weight sparsity on " + net.name,
+            {"weight sparsity", "Sparse.B*", "Griffin", "SparTen.AB",
+             "winner"});
+    Accelerator b_star(sparseBStar());
+    Accelerator griffin(griffinArch());
+    Accelerator sparten(sparTenAB());
+    for (double wsp : {0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
+        auto sweep = net;
+        sweep.weightSparsity = wsp;
+        for (auto &layer : sweep.layers)
+            if (layer.weightSparsity > 0.0)
+                layer.weightSparsity = -1.0; // sweep rules them all
+        const auto cat = wsp > 0.0 ? DnnCategory::B : DnnCategory::Dense;
+        const double eb =
+            b_star.run(sweep, cat, opt).topsPerWatt;
+        const double eg =
+            griffin.run(sweep, cat, opt).topsPerWatt;
+        const double es =
+            sparten.run(sweep, cat, opt).topsPerWatt;
+        const char *winner = "baseline";
+        double best = baseline_eff;
+        if (eb > best) { best = eb; winner = "Sparse.B*"; }
+        if (eg > best) { best = eg; winner = "Griffin"; }
+        if (es > best) { best = es; winner = "SparTen.AB"; }
+        t.addRow({Table::num(wsp, 2), Table::num(eb), Table::num(eg),
+                  Table::num(es), winner});
+    }
+    t.print(std::cout);
+    std::cout << "\nEverything below the crossover row is the "
+                 "sparsity tax; everything above is the gain.\n";
+    return 0;
+}

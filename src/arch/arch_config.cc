@@ -1,0 +1,58 @@
+#include "arch/arch_config.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+RoutingConfig
+griffinMorph(DnnCategory cat)
+{
+    // Paper Fig. 4 / Table VI: the dual-sparse buffers and MUXes of
+    // conf.AB are re-purposed into wider single-sparse windows.
+    switch (cat) {
+      case DnnCategory::Dense:
+        return RoutingConfig::dense();
+      case DnnCategory::A:
+        return RoutingConfig::sparseA(2, 1, 1, true);
+      case DnnCategory::B:
+        return RoutingConfig::sparseB(8, 0, 1, true);
+      case DnnCategory::AB:
+        return RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true);
+    }
+    panic("unknown category ", static_cast<int>(cat));
+}
+
+RoutingConfig
+ArchConfig::effectiveRouting(DnnCategory cat) const
+{
+    return hybrid ? griffinMorph(cat) : routing;
+}
+
+double
+ArchConfig::effectiveBwScale(DnnCategory cat) const
+{
+    if (bwScale > 0.0)
+        return bwScale;
+    // Auto: provision SRAM bandwidth to match the window depth so the
+    // configuration never throttles (paper Section V).
+    const auto w = windowParams(effectiveRouting(cat));
+    return std::max(1, w.steps);
+}
+
+void
+ArchConfig::validate() const
+{
+    routing.validate();
+    if (tile.m0 <= 0 || tile.n0 <= 0 || tile.k0 <= 0)
+        fatal("arch '", name, "': non-positive tile geometry");
+    if (bwScale < 0.0)
+        fatal("arch '", name, "': negative bwScale ", bwScale);
+    if (style == DatapathStyle::MacGrid && macBufferDepth <= 0)
+        fatal("arch '", name, "': MacGrid needs a positive buffer depth");
+    if (mem.freqGHz <= 0.0 || mem.dramGBs <= 0.0)
+        fatal("arch '", name, "': non-positive memory parameters");
+}
+
+} // namespace griffin

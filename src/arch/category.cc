@@ -1,0 +1,67 @@
+#include "arch/category.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+const char *
+toString(DnnCategory cat)
+{
+    switch (cat) {
+      case DnnCategory::Dense:
+        return "DNN.dense";
+      case DnnCategory::A:
+        return "DNN.A";
+      case DnnCategory::B:
+        return "DNN.B";
+      case DnnCategory::AB:
+        return "DNN.AB";
+    }
+    panic("unknown DNN category ", static_cast<int>(cat));
+}
+
+DnnCategory
+categorize(bool a_sparse, bool b_sparse)
+{
+    if (a_sparse && b_sparse)
+        return DnnCategory::AB;
+    if (a_sparse)
+        return DnnCategory::A;
+    if (b_sparse)
+        return DnnCategory::B;
+    return DnnCategory::Dense;
+}
+
+DnnCategory
+categoryFromString(const std::string &s)
+{
+    std::string lower = s;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    if (lower == "dense" || lower == "dnn.dense")
+        return DnnCategory::Dense;
+    if (lower == "a" || lower == "dnn.a")
+        return DnnCategory::A;
+    if (lower == "b" || lower == "dnn.b")
+        return DnnCategory::B;
+    if (lower == "ab" || lower == "dnn.ab")
+        return DnnCategory::AB;
+    fatal("unknown DNN category '", s, "' (want dense|a|b|ab)");
+}
+
+bool
+hasSparseA(DnnCategory cat)
+{
+    return cat == DnnCategory::A || cat == DnnCategory::AB;
+}
+
+bool
+hasSparseB(DnnCategory cat)
+{
+    return cat == DnnCategory::B || cat == DnnCategory::AB;
+}
+
+} // namespace griffin

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DNN model / execution-mode categories (paper Table I).
+ *
+ * A model is categorised by which of its operand tensors are sparse:
+ * activations (A), weights (B), both, or neither.  The optimal
+ * architecture differs per category; Griffin morphs across them.
+ */
+
+#ifndef GRIFFIN_ARCH_CATEGORY_HH
+#define GRIFFIN_ARCH_CATEGORY_HH
+
+#include <array>
+#include <string>
+
+namespace griffin {
+
+/** The four (activation, weight) tensor-type combinations. */
+enum class DnnCategory
+{
+    Dense, ///< (dense, dense) — e.g. CNN+Swish, Transformer+GeLU
+    A,     ///< (sparse, dense) — e.g. CNN+ReLU
+    B,     ///< (dense, sparse) — e.g. pruned Transformer+GeLU
+    AB     ///< (sparse, sparse) — e.g. pruned CNN+ReLU
+};
+
+inline constexpr std::array<DnnCategory, 4> allCategories{
+    DnnCategory::Dense, DnnCategory::A, DnnCategory::B, DnnCategory::AB};
+
+const char *toString(DnnCategory cat);
+
+/** Category from per-tensor sparsity flags. */
+DnnCategory categorize(bool a_sparse, bool b_sparse);
+
+/** Parse "dense" / "a" / "b" / "ab" (case-insensitive); fatal() else. */
+DnnCategory categoryFromString(const std::string &s);
+
+/** Does the category have a sparse activation (resp. weight) tensor? */
+bool hasSparseA(DnnCategory cat);
+bool hasSparseB(DnnCategory cat);
+
+} // namespace griffin
+
+#endif // GRIFFIN_ARCH_CATEGORY_HH

@@ -1,0 +1,78 @@
+#include "arch/dse.hh"
+
+#include "arch/overhead.hh"
+
+namespace griffin {
+
+namespace {
+
+std::vector<bool>
+shuffleChoices(const DseLimits &lim)
+{
+    if (lim.sweepShuffle)
+        return {false, true};
+    return {true};
+}
+
+} // namespace
+
+std::vector<RoutingConfig>
+enumerateSparseB(const TileShape &shape, const DseLimits &lim)
+{
+    std::vector<RoutingConfig> out;
+    for (int d1 = 2; d1 <= lim.maxD1; ++d1) {
+        for (int d2 = 0; d2 <= lim.maxD2; ++d2) {
+            for (int d3 = 0; d3 <= lim.maxD3; ++d3) {
+                for (bool sh : shuffleChoices(lim)) {
+                    auto cfg = RoutingConfig::sparseB(d1, d2, d3, sh);
+                    if (withinFaninLimits(cfg, shape))
+                        out.push_back(cfg);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<RoutingConfig>
+enumerateSparseA(const TileShape &shape, const DseLimits &lim)
+{
+    std::vector<RoutingConfig> out;
+    for (int d1 = 1; d1 <= lim.maxD1; ++d1) {
+        for (int d2 = 0; d2 <= lim.maxD2; ++d2) {
+            for (int d3 = 0; d3 <= lim.maxD3; ++d3) {
+                for (bool sh : shuffleChoices(lim)) {
+                    auto cfg = RoutingConfig::sparseA(d1, d2, d3, sh);
+                    if (withinFaninLimits(cfg, shape))
+                        out.push_back(cfg);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<RoutingConfig>
+enumerateSparseAB(const TileShape &shape, const DseLimits &lim)
+{
+    std::vector<RoutingConfig> out;
+    for (int a1 = 0; a1 <= 2; ++a1) {
+        for (int a2 = 0; a2 <= 1; ++a2) {
+            for (int b1 = 1; b1 <= lim.maxD1 / 2; ++b1) {
+                for (int b2 = 0; b2 <= 1; ++b2) {
+                    for (int b3 = 0; b3 <= lim.maxD3; ++b3) {
+                        for (bool sh : shuffleChoices(lim)) {
+                            auto cfg = RoutingConfig::sparseAB(
+                                a1, a2, 0, b1, b2, b3, sh);
+                            if (withinFaninLimits(cfg, shape))
+                                out.push_back(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace griffin

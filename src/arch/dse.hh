@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Design-space enumeration for the paper's Section VI sweeps.
+ *
+ * The spaces are bounded by the MUX fan-in legality limits of
+ * arch/overhead.hh (<= 8 for single sparse, <= 16 for dual) plus the
+ * pruning rules the paper states: Fig. 5 drops db1 = 1 ("far from the
+ * optimal points"), Fig. 7 drops designs with da3 > 0 (they inflate
+ * AMUX fan-in, Section VI-C observation 3) and designs where both da3
+ * and db3 are nonzero (>= 4 adder trees per PE, observation 2).
+ */
+
+#ifndef GRIFFIN_ARCH_DSE_HH
+#define GRIFFIN_ARCH_DSE_HH
+
+#include <vector>
+
+#include "arch/routing.hh"
+#include "tensor/tile.hh"
+
+namespace griffin {
+
+/** Knobs for the enumerators; defaults mirror the paper. */
+struct DseLimits
+{
+    int maxD1 = 8;        ///< largest lookahead considered
+    int maxD2 = 2;        ///< largest lookaside considered
+    int maxD3 = 2;        ///< largest cross-PE distance considered
+    bool sweepShuffle = true; ///< emit both shuffle on and off
+};
+
+/** Weight-only space (Fig. 5): Sparse.B(d1,d2,d3,on/off), db1 >= 2. */
+std::vector<RoutingConfig> enumerateSparseB(const TileShape &shape,
+                                            const DseLimits &lim = {});
+
+/** Activation-only space (Fig. 6): Sparse.A(d1,d2,d3,on/off). */
+std::vector<RoutingConfig> enumerateSparseA(const TileShape &shape,
+                                            const DseLimits &lim = {});
+
+/** Dual space (Fig. 7): da3 = 0, not both d3 nonzero, fan-in <= 16. */
+std::vector<RoutingConfig> enumerateSparseAB(const TileShape &shape,
+                                             const DseLimits &lim = {});
+
+} // namespace griffin
+
+#endif // GRIFFIN_ARCH_DSE_HH

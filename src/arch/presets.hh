@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named architecture presets: the paper's design points (Table VI) and
+ * the state-of-the-art comparison architectures (Table V).
+ *
+ * SOTA designs are expressed inside the same routing framework, which
+ * is the paper's contribution 2 ("a model that encapsulates previous
+ * work"):
+ *
+ *   TCL.B (BitTactical)   — weight-only lookahead+lookaside, no
+ *                           shuffle, no cross-PE routing (db3 = 0).
+ *   TDash.AB (TensorDash) — dual on-the-fly matching, no weight
+ *                           preprocessing.
+ *   SparTen.{A,B,AB}      — MAC-grid with prefix-sum matching and
+ *                           128-deep per-MAC buffers (own simulator).
+ *   Cnvlutin.A            — activation-only, time borrowing only.
+ *   Cambricon-X.B         — weight-only with a 16x16 routing window
+ *                           (violates the fan-in limits; kept to show
+ *                           why it does not scale).
+ */
+
+#ifndef GRIFFIN_ARCH_PRESETS_HH
+#define GRIFFIN_ARCH_PRESETS_HH
+
+#include <vector>
+
+#include "arch/arch_config.hh"
+
+namespace griffin {
+
+/** The optimized dense core every overhead is measured against. */
+ArchConfig denseBaseline();
+
+/** Sparse.B* = B(4,0,1,on), the paper's weight-only optimum. */
+ArchConfig sparseBStar();
+
+/** Sparse.A* = A(2,1,0,on), the paper's activation-only optimum. */
+ArchConfig sparseAStar();
+
+/** Sparse.AB* = AB(2,0,0,2,0,1,on), the paper's dual optimum. */
+ArchConfig sparseABStar();
+
+/** Griffin: Sparse.AB* hardware with hybrid morphing enabled. */
+ArchConfig griffinArch();
+
+/** BitTactical-style weight-only design. */
+ArchConfig tclB();
+
+/** TensorDash-style dual design (no weight preprocessing). */
+ArchConfig tdashAB();
+
+/** SparTen dual / single-sided variants (MAC-grid datapath). */
+ArchConfig sparTenAB();
+ArchConfig sparTenA();
+ArchConfig sparTenB();
+
+/** Cnvlutin-style activation-only design. */
+ArchConfig cnvlutinA();
+
+/** Cambricon-X-style weight-only design (16x16 window). */
+ArchConfig cambriconXB();
+
+/** All presets above, in report order. */
+std::vector<ArchConfig> allPresets();
+
+/** The eight architectures of the paper's Table VII, in row order. */
+std::vector<ArchConfig> tableSevenPresets();
+
+/** Look up by name ("Griffin", "Sparse.B*", ...); fatal() if absent. */
+ArchConfig presetByName(const std::string &name);
+
+} // namespace griffin
+
+#endif // GRIFFIN_ARCH_PRESETS_HH

@@ -1,0 +1,161 @@
+#include "arch/routing.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+const char *
+toString(SparsityMode mode)
+{
+    switch (mode) {
+      case SparsityMode::Dense:
+        return "Dense";
+      case SparsityMode::A:
+        return "Sparse.A";
+      case SparsityMode::B:
+        return "Sparse.B";
+      case SparsityMode::AB:
+        return "Sparse.AB";
+    }
+    panic("unknown sparsity mode ", static_cast<int>(mode));
+}
+
+namespace {
+
+void
+checkBorrow(const Borrow &d, const char *side)
+{
+    if (d.d1 < 0 || d.d2 < 0 || d.d3 < 0)
+        panic("negative borrowing distance on ", side, " side (",
+              d.d1, ",", d.d2, ",", d.d3, ")");
+}
+
+} // namespace
+
+void
+RoutingConfig::validate() const
+{
+    checkBorrow(a, "A");
+    checkBorrow(b, "B");
+    if (!sparseA() && a != Borrow{})
+        panic(str(), ": A-side distances set but mode does not skip A");
+    if (!sparseB() && b != Borrow{})
+        panic(str(), ": B-side distances set but mode does not skip B");
+    if (mode == SparsityMode::B && !preprocessB)
+        panic(str(), ": Sparse.B requires preprocessing by definition");
+    if (preprocessB && !sparseB())
+        panic(str(), ": preprocessing set but B is not sparse");
+}
+
+std::string
+RoutingConfig::str() const
+{
+    std::ostringstream os;
+    const char *onoff = shuffle ? "on" : "off";
+    switch (mode) {
+      case SparsityMode::Dense:
+        os << "Dense";
+        break;
+      case SparsityMode::A:
+        os << "A(" << a.d1 << "," << a.d2 << "," << a.d3 << "," << onoff
+           << ")";
+        break;
+      case SparsityMode::B:
+        os << "B(" << b.d1 << "," << b.d2 << "," << b.d3 << "," << onoff
+           << ")";
+        break;
+      case SparsityMode::AB:
+        os << "AB(" << a.d1 << "," << a.d2 << "," << a.d3 << "," << b.d1
+           << "," << b.d2 << "," << b.d3 << "," << onoff << ")";
+        if (!preprocessB)
+            os << "[otf]";
+        break;
+    }
+    return os.str();
+}
+
+RoutingConfig
+RoutingConfig::dense()
+{
+    return {};
+}
+
+RoutingConfig
+RoutingConfig::sparseA(int d1, int d2, int d3, bool shuffle)
+{
+    RoutingConfig cfg;
+    cfg.mode = SparsityMode::A;
+    cfg.a = {d1, d2, d3};
+    cfg.shuffle = shuffle;
+    cfg.validate();
+    return cfg;
+}
+
+RoutingConfig
+RoutingConfig::sparseB(int d1, int d2, int d3, bool shuffle)
+{
+    RoutingConfig cfg;
+    cfg.mode = SparsityMode::B;
+    cfg.b = {d1, d2, d3};
+    cfg.shuffle = shuffle;
+    cfg.preprocessB = true;
+    cfg.validate();
+    return cfg;
+}
+
+RoutingConfig
+RoutingConfig::sparseAB(int a1, int a2, int a3, int b1, int b2, int b3,
+                        bool shuffle, bool preprocess_b)
+{
+    RoutingConfig cfg;
+    cfg.mode = SparsityMode::AB;
+    cfg.a = {a1, a2, a3};
+    cfg.b = {b1, b2, b3};
+    cfg.shuffle = shuffle;
+    cfg.preprocessB = preprocess_b;
+    cfg.validate();
+    return cfg;
+}
+
+WindowParams
+windowParams(const RoutingConfig &cfg)
+{
+    cfg.validate();
+    WindowParams w;
+    switch (cfg.mode) {
+      case SparsityMode::Dense:
+        break;
+      case SparsityMode::A:
+        w.steps = 1 + cfg.a.d1;
+        w.laneDist = cfg.a.d2;
+        w.rowDist = cfg.a.d3;
+        break;
+      case SparsityMode::B:
+        w.steps = 1 + cfg.b.d1;
+        w.laneDist = cfg.b.d2;
+        w.colDist = cfg.b.d3;
+        break;
+      case SparsityMode::AB:
+        if (cfg.preprocessB) {
+            // BBUF holds (1+db1) *compressed* entries; each compressed
+            // entry is drawn from (1+da1) raw steps of A in ABUF, so
+            // the effective lookahead multiplies (ABUF depth L,
+            // Section IV-A).
+            w.steps = (1 + cfg.a.d1) * (1 + cfg.b.d1);
+        } else {
+            // Both raw streams must be co-resident; lookahead is
+            // limited by the shallower buffer.
+            w.steps = 1 + std::min(cfg.a.d1, cfg.b.d1);
+        }
+        w.laneDist = cfg.a.d2 + cfg.b.d2;
+        w.rowDist = cfg.a.d3;
+        w.colDist = cfg.b.d3;
+        break;
+    }
+    return w;
+}
+
+} // namespace griffin

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * SparTen-style MAC-grid simulator (Gondimalla et al., MICRO'19; the
+ * paper's strongest dual-sparse comparison point).
+ *
+ * SparTen has no K unrolling: each of the 1024 MACs independently
+ * matches compressed operand pairs with prefix-sum logic over deep
+ * (128-entry) input buffers, and accumulates one output at a time.
+ * Work per output is therefore the *exact* effectual-pair count (near
+ * ideal zero skipping — SparTen's strength), but outputs must be load
+ * balanced across MACs at coarse grain, accumulators are unshared, and
+ * both operands travel with bitmask metadata (SparTen's cost, Section
+ * VI-E).
+ *
+ * Timing model: outputs are assigned to the least-loaded MAC in
+ * arrival order (the coarse-grain balancing of [18]); the grid
+ * finishes when the most loaded MAC drains, plus a fixed per-output
+ * match/writeback overhead.
+ */
+
+#ifndef GRIFFIN_BASELINES_SPARTEN_HH
+#define GRIFFIN_BASELINES_SPARTEN_HH
+
+#include "arch/arch_config.hh"
+#include "sim/gemm_sim.hh"
+#include "tensor/matrix.hh"
+
+namespace griffin {
+
+/** Cycles a MAC spends matching + writing back each output. */
+inline constexpr int sparTenOutputOverhead = 2;
+
+/**
+ * Simulate C = A x B on a SparTen-style MacGrid architecture.  The
+ * result's denseCycles is the vector-core baseline so speedups remain
+ * normalized to the same yardstick as every other architecture.
+ */
+GemmSimResult simulateSparTen(const MatrixI8 &a, const MatrixI8 &b,
+                              const ArchConfig &arch, DnnCategory cat,
+                              const SimOptions &opt = {});
+
+} // namespace griffin
+
+#endif // GRIFFIN_BASELINES_SPARTEN_HH

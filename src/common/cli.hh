@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal command-line flag parser shared by examples and benches.
+ *
+ * Supports --name=value and --name value forms plus bare boolean
+ * switches (--exact).  Unknown flags are a fatal() user error so typos
+ * never silently fall back to defaults.
+ */
+
+#ifndef GRIFFIN_COMMON_CLI_HH
+#define GRIFFIN_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace griffin {
+
+/**
+ * Declarative flag registry: declare flags with defaults and help
+ * text, then parse() argv.  Query with getInt/getDouble/getString/
+ * getBool after parsing.
+ */
+class Cli
+{
+  public:
+    explicit Cli(std::string program_description);
+
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    void addBool(const std::string &name, bool def, const std::string &help);
+
+    /**
+     * Parse argv.  Handles --help by printing usage and exiting 0.
+     * Returns positional (non-flag) arguments in order.
+     */
+    std::vector<std::string> parse(int argc, const char *const *argv);
+
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    std::string getString(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Render usage text (also shown by --help). */
+    std::string usage() const;
+
+  private:
+    enum class Kind { Int, Double, String, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string value;
+        std::string def;
+        std::string help;
+    };
+
+    const Flag &find(const std::string &name, Kind kind) const;
+    void set(const std::string &name, const std::string &value);
+
+    std::string description_;
+    std::map<std::string, Flag> flags_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_COMMON_CLI_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition.
+ *
+ * Two error paths with distinct intent:
+ *   - panic():  an internal invariant was violated — a bug in this
+ *               library, never the user's fault.  Calls std::abort().
+ *   - fatal():  the simulation cannot continue because of a user error
+ *               (bad configuration, invalid arguments).  Calls
+ *               std::exit(1).
+ *
+ * Two status paths:
+ *   - warn():   something works but not as well as it should; if odd
+ *               behaviour follows, start looking here.
+ *   - inform(): plain operating status, no connotation of a problem.
+ */
+
+#ifndef GRIFFIN_COMMON_LOGGING_HH
+#define GRIFFIN_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace griffin {
+
+namespace detail {
+
+/** Stream a parameter pack into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    static_cast<void>((os << ... << std::forward<Args>(args)));
+    return os.str();
+}
+
+/** Terminates via std::abort() after printing "panic: <msg>". */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Terminates via std::exit(1) after printing "fatal: <msg>". */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Abort on an internal invariant violation.  Arguments are streamed
+ * together, e.g. panic("bad lane ", lane, " of ", lanes).
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(__FILE__, __LINE__,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Exit(1) on an unrecoverable user error (bad config, bad input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(__FILE__, __LINE__,
+                      detail::concat(std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Library assertion that survives NDEBUG builds.  Use for invariants
+ * whose violation means a simulator bug.
+ */
+#define GRIFFIN_ASSERT(cond, ...)                                          \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::griffin::detail::panicImpl(                                  \
+                __FILE__, __LINE__,                                        \
+                ::griffin::detail::concat("assertion '" #cond "' failed: ",\
+                                          ##__VA_ARGS__));                 \
+        }                                                                  \
+    } while (0)
+
+} // namespace griffin
+
+#endif // GRIFFIN_COMMON_LOGGING_HH

@@ -1,0 +1,56 @@
+#include "common/rng.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+Rng::Rng(std::uint64_t seed) : engine_(seed) {}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    GRIFFIN_ASSERT(lo <= hi, "uniformInt with lo ", lo, " > hi ", hi);
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::uniform01()
+{
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    return uniform01() < p;
+}
+
+std::int8_t
+Rng::nonzeroInt8()
+{
+    // Draw from [-128, 126] and shift the zero out of the range so all
+    // 255 nonzero values stay equally likely.
+    auto v = uniformInt(-128, 126);
+    if (v >= 0)
+        ++v;
+    return static_cast<std::int8_t>(v);
+}
+
+void
+Rng::shuffle(std::vector<std::size_t> &v)
+{
+    std::shuffle(v.begin(), v.end(), engine_);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(engine_());
+}
+
+} // namespace griffin

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * Every stochastic choice in the library (synthetic sparsity masks,
+ * tile sampling phases, test tensors) flows through Rng so that runs
+ * are exactly reproducible from a single seed.
+ */
+
+#ifndef GRIFFIN_COMMON_RNG_HH
+#define GRIFFIN_COMMON_RNG_HH
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace griffin {
+
+/**
+ * A seeded mt19937_64 with the handful of draws the library needs.
+ *
+ * Not thread-safe; create one per thread of work.
+ */
+class Rng
+{
+  public:
+    /** Library-wide default seed: reproducible out of the box. */
+    static constexpr std::uint64_t defaultSeed = 0x5eed'061f'f100'2022ULL;
+
+    explicit Rng(std::uint64_t seed);
+    Rng() : Rng(defaultSeed) {}
+
+    /** Uniform integer in [lo, hi] inclusive.  Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Bernoulli trial: true with probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /**
+     * Nonzero INT8 value, uniform over [-128,127] \ {0}.  Used when a
+     * position must be effectual by construction.
+     */
+    std::int8_t nonzeroInt8();
+
+    /** Fisher-Yates shuffle of an index vector. */
+    void shuffle(std::vector<std::size_t> &v);
+
+    /**
+     * Derive an independent child generator.  Used to give each layer
+     * or tile its own stream so results do not depend on visit order.
+     */
+    Rng fork();
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_COMMON_RNG_HH

@@ -1,0 +1,128 @@
+#include "common/table.hh"
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    GRIFFIN_ASSERT(!headers_.empty(), "table '", title_, "' has no columns");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    GRIFFIN_ASSERT(cells.size() == headers_.size(),
+                   "table '", title_, "': row has ", cells.size(),
+                   " cells, expected ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+const std::string &
+Table::cell(std::size_t r, std::size_t c) const
+{
+    GRIFFIN_ASSERT(r < rows_.size() && c < headers_.size(),
+                   "table cell (", r, ",", c, ") out of range");
+    return rows_[r][c];
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+               << cells[c] << " |";
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+Table::count(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int since_sep = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since_sep == 3) {
+            out += ',';
+            since_sep = 0;
+        }
+        out += *it;
+        ++since_sep;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+} // namespace griffin

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ASCII / CSV table rendering for benches and reports.
+ *
+ * Every bench binary regenerates a paper table or figure series; this
+ * writer keeps their output uniform and machine-parsable.
+ */
+
+#ifndef GRIFFIN_COMMON_TABLE_HH
+#define GRIFFIN_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace griffin {
+
+/**
+ * Column-aligned text table with an optional title, renderable as
+ * boxed ASCII or CSV.
+ *
+ * Usage:
+ *   Table t("Fig. 5(a)", {"config", "speedup"});
+ *   t.addRow({"B(4,0,1,on)", Table::num(2.47)});
+ *   t.print(std::cout);
+ */
+class Table
+{
+  public:
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Add one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with box-drawing alignment. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no title line). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t cols() const { return headers_.size(); }
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+    /** Format a double with fixed precision (default 2 decimals). */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators (1,234,567). */
+    static std::string count(std::uint64_t v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_COMMON_TABLE_HH

@@ -1,0 +1,154 @@
+#include "griffin/accelerator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/overhead.hh"
+#include "baselines/sparten.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "power/cost_model.hh"
+#include "tensor/sparsity.hh"
+
+namespace griffin {
+
+Accelerator::Accelerator(ArchConfig config) : config_(std::move(config))
+{
+    config_.validate();
+}
+
+namespace {
+
+/** Round up to a multiple of the row-tile height. */
+std::int64_t
+roundUpTo(std::int64_t v, int quantum)
+{
+    return (v + quantum - 1) / quantum * quantum;
+}
+
+/** Whole-layer DRAM bytes (all groups and repeats). */
+std::int64_t
+layerDramBytes(const LayerSpec &layer, const RoutingConfig &routing,
+               const TileShape &shape, double wsp, bool mac_grid)
+{
+    const auto per_group_a = layer.m * layer.k;
+    const auto per_group_c = layer.m * layer.n;
+    std::int64_t per_group_b = layer.k * layer.n;
+    const auto nnz_b = static_cast<std::int64_t>(
+        std::llround((1.0 - wsp) * static_cast<double>(per_group_b)));
+    if (mac_grid) {
+        if (routing.sparseB())
+            per_group_b = nnz_b + (per_group_b + 7) / 8;
+    } else if (routing.preprocessB) {
+        const auto hw = computeOverhead(routing, shape);
+        per_group_b = nnz_b + (nnz_b * hw.metadataBits + 7) / 8;
+    }
+    return (per_group_a + per_group_b + per_group_c) * layer.groups *
+           layer.repeat;
+}
+
+} // namespace
+
+NetworkResult
+Accelerator::run(const NetworkSpec &net, DnnCategory cat,
+                 const RunOptions &opt) const
+{
+    net.validate();
+    if (opt.rowCap <= 0)
+        fatal("rowCap must be positive, got ", opt.rowCap);
+
+    NetworkResult result;
+    result.network = net.name;
+    result.arch = config_.name;
+    result.category = cat;
+
+    const TileShape &shape = config_.tile;
+    Rng net_rng(opt.seed ^ std::hash<std::string>{}(net.name));
+
+    for (const auto &layer : net.layers) {
+        Rng rng = net_rng.fork();
+        const double wsp = net.layerWeightSparsity(layer, cat);
+        const double asp = net.layerActSparsity(layer, cat);
+
+        // Simulate a statistically-equivalent row slice of one group.
+        const auto m_sim = std::min(
+            layer.m, roundUpTo(std::min(layer.m, opt.rowCap), shape.m0));
+        const auto row_tiles_full =
+            (layer.m + shape.m0 - 1) / shape.m0;
+        const auto row_tiles_sim = (m_sim + shape.m0 - 1) / shape.m0;
+        const double row_scale =
+            static_cast<double>(row_tiles_full) /
+            static_cast<double>(row_tiles_sim);
+
+        auto a = clusteredSparse(static_cast<std::size_t>(m_sim),
+                                 static_cast<std::size_t>(layer.k), asp,
+                                 std::max(1.0, opt.actRunLength), rng);
+        auto b = laneBiasedSparse(static_cast<std::size_t>(layer.k),
+                                  static_cast<std::size_t>(layer.n), wsp,
+                                  opt.weightLaneBias, 4, rng);
+
+        SimOptions sim_opt = opt.sim;
+        sim_opt.seed = rng.fork().uniformInt(0, 1 << 30);
+        const bool mac_grid = config_.style == DatapathStyle::MacGrid;
+        const auto sim =
+            mac_grid
+                ? simulateSparTen(a, b, config_, cat, sim_opt)
+                : simulateGemm(a, b, config_, cat, sim_opt);
+
+        LayerResult lr;
+        lr.name = layer.name;
+        lr.macs = layer.macs();
+        lr.denseCycles = layer.denseCycles(shape);
+        lr.computeCycles = static_cast<std::int64_t>(std::llround(
+            static_cast<double>(sim.computeCycles) * row_scale *
+            static_cast<double>(layer.groups) *
+            static_cast<double>(layer.repeat)));
+        const auto dram_bytes = layerDramBytes(
+            layer, config_.effectiveRouting(cat), shape, wsp, mac_grid);
+        lr.dramCycles = static_cast<std::int64_t>(
+            std::ceil(static_cast<double>(dram_bytes) /
+                      config_.mem.dramBytesPerCycle()));
+        lr.totalCycles = opt.enforceDramBound
+                             ? std::max(lr.computeCycles, lr.dramCycles)
+                             : lr.computeCycles;
+        lr.speedup = lr.totalCycles > 0
+                         ? static_cast<double>(lr.denseCycles) /
+                               static_cast<double>(lr.totalCycles)
+                         : 1.0;
+
+        result.denseCycles += lr.denseCycles;
+        result.totalCycles += lr.totalCycles;
+        result.layers.push_back(std::move(lr));
+    }
+
+    result.speedup = result.totalCycles > 0
+                         ? static_cast<double>(result.denseCycles) /
+                               static_cast<double>(result.totalCycles)
+                         : 1.0;
+    result.topsPerWatt =
+        effectiveTopsPerWatt(config_, cat, result.speedup);
+    result.topsPerMm2 =
+        effectiveTopsPerMm2(config_, cat, result.speedup);
+    return result;
+}
+
+std::vector<NetworkResult>
+Accelerator::runSuite(DnnCategory cat, const RunOptions &opt) const
+{
+    std::vector<NetworkResult> results;
+    for (const auto &net : benchmarkSuite())
+        results.push_back(run(net, cat, opt));
+    return results;
+}
+
+double
+geomeanSpeedup(const std::vector<NetworkResult> &results)
+{
+    std::vector<double> speedups;
+    speedups.reserve(results.size());
+    for (const auto &r : results)
+        speedups.push_back(r.speedup);
+    return geomean(speedups);
+}
+
+} // namespace griffin

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The library's top-level API: run a benchmark network on an
+ * architecture and get latency, speedup, and effective efficiency.
+ *
+ * This is the layer a downstream user touches:
+ *
+ *   Accelerator acc(griffinArch());
+ *   auto result = acc.run(resNet50(), DnnCategory::AB);
+ *   std::cout << result.speedup << " x, "
+ *             << result.topsPerWatt << " TOPS/W\n";
+ *
+ * Per layer, synthetic operand tensors are generated at the network's
+ * published sparsity ratios (weights with the lane-biased structure of
+ * real pruned models, activations with ReLU-like zero runs), the GEMM
+ * is simulated cycle-level on the architecture (vector core or
+ * SparTen-style MAC grid), and DRAM streaming is overlapped per layer.
+ * Large layers are simulated on a statistically-equivalent row slice
+ * and scaled (DESIGN.md Section 6).
+ */
+
+#ifndef GRIFFIN_GRIFFIN_ACCELERATOR_HH
+#define GRIFFIN_GRIFFIN_ACCELERATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_config.hh"
+#include "sim/gemm_sim.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+/** Knobs for an end-to-end network run. */
+struct RunOptions
+{
+    SimOptions sim{};          ///< tile sampling etc.
+    std::int64_t rowCap = 256; ///< max A rows simulated per layer
+    std::uint64_t seed = 1;    ///< tensor-generation seed
+    /** Lane-imbalance depth of synthetic weight masks (see
+     *  tensor/sparsity.hh: laneBiasedSparse). */
+    double weightLaneBias = 0.5;
+    /** Mean zero-run length of synthetic activation maps.  Mild by
+     *  default: im2col interleaves channels into k, which breaks up
+     *  the spatial clustering of ReLU zeros. */
+    double actRunLength = 2.0;
+
+    /**
+     * When true, a layer's latency is max(compute, DRAM streaming).
+     * The paper dimensions DRAM so it never throttles ("50GB/s ...
+     * enough to avoid any performance drop", Section V), so the
+     * default only *reports* DRAM time; enable this to study
+     * memory-bound regimes (uncompressed weights can dominate
+     * fully-connected layers).
+     */
+    bool enforceDramBound = false;
+};
+
+/** Per-layer outcome (cycles are whole-layer, scaled). */
+struct LayerResult
+{
+    std::string name;
+    std::int64_t denseCycles = 0;
+    std::int64_t computeCycles = 0;
+    std::int64_t dramCycles = 0;
+    std::int64_t totalCycles = 0;
+    std::int64_t macs = 0;
+    double speedup = 1.0;
+};
+
+/** Whole-network outcome. */
+struct NetworkResult
+{
+    std::string network;
+    std::string arch;
+    DnnCategory category = DnnCategory::Dense;
+    std::int64_t denseCycles = 0;
+    std::int64_t totalCycles = 0;
+    double speedup = 1.0;
+    double topsPerWatt = 0.0;  ///< effective, Definition V.1
+    double topsPerMm2 = 0.0;   ///< effective, Definition V.1
+    std::vector<LayerResult> layers;
+};
+
+/**
+ * An architecture instance ready to run workloads.
+ */
+class Accelerator
+{
+  public:
+    explicit Accelerator(ArchConfig config);
+
+    const ArchConfig &config() const { return config_; }
+
+    /** Run one network in a workload category. */
+    NetworkResult run(const NetworkSpec &net, DnnCategory cat,
+                      const RunOptions &opt = {}) const;
+
+    /**
+     * Run the whole benchmark suite in one category and also return
+     * the geometric-mean speedup (the paper's aggregate, Section V).
+     */
+    std::vector<NetworkResult> runSuite(DnnCategory cat,
+                                        const RunOptions &opt = {}) const;
+
+  private:
+    ArchConfig config_;
+};
+
+/** Geometric-mean speedup of a set of results. */
+double geomeanSpeedup(const std::vector<NetworkResult> &results);
+
+} // namespace griffin
+
+#endif // GRIFFIN_GRIFFIN_ACCELERATOR_HH

@@ -1,0 +1,182 @@
+#include "model/analytic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+namespace {
+
+/** log(n choose k) via lgamma. */
+double
+logChoose(int n, int k)
+{
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+           std::lgamma(n - k + 1.0);
+}
+
+/** P(Binomial(n,p) <= x), exact summation (n is small here). */
+double
+binomialCdf(int n, double p, int x)
+{
+    if (x < 0)
+        return 0.0;
+    if (x >= n)
+        return 1.0;
+    if (p <= 0.0)
+        return 1.0;
+    if (p >= 1.0)
+        return 0.0;
+    double cdf = 0.0;
+    for (int k = 0; k <= x; ++k) {
+        cdf += std::exp(logChoose(n, k) + k * std::log(p) +
+                        (n - k) * std::log1p(-p));
+    }
+    return std::min(cdf, 1.0);
+}
+
+/**
+ * Interpolated median of the max of `groups` Binomial(n,p) draws.
+ * The fractional quantile keeps the estimator monotone in the window
+ * depth (an integer quantile saws against W/cycles).
+ */
+double
+maxLoadQuantile(int n, double p, std::int64_t groups)
+{
+    const double q = std::pow(0.5, 1.0 / static_cast<double>(groups));
+    double prev = binomialCdf(n, p, -1);
+    for (int x = 0; x <= n; ++x) {
+        const double cdf = binomialCdf(n, p, x);
+        if (cdf >= q) {
+            const double span = cdf - prev;
+            const double frac =
+                span > 0.0 ? (q - prev) / span : 0.0;
+            return std::max(0.0, (x - 1) + frac);
+        }
+        prev = cdf;
+    }
+    return n;
+}
+
+/**
+ * Speedup of one window-scheduled stage.
+ *
+ * @param w_steps   resident steps (ideal speedup bound)
+ * @param group     slots that share work through borrowing
+ * @param groups    independent balancing groups in the sync domain
+ * @param p         effectual probability per slot-step
+ */
+double
+stageSpeedup(int w_steps, std::int64_t group, std::int64_t groups,
+             double p)
+{
+    if (p <= 0.0)
+        return static_cast<double>(w_steps);
+    if (p >= 1.0)
+        return 1.0;
+    const int n = static_cast<int>(w_steps * group);
+    const double max_load = maxLoadQuantile(n, p, groups);
+    const double cycles =
+        std::max(1.0, max_load / static_cast<double>(group));
+    return std::min(static_cast<double>(w_steps),
+                    static_cast<double>(w_steps) / cycles);
+}
+
+} // namespace
+
+int
+binomialMaxMedian(int n, double p, std::int64_t groups)
+{
+    GRIFFIN_ASSERT(n >= 0 && groups >= 1, "bad max-median arguments");
+    for (int x = 0; x <= n; ++x) {
+        const double cdf = binomialCdf(n, p, x);
+        if (cdf > 0.0 &&
+            static_cast<double>(groups) * std::log(cdf) >=
+                std::log(0.5)) {
+            return x;
+        }
+    }
+    return n;
+}
+
+double
+analyticSpeedup(const RoutingConfig &cfg, const TileShape &shape,
+                double a_sparsity, double b_sparsity)
+{
+    cfg.validate();
+    GRIFFIN_ASSERT(a_sparsity >= 0.0 && a_sparsity <= 1.0 &&
+                   b_sparsity >= 0.0 && b_sparsity <= 1.0,
+                   "sparsity outside [0,1]");
+
+    const auto w = windowParams(cfg);
+    switch (cfg.mode) {
+      case SparsityMode::Dense:
+        return 1.0;
+
+      case SparsityMode::B: {
+        const double p = 1.0 - b_sparsity;
+        const std::int64_t group =
+            (1 + w.laneDist) * (1 + w.colDist);
+        const std::int64_t population =
+            static_cast<std::int64_t>(shape.k0) * shape.n0;
+        return stageSpeedup(w.steps, group,
+                            std::max<std::int64_t>(1,
+                                                   population / group),
+                            p);
+      }
+
+      case SparsityMode::A: {
+        const double p = 1.0 - a_sparsity;
+        const std::int64_t group =
+            (1 + w.laneDist) * (1 + w.rowDist);
+        const std::int64_t population =
+            static_cast<std::int64_t>(shape.k0) * shape.m0;
+        return stageSpeedup(w.steps, group,
+                            std::max<std::int64_t>(1,
+                                                   population / group),
+                            p);
+      }
+
+      case SparsityMode::AB: {
+        if (!cfg.preprocessB) {
+            // On-the-fly matching: one stage over the raw grid.
+            const double p = (1.0 - a_sparsity) * (1.0 - b_sparsity);
+            const std::int64_t group = (1 + w.laneDist) *
+                                       (1 + w.rowDist) *
+                                       (1 + w.colDist);
+            const std::int64_t population =
+                static_cast<std::int64_t>(shape.k0) * shape.m0 *
+                shape.n0;
+            return stageSpeedup(
+                w.steps, group,
+                std::max<std::int64_t>(1, population / group), p);
+        }
+        // Preprocessed dual composes: stage 1 is the offline B
+        // packing, stage 2 the runtime A-side skip over the
+        // compressed stream (per-column sync domain).
+        auto stage1_cfg =
+            RoutingConfig::sparseB(cfg.b.d1, cfg.b.d2, cfg.b.d3,
+                                   cfg.shuffle);
+        const double s1 =
+            analyticSpeedup(stage1_cfg, shape, 0.0, b_sparsity);
+        // Stream-slot utilisation after packing: nonzeros compacted by
+        // s1 into a stream 1/s1 as long.
+        const double util =
+            std::min(1.0, (1.0 - b_sparsity) * s1);
+        const double p2 = util * (1.0 - a_sparsity);
+        const std::int64_t group =
+            (1 + cfg.a.d2) * (1 + cfg.a.d3);
+        const std::int64_t population =
+            static_cast<std::int64_t>(shape.k0) * shape.m0;
+        const double s2 = stageSpeedup(
+            1 + cfg.a.d1, group,
+            std::max<std::int64_t>(1, population / group), p2);
+        return std::min(static_cast<double>(w.steps), s1 * s2);
+      }
+    }
+    panic("unreachable sparsity mode");
+}
+
+} // namespace griffin

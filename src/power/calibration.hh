@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit energy/area constants for the 7 nm cost model.
+ *
+ * The paper synthesised every architecture with Synopsys DC + a 7 nm
+ * memory compiler at 800 MHz / 0.71 V (Section V) and published the
+ * component breakdowns in Table VII.  We cannot rerun that flow, so
+ * each constant below is *calibrated from the paper's own table*: the
+ * provenance comment names the cells it was fitted to.  Structural
+ * counts (how many buffer words, MUX inputs, adders, controllers a
+ * configuration needs) come from arch/overhead.hh; cost = count x
+ * unit.
+ *
+ * Known simplifications, all visible in bench_table7_breakdown's
+ * ours-vs-paper output:
+ *   - multiplier power is a constant per-MAC figure; the paper's
+ *     varies with measured datapath activity (31.7..85.9 mW across
+ *     rows);
+ *   - SRAM dynamic power scales linearly with the provisioned A-side
+ *     bandwidth window, a one-knob fit.
+ */
+
+#ifndef GRIFFIN_POWER_CALIBRATION_HH
+#define GRIFFIN_POWER_CALIBRATION_HH
+
+namespace griffin {
+namespace cal {
+
+// --- power, milliwatts ------------------------------------------------
+
+/** INT8 multiplier, incl. operand flops: Table VII baseline MUL
+ *  62.6 mW / 1024 MACs. */
+inline constexpr double mulPowerMw = 62.6 / 1024.0;
+
+/** Output-stationary INT32 accumulator: baseline ACC 10.9 mW / 64
+ *  PEs. */
+inline constexpr double accPowerMw = 10.9 / 64.0;
+
+/** One 2-input adder of a reduction tree: baseline ADT 21.8 mW /
+ *  (64 PEs x 15 adders). */
+inline constexpr double adderPowerMw = 21.8 / (64.0 * 15.0);
+
+/**
+ * Adders in an *extra* (cross-PE routing) tree.  The extra path
+ * reuses most of the main reduction and only adds a short side
+ * reduce; Table VII shows Sparse.B* (2 trees/PE) at roughly baseline
+ * ADT power, so the increment is priced at 4 adders per extra tree.
+ */
+inline constexpr int extraTreeAdders = 4;
+
+/** One buffer word (8b, multi-read): Sparse.B* ABUF 7.5 mW / 320
+ *  words; Sparse.A* BBUF 17.8 mW / 768 words. */
+inline constexpr double bufWordPowerMw = 0.0240;
+
+/** Pipeline registers/wires: baseline REG/WR 22.8 mW fixed ... */
+inline constexpr double regBasePowerMw = 22.8;
+
+/** ... plus per resident ABUF word (deeper windows lengthen the
+ *  operand pipeline): Sparse.AB* REG/WR 64.5 mW over 576 words. */
+inline constexpr double regPerAbufWordPowerMw = 0.050;
+
+/** One operand-MUX input: Sparse.B* MUX 3.5 mW / 5120 inputs;
+ *  Sparse.AB* 7.0 mW / 12288 inputs. */
+inline constexpr double muxInputPowerMw = 0.0006;
+
+/** One arbiter / PE controller: Sparse.AB* CTRL 18.2 mW / 64 PEs;
+ *  Sparse.A* 1.2 mW / 4 row arbiters. */
+inline constexpr double ctrlPowerMw = 0.29;
+
+/** One 4x4 shuffle crossbar: Sparse.AB* SHF 1.4 mW / 80 crossbars. */
+inline constexpr double shufflerPowerMw = 0.0145;
+
+/** SRAM static + leakage floor and dynamic slope per unit of A-side
+ *  bandwidth provisioning: fitted to baseline 33.3 mW (scale 1) and
+ *  Sparse.B* 66.7 mW (scale 5). */
+inline constexpr double sramBasePowerMw = 24.95;
+inline constexpr double sramPerBwPowerMw = 8.35;
+
+// --- area, 1000 um^2 --------------------------------------------------
+
+/** Baseline MUL 29 / 1024. */
+inline constexpr double mulAreaKum2 = 29.0 / 1024.0;
+
+/** Baseline ACC 2.6 / 64. */
+inline constexpr double accAreaKum2 = 2.6 / 64.0;
+
+/** Baseline ADT 6.7 / (64 x 15) per adder. */
+inline constexpr double adderAreaKum2 = 6.7 / (64.0 * 15.0);
+
+/** Sparse.B* ABUF 2.0 / 320 words; Sparse.A* BBUF 3.8 / 768. */
+inline constexpr double bufWordAreaKum2 = 0.0056;
+
+/** Baseline REG/WR 3.2 fixed ... */
+inline constexpr double regBaseAreaKum2 = 3.2;
+
+/** ... plus Sparse.AB* (6.0 - 3.2) / 576 words. */
+inline constexpr double regPerAbufWordAreaKum2 = 0.0049;
+
+/** Sparse.B* MUX 6.5 / 5120 inputs; Sparse.AB* 17.5 / 12288. */
+inline constexpr double muxInputAreaKum2 = 0.00135;
+
+/** Sparse.AB* CTRL 8.1 / 64; TDash.AB 8.9 / 64. */
+inline constexpr double ctrlAreaKum2 = 0.131;
+
+/** Sparse.AB* SHF 1.6 / 80. */
+inline constexpr double shufflerAreaKum2 = 0.018;
+
+/** Baseline SRAM 176 plus banking overhead per unit of bandwidth
+ *  provisioning (Sparse.B* 196 at scale 5). */
+inline constexpr double sramBaseAreaKum2 = 176.0;
+inline constexpr double sramPerBwAreaKum2 = 4.0;
+
+// --- SparTen (MacGrid) constants, Table VII last row ------------------
+
+/** Prefix-sum match/control per MAC: CTRL 133 mW / 1024. */
+inline constexpr double sparTenCtrlPowerMw = 0.13;
+
+/** Per word of the 128-deep per-MAC input buffers: 213 mW /
+ *  (128 x 1024) on each operand side. */
+inline constexpr double sparTenBufWordPowerMw = 213.0 / 131072.0;
+
+/** Unshared accumulator per MAC: ACC 110 mW / 1024 ("does not share
+ *  accumulators (which consume 110mW)", Section VI-E). */
+inline constexpr double sparTenAccPowerMw = 110.0 / 1024.0;
+
+/** MAC incl. input latches: MUL 133 mW / 1024. */
+inline constexpr double sparTenMulPowerMw = 133.0 / 1024.0;
+
+/** REG/WR and SRAM straight from the row. */
+inline constexpr double sparTenRegPowerMw = 7.5;
+inline constexpr double sparTenSramPowerMw = 181.6;
+
+inline constexpr double sparTenCtrlAreaKum2 = 227.0 / 1024.0;
+inline constexpr double sparTenBufWordAreaKum2 = 320.0 / 131072.0;
+inline constexpr double sparTenAccAreaKum2 = 30.2 / 1024.0;
+inline constexpr double sparTenMulAreaKum2 = 41.0 / 1024.0;
+inline constexpr double sparTenRegAreaKum2 = 0.7;
+inline constexpr double sparTenSramAreaKum2 = 200.0;
+
+} // namespace cal
+} // namespace griffin
+
+#endif // GRIFFIN_POWER_CALIBRATION_HH

@@ -1,0 +1,265 @@
+#include "power/cost_model.hh"
+
+#include <algorithm>
+
+#include "arch/overhead.hh"
+#include "common/logging.hh"
+#include "power/calibration.hh"
+
+namespace griffin {
+
+namespace {
+
+/** Take the per-component maximum of two inventories. */
+HardwareOverhead
+unionOf(const HardwareOverhead &x, const HardwareOverhead &y)
+{
+    HardwareOverhead u = x;
+    u.abufDepth = std::max(x.abufDepth, y.abufDepth);
+    u.amuxFanin = std::max(x.amuxFanin, y.amuxFanin);
+    u.bbufDepth = std::max(x.bbufDepth, y.bbufDepth);
+    u.bmuxFanin = std::max(x.bmuxFanin, y.bmuxFanin);
+    u.adtPerPe = std::max(x.adtPerPe, y.adtPerPe);
+    u.metadataBits = std::max(x.metadataBits, y.metadataBits);
+    u.abufWords = std::max(x.abufWords, y.abufWords);
+    u.bbufWords = std::max(x.bbufWords, y.bbufWords);
+    u.amuxCount = std::max(x.amuxCount, y.amuxCount);
+    u.bmuxCount = std::max(x.bmuxCount, y.bmuxCount);
+    u.extraAdtCount = std::max(x.extraAdtCount, y.extraAdtCount);
+    u.ctrlUnits = std::max(x.ctrlUnits, y.ctrlUnits);
+    u.shufflerCrossbars =
+        std::max(x.shufflerCrossbars, y.shufflerCrossbars);
+    return u;
+}
+
+/**
+ * The hardware that must physically exist: the union over Griffin's
+ * morph configurations, or the single fixed configuration otherwise.
+ * Also returns the widest bandwidth provisioning.
+ */
+HardwareOverhead
+builtHardware(const ArchConfig &arch, double *bw_out)
+{
+    if (!arch.hybrid) {
+        if (bw_out) {
+            *bw_out = 1.0;
+            for (DnnCategory cat : allCategories)
+                *bw_out = std::max(*bw_out, arch.effectiveBwScale(cat));
+        }
+        return computeOverhead(arch.routing, arch.tile);
+    }
+    HardwareOverhead u{};
+    double bw = 1.0;
+    bool first = true;
+    for (DnnCategory cat : allCategories) {
+        const auto hw =
+            computeOverhead(arch.effectiveRouting(cat), arch.tile);
+        u = first ? hw : unionOf(u, hw);
+        first = false;
+        bw = std::max(bw, arch.effectiveBwScale(cat));
+    }
+    if (bw_out)
+        *bw_out = bw;
+    return u;
+}
+
+Breakdown
+vectorPower(const HardwareOverhead &hw, double bw, const TileShape &t)
+{
+    const std::int64_t macs = t.macsPerCycle();
+    const std::int64_t pes = static_cast<std::int64_t>(t.m0) * t.n0;
+    const std::int64_t tree_adders =
+        pes * (t.k0 - 1) + hw.extraAdtCount * cal::extraTreeAdders;
+    const std::int64_t mux_inputs =
+        hw.amuxCount * hw.amuxFanin + hw.bmuxCount * hw.bmuxFanin;
+
+    Breakdown p;
+    p.ctrl = static_cast<double>(hw.ctrlUnits) * cal::ctrlPowerMw;
+    p.shf = static_cast<double>(hw.shufflerCrossbars) *
+            cal::shufflerPowerMw;
+    p.abuf = static_cast<double>(hw.abufWords) * cal::bufWordPowerMw;
+    p.bbuf = static_cast<double>(hw.bbufWords) * cal::bufWordPowerMw;
+    p.regwr = cal::regBasePowerMw +
+              static_cast<double>(hw.abufWords) *
+                  cal::regPerAbufWordPowerMw;
+    p.acc = static_cast<double>(pes) * cal::accPowerMw;
+    p.mul = static_cast<double>(macs) * cal::mulPowerMw;
+    p.adt = static_cast<double>(tree_adders) * cal::adderPowerMw;
+    p.mux = static_cast<double>(mux_inputs) * cal::muxInputPowerMw;
+    p.sram = cal::sramBasePowerMw + cal::sramPerBwPowerMw * bw;
+    return p;
+}
+
+Breakdown
+vectorArea(const HardwareOverhead &hw, double bw, const TileShape &t)
+{
+    const std::int64_t macs = t.macsPerCycle();
+    const std::int64_t pes = static_cast<std::int64_t>(t.m0) * t.n0;
+    const std::int64_t tree_adders =
+        pes * (t.k0 - 1) + hw.extraAdtCount * cal::extraTreeAdders;
+    const std::int64_t mux_inputs =
+        hw.amuxCount * hw.amuxFanin + hw.bmuxCount * hw.bmuxFanin;
+
+    Breakdown a;
+    a.ctrl = static_cast<double>(hw.ctrlUnits) * cal::ctrlAreaKum2;
+    a.shf = static_cast<double>(hw.shufflerCrossbars) *
+            cal::shufflerAreaKum2;
+    a.abuf = static_cast<double>(hw.abufWords) * cal::bufWordAreaKum2;
+    a.bbuf = static_cast<double>(hw.bbufWords) * cal::bufWordAreaKum2;
+    a.regwr = cal::regBaseAreaKum2 +
+              static_cast<double>(hw.abufWords) *
+                  cal::regPerAbufWordAreaKum2;
+    a.acc = static_cast<double>(pes) * cal::accAreaKum2;
+    a.mul = static_cast<double>(macs) * cal::mulAreaKum2;
+    a.adt = static_cast<double>(tree_adders) * cal::adderAreaKum2;
+    a.mux = static_cast<double>(mux_inputs) * cal::muxInputAreaKum2;
+    a.sram = cal::sramBaseAreaKum2 + cal::sramPerBwAreaKum2 * bw;
+    return a;
+}
+
+/** Per-component blend: active + idle-fraction of the unused rest. */
+Breakdown
+blend(const Breakdown &active, const Breakdown &present)
+{
+    auto mix = [](double act, double pres) {
+        return act + idlePowerFraction * std::max(0.0, pres - act);
+    };
+    Breakdown out;
+    out.ctrl = mix(active.ctrl, present.ctrl);
+    out.shf = mix(active.shf, present.shf);
+    out.abuf = mix(active.abuf, present.abuf);
+    out.bbuf = mix(active.bbuf, present.bbuf);
+    out.regwr = mix(active.regwr, present.regwr);
+    out.acc = mix(active.acc, present.acc);
+    out.mul = mix(active.mul, present.mul);
+    out.adt = mix(active.adt, present.adt);
+    out.mux = mix(active.mux, present.mux);
+    out.sram = mix(active.sram, present.sram);
+    return out;
+}
+
+Breakdown
+macGridPower(const ArchConfig &arch, bool a_active, bool b_active)
+{
+    const std::int64_t macs = arch.tile.macsPerCycle();
+    const bool a_built = arch.routing.sparseA();
+    const bool b_built = arch.routing.sparseB();
+    const double buf_words =
+        static_cast<double>(macs) * arch.macBufferDepth;
+    auto gated = [](bool built, bool active, double full) {
+        if (!built)
+            return 0.5 * full; // dense-side staging, half depth
+        return active ? full : idlePowerFraction * full;
+    };
+
+    Breakdown p;
+    const double full_ctrl =
+        static_cast<double>(macs) * cal::sparTenCtrlPowerMw *
+        ((a_built && b_built) ? 1.0 : 0.5);
+    p.ctrl = (a_active || b_active) ? full_ctrl
+                                    : idlePowerFraction * full_ctrl;
+    const double full_buf = buf_words * cal::sparTenBufWordPowerMw;
+    p.abuf = gated(a_built, a_active, full_buf);
+    p.bbuf = gated(b_built, b_active, full_buf);
+    p.regwr = cal::sparTenRegPowerMw;
+    p.acc = static_cast<double>(macs) * cal::sparTenAccPowerMw;
+    p.mul = static_cast<double>(macs) * cal::sparTenMulPowerMw;
+    p.sram = cal::sparTenSramPowerMw;
+    return p;
+}
+
+Breakdown
+macGridArea(const ArchConfig &arch)
+{
+    const std::int64_t macs = arch.tile.macsPerCycle();
+    const bool a_built = arch.routing.sparseA();
+    const bool b_built = arch.routing.sparseB();
+    const double buf_area = static_cast<double>(macs) *
+                            arch.macBufferDepth *
+                            cal::sparTenBufWordAreaKum2;
+    Breakdown a;
+    a.ctrl = static_cast<double>(macs) * cal::sparTenCtrlAreaKum2 *
+             ((a_built && b_built) ? 1.0 : 0.5);
+    a.abuf = a_built ? buf_area : 0.5 * buf_area;
+    a.bbuf = b_built ? buf_area : 0.5 * buf_area;
+    a.regwr = cal::sparTenRegAreaKum2;
+    a.acc = static_cast<double>(macs) * cal::sparTenAccAreaKum2;
+    a.mul = static_cast<double>(macs) * cal::sparTenMulAreaKum2;
+    a.sram = cal::sparTenSramAreaKum2;
+    return a;
+}
+
+} // namespace
+
+CostReport
+estimateCost(const ArchConfig &arch)
+{
+    arch.validate();
+    CostReport report;
+    if (arch.style == DatapathStyle::MacGrid) {
+        report.powerMw = macGridPower(arch, arch.routing.sparseA(),
+                                      arch.routing.sparseB());
+        report.areaKum2 = macGridArea(arch);
+        return report;
+    }
+    double bw = 1.0;
+    const auto hw = builtHardware(arch, &bw);
+    report.powerMw = vectorPower(hw, bw, arch.tile);
+    report.areaKum2 = vectorArea(hw, bw, arch.tile);
+    return report;
+}
+
+CostReport
+estimateCost(const ArchConfig &arch, DnnCategory cat)
+{
+    arch.validate();
+    CostReport report;
+    if (arch.style == DatapathStyle::MacGrid) {
+        report.powerMw = macGridPower(
+            arch, arch.routing.sparseA() && hasSparseA(cat),
+            arch.routing.sparseB() && hasSparseB(cat));
+        report.areaKum2 = macGridArea(arch);
+        return report;
+    }
+    double built_bw = 1.0;
+    const auto built = builtHardware(arch, &built_bw);
+    const auto active_hw =
+        computeOverhead(arch.effectiveRouting(cat), arch.tile);
+    const double active_bw = arch.effectiveBwScale(cat);
+    const auto p_active = vectorPower(active_hw, active_bw, arch.tile);
+    // Present-but-idle logic burns only the gated fraction; the SRAM
+    // comparison uses the active bandwidth on both sides so banking
+    // provisioned for deeper windows is charged at idle rate too.
+    const auto p_present = vectorPower(built, built_bw, arch.tile);
+    report.powerMw = blend(p_active, p_present);
+    report.areaKum2 = vectorArea(built, built_bw, arch.tile);
+    return report;
+}
+
+double
+densePeakTops(const ArchConfig &arch)
+{
+    return 2.0 * arch.tile.macsPerCycle() * arch.mem.freqGHz / 1000.0;
+}
+
+double
+effectiveTopsPerWatt(const ArchConfig &arch, DnnCategory cat,
+                     double speedup)
+{
+    GRIFFIN_ASSERT(speedup > 0.0, "non-positive speedup ", speedup);
+    const auto cost = estimateCost(arch, cat);
+    return speedup * densePeakTops(arch) /
+           (cost.powerMw.total() / 1000.0);
+}
+
+double
+effectiveTopsPerMm2(const ArchConfig &arch, DnnCategory cat,
+                    double speedup)
+{
+    GRIFFIN_ASSERT(speedup > 0.0, "non-positive speedup ", speedup);
+    const auto cost = estimateCost(arch, cat);
+    return speedup * densePeakTops(arch) /
+           (cost.areaKum2.total() / 1000.0);
+}
+
+} // namespace griffin

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Power and area estimation (paper Table VII) plus the effective
+ * efficiency metrics of Definition V.1.
+ *
+ * For vector-core designs the estimate is structural: the component
+ * counts of arch/overhead.hh priced with the calibrated unit costs of
+ * power/calibration.hh.  Hybrid (Griffin) designs pay the *maximum*
+ * requirement of each component across their morph configurations —
+ * the hardware must contain the widest AMUX, the deepest buffers, and
+ * the union of control of every mode, which is why the paper measures
+ * Griffin only ~1% above Sparse.AB*.
+ *
+ * MacGrid (SparTen) designs use their own structural model: per-MAC
+ * prefix-sum control, unshared accumulators, and 128-deep per-MAC
+ * operand buffers.
+ */
+
+#ifndef GRIFFIN_POWER_COST_MODEL_HH
+#define GRIFFIN_POWER_COST_MODEL_HH
+
+#include "arch/arch_config.hh"
+
+namespace griffin {
+
+/** Component breakdown in Table VII's column order. */
+struct Breakdown
+{
+    double ctrl = 0.0;
+    double shf = 0.0;
+    double abuf = 0.0;
+    double bbuf = 0.0;
+    double regwr = 0.0;
+    double acc = 0.0;
+    double mul = 0.0;
+    double adt = 0.0;
+    double mux = 0.0;
+    double sram = 0.0;
+
+    double
+    total() const
+    {
+        return ctrl + shf + abuf + bbuf + regwr + acc + mul + adt +
+               mux + sram;
+    }
+};
+
+/** Full cost estimate of one architecture. */
+struct CostReport
+{
+    Breakdown powerMw;    ///< milliwatts at 800 MHz / 0.71 V
+    Breakdown areaKum2;   ///< thousands of square microns, 7 nm
+};
+
+/**
+ * Estimate the cost of the *built* hardware: every morph
+ * configuration's union, all components active.  This is the Table
+ * VII comparison view.
+ */
+CostReport estimateCost(const ArchConfig &arch);
+
+/**
+ * Estimate cost while *running* a workload category.  Area is the
+ * built hardware (silicon does not shrink); power gates the sparse
+ * machinery the active configuration does not use down to
+ * `idlePowerFraction` of its full draw, and the SRAM runs at the
+ * category's provisioned bandwidth.  This is what makes a hybrid
+ * design pay only a small "sparsity tax" on dense models
+ * (paper Fig. 8(a)).
+ */
+CostReport estimateCost(const ArchConfig &arch, DnnCategory cat);
+
+/** Residual power of clock-gated idle logic (leakage + clock tree). */
+inline constexpr double idlePowerFraction = 0.25;
+
+/** Peak dense throughput in TOPS (2 ops per MAC). */
+double densePeakTops(const ArchConfig &arch);
+
+/**
+ * Effective power efficiency (Definition V.1):
+ * speedup x dense TOPS / W, at the power drawn running `cat`.
+ */
+double effectiveTopsPerWatt(const ArchConfig &arch, DnnCategory cat,
+                            double speedup);
+
+/**
+ * Effective area efficiency (Definition V.1):
+ * speedup x dense TOPS / mm^2 of built silicon.
+ */
+double effectiveTopsPerMm2(const ArchConfig &arch, DnnCategory cat,
+                           double speedup);
+
+} // namespace griffin
+
+#endif // GRIFFIN_POWER_COST_MODEL_HH

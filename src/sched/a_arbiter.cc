@@ -1,0 +1,45 @@
+#include "sched/a_arbiter.hh"
+
+#include <algorithm>
+
+#include "sched/window_scheduler.hh"
+
+namespace griffin {
+
+ScheduleResult
+scheduleA(const TileViewA &a, const Borrow &da, const Shuffler &shuffler,
+          double advance_cap, bool record)
+{
+    GRIFFIN_ASSERT(shuffler.lanes() == a.lanes(),
+                   "shuffler is ", shuffler.lanes(), " lanes wide, tile ",
+                   a.lanes());
+    GRIFFIN_ASSERT(advance_cap > 0.0, "non-positive advance cap");
+
+    GridSpec grid;
+    grid.steps = a.steps();
+    grid.lanes = a.lanes();
+    grid.rows = a.units();
+    grid.cols = 1;
+
+    SlotQueues queues(grid);
+    for (std::int64_t k1 = 0; k1 < grid.steps; ++k1) {
+        for (int k2 = 0; k2 < grid.lanes; ++k2) {
+            const int lane = shuffler.apply(k1, k2);
+            for (int m = 0; m < grid.rows; ++m)
+                if (a.nonzero(k1, k2, m))
+                    queues.push(k1, lane, m, 0);
+        }
+    }
+
+    BorrowWindow window;
+    window.steps = 1 + da.d1;
+    window.laneDist = da.d2;
+    window.rowDist = da.d3;
+    window.colDist = 0;
+    window.advanceCap = std::min<double>(advance_cap, window.steps);
+    window.budgetCeiling = window.steps;
+
+    return runWindowSchedule(queues, window, record);
+}
+
+} // namespace griffin

@@ -1,0 +1,300 @@
+#include "sched/dual_scheduler.hh"
+
+#include <algorithm>
+
+#include "sched/window_scheduler.hh"
+
+namespace griffin {
+
+namespace {
+
+/**
+ * Asynchronous two-level engine for preprocessed dual sparsity.
+ *
+ * Each PE column owns a BBUF of (1 + da1) compressed entries of its
+ * own stream slice and advances it independently — this is the whole
+ * point of the dual design's per-PE control (Fig. 3) and what lets the
+ * measured speedup compound across both tensors.  Columns are coupled
+ * only through the shared ABUF: the raw A steps every column currently
+ * references must fit in a (1+da1)(1+db1)-step residency window, whose
+ * leading edge streams in at the ASRAM bandwidth.
+ *
+ * Within a column, idle lanes steal across da2 lanes / da3 rows
+ * (cross-column routing was already consumed by stage-1 packing).
+ */
+DualSchedule
+schedulePreprocessed(const TileViewA &a, const RoutingConfig &cfg,
+                     const BSchedule &stream, double advance_cap,
+                     bool record)
+{
+    const int k0 = a.lanes();
+    const int lanes = stream.lanes();
+    const int rows = a.units();
+    const int cols = stream.cols();
+    const std::int64_t entries = stream.cycles();
+    const int bbuf_depth = 1 + cfg.a.d1;
+    const std::int64_t abuf_raw_depth =
+        static_cast<std::int64_t>(1 + cfg.a.d1) * (1 + cfg.b.d1);
+
+    DualSchedule out;
+    out.stage1 = stream.stats();
+    if (entries == 0)
+        return out;
+
+    // Fig. 3 steps 2-3: zero masks of A filtered by B's metadata — a
+    // pair survives only where the stream has an element *and* the
+    // matching A operand is nonzero.  Queues are per (lane, row) slot
+    // within each column; values are entry indices (ascending).
+    const auto slot_of = [&](int l, int m, int j) {
+        return static_cast<std::size_t>((j * rows + m) * lanes + l);
+    };
+    std::vector<std::vector<std::int64_t>> queues(
+        static_cast<std::size_t>(lanes) * rows * cols);
+    std::vector<std::int64_t> remaining(
+        static_cast<std::size_t>(entries * cols), 0);
+    for (std::int64_t c = 0; c < entries; ++c) {
+        for (int j = 0; j < cols; ++j) {
+            for (int l = 0; l < lanes; ++l) {
+                const auto flat_k = stream.flatK(c, l, j);
+                if (flat_k < 0)
+                    continue;
+                const auto k1 = flat_k / k0;
+                const auto k2 = static_cast<int>(flat_k % k0);
+                for (int m = 0; m < rows; ++m) {
+                    if (a.nonzero(k1, k2, m)) {
+                        queues[slot_of(l, m, j)].push_back(c);
+                        ++remaining[static_cast<std::size_t>(c * cols +
+                                                             j)];
+                    }
+                }
+            }
+        }
+    }
+    for (const auto &q : queues)
+        out.effectualPairs += static_cast<std::int64_t>(q.size());
+    if (out.effectualPairs == 0)
+        return out;
+
+    // Per-slot cursors, per-column stream pointers, shared raw window.
+    std::vector<std::size_t> cursor(queues.size(), 0);
+    std::vector<std::int64_t> head(static_cast<std::size_t>(cols), 0);
+    auto skip_drained = [&](int j) {
+        auto &p = head[static_cast<std::size_t>(j)];
+        while (p < entries &&
+               remaining[static_cast<std::size_t>(p * cols + j)] == 0) {
+            ++p;
+        }
+    };
+    for (int j = 0; j < cols; ++j)
+        skip_drained(j);
+
+    const std::int64_t max_raw = stream.rawEnd(entries - 1);
+    std::int64_t frontier =
+        std::min<std::int64_t>(abuf_raw_depth - 1, max_raw);
+    double bw_budget = 0.0;
+
+    std::vector<std::uint8_t> busy(queues.size());
+    struct Offset { int dl, dr; };
+    std::vector<Offset> steals;
+    for (int dl = 0; dl <= cfg.a.d2; ++dl)
+        for (int dr = 0; dr <= cfg.a.d3; ++dr)
+            if (dl || dr)
+                steals.push_back({dl, dr});
+
+    std::int64_t left = out.effectualPairs;
+    auto &st = out.stage2;
+    while (left > 0) {
+        ++st.cycles;
+        std::fill(busy.begin(), busy.end(), 0);
+        std::int64_t consumed_now = 0;
+
+        // An entry is executable when it is inside its column's BBUF
+        // window and its raw span has streamed into the ABUF.
+        auto eligible = [&](int j, std::int64_t e) {
+            if (e >= head[static_cast<std::size_t>(j)] + bbuf_depth)
+                return false;
+            const auto hi = stream.rawHi(e, j);
+            return hi <= frontier;
+        };
+        auto consume = [&](std::size_t src_slot, int j, bool own,
+                           int consumer_lane, int consumer_row) {
+            auto &cur = cursor[src_slot];
+            const auto e = queues[src_slot][cur];
+            ++cur;
+            --remaining[static_cast<std::size_t>(e * cols + j)];
+            --left;
+            ++consumed_now;
+            ++st.ops;
+            if (own)
+                ++st.ownOps;
+            else
+                ++st.stolenOps;
+            if (record) {
+                const int src_lane = static_cast<int>(
+                    src_slot % static_cast<std::size_t>(lanes));
+                const auto flat_k = stream.flatK(e, src_lane, j);
+                const int src_row = static_cast<int>(
+                    (src_slot / static_cast<std::size_t>(lanes)) %
+                    static_cast<std::size_t>(rows));
+                static_cast<void>(consumer_lane);
+                static_cast<void>(consumer_row);
+                out.ops.push_back({flat_k, src_row,
+                                   stream.homeCol(e, src_lane, j),
+                                   st.cycles - 1});
+            }
+        };
+
+        for (int j = 0; j < cols; ++j) {
+            // Pass 1: own queues.
+            for (int m = 0; m < rows; ++m) {
+                for (int l = 0; l < lanes; ++l) {
+                    const auto s = slot_of(l, m, j);
+                    const auto &q = queues[s];
+                    if (cursor[s] < q.size() &&
+                        eligible(j, q[cursor[s]])) {
+                        consume(s, j, true, l, m);
+                        busy[s] = 1;
+                    }
+                }
+            }
+            // Pass 2: lane/row stealing within the column.
+            if (!steals.empty()) {
+                for (int m = 0; m < rows; ++m) {
+                    for (int l = 0; l < lanes; ++l) {
+                        const auto s = slot_of(l, m, j);
+                        if (busy[s])
+                            continue;
+                        for (const auto &off : steals) {
+                            const int sl = l + off.dl;
+                            const int sr = m + off.dr;
+                            if (sl >= lanes || sr >= rows)
+                                continue;
+                            const auto src = slot_of(sl, sr, j);
+                            const auto &q = queues[src];
+                            if (cursor[src] < q.size() &&
+                                eligible(j, q[cursor[src]])) {
+                                consume(src, j, false, l, m);
+                                busy[s] = 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        st.idleSlotCycles +=
+            static_cast<std::int64_t>(queues.size()) - consumed_now;
+        if (left == 0)
+            break;
+
+        // Retire drained entries per column, then slide the shared raw
+        // window: the tail is the lowest raw step any column's oldest
+        // live entry still needs; the frontier streams forward at the
+        // ASRAM rate into the remaining ABUF capacity.
+        std::int64_t tail = max_raw;
+        for (int j = 0; j < cols; ++j) {
+            skip_drained(j);
+            const auto p = head[static_cast<std::size_t>(j)];
+            if (p < entries) {
+                const auto lo = stream.rawLo(p, j);
+                if (lo >= 0)
+                    tail = std::min(tail, lo);
+            }
+        }
+        bw_budget += advance_cap;
+        bool limited = false;
+        while (frontier < max_raw &&
+               frontier < tail + abuf_raw_depth - 1) {
+            if (bw_budget >= 1.0) {
+                bw_budget -= 1.0;
+                ++frontier;
+            } else {
+                limited = true;
+                break;
+            }
+        }
+        if (limited)
+            ++st.bwLimitedCycles;
+        bw_budget = std::min(bw_budget,
+                             static_cast<double>(abuf_raw_depth));
+    }
+    out.cycles = st.cycles;
+    return out;
+}
+
+DualSchedule
+scheduleOnTheFly(const TileViewA &a, const TileViewB &b,
+                 const RoutingConfig &cfg, const Shuffler &shuffler,
+                 double advance_cap, bool record)
+{
+    GRIFFIN_ASSERT(a.steps() == b.steps(),
+                   "A tile has ", a.steps(), " steps, B tile ",
+                   b.steps());
+    GridSpec grid;
+    grid.steps = a.steps();
+    grid.lanes = a.lanes();
+    grid.rows = a.units();
+    grid.cols = b.units();
+
+    SlotQueues queues(grid);
+    for (std::int64_t k1 = 0; k1 < grid.steps; ++k1) {
+        for (int k2 = 0; k2 < grid.lanes; ++k2) {
+            const int lane = shuffler.apply(k1, k2);
+            for (int m = 0; m < grid.rows; ++m) {
+                if (!a.nonzero(k1, k2, m))
+                    continue;
+                for (int j = 0; j < grid.cols; ++j)
+                    if (b.nonzero(k1, k2, j))
+                        queues.push(k1, lane, m, j);
+            }
+        }
+    }
+
+    DualSchedule out;
+    out.effectualPairs = queues.totalElements();
+
+    BorrowWindow window;
+    window.steps = 1 + std::min(cfg.a.d1, cfg.b.d1);
+    window.laneDist = cfg.a.d2 + cfg.b.d2;
+    window.rowDist = cfg.a.d3;
+    window.colDist = cfg.b.d3;
+    window.advanceCap =
+        std::min(advance_cap, static_cast<double>(window.steps));
+    window.budgetCeiling = window.steps;
+
+    auto result = runWindowSchedule(queues, window, record);
+    out.cycles = result.stats.cycles;
+    out.stage2 = result.stats;
+    if (record) {
+        out.ops.reserve(result.ops.size());
+        for (const auto &op : result.ops) {
+            const int orig_k2 = shuffler.invert(op.step, op.lane);
+            out.ops.push_back({op.step * grid.lanes + orig_k2, op.row,
+                               op.col, op.cycle});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+DualSchedule
+scheduleDual(const TileViewA &a, const TileViewB &b,
+             const RoutingConfig &cfg, const Shuffler &shuffler,
+             const BSchedule *b_stream, double advance_cap, bool record)
+{
+    GRIFFIN_ASSERT(cfg.mode == SparsityMode::AB,
+                   "scheduleDual needs a Sparse.AB config, got ",
+                   cfg.str());
+    GRIFFIN_ASSERT(advance_cap > 0.0, "non-positive advance cap");
+    if (cfg.preprocessB) {
+        GRIFFIN_ASSERT(b_stream != nullptr,
+                       "preprocessed dual scheduling needs the B "
+                       "stream");
+        return schedulePreprocessed(a, cfg, *b_stream, advance_cap,
+                                    record);
+    }
+    return scheduleOnTheFly(a, b, cfg, shuffler, advance_cap, record);
+}
+
+} // namespace griffin

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Types shared by the scheduling engines.
+ *
+ * A schedule runs over a *slot grid*: one slot per (lane, row, col)
+ * position of the datapath, each cycle executing at most one effectual
+ * element drawn from a sliding window of temporal steps.  The borrow
+ * window (DESIGN.md Section 3) bounds how far an element may be pulled
+ * across each axis.
+ */
+
+#ifndef GRIFFIN_SCHED_SCHEDULE_HH
+#define GRIFFIN_SCHED_SCHEDULE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+/**
+ * Slot-grid geometry.  Single-sparse B schedules use rows = 1 and
+ * cols = N0; single-sparse A schedules use rows = M0 and cols = 1;
+ * dual schedules use the full M0 x N0 PE grid.
+ */
+struct GridSpec
+{
+    std::int64_t steps = 0; ///< temporal extent (k1 steps or
+                            ///< compressed cycles for dual stage 2)
+    int lanes = 1;          ///< K0 dot-product lanes
+    int rows = 1;           ///< A-side third axis extent
+    int cols = 1;           ///< B-side third axis extent
+
+    std::int64_t slots() const
+    {
+        return static_cast<std::int64_t>(lanes) * rows * cols;
+    }
+
+    std::int64_t
+    slotIndex(int lane, int row, int col) const
+    {
+        GRIFFIN_ASSERT(lane >= 0 && lane < lanes && row >= 0 &&
+                       row < rows && col >= 0 && col < cols,
+                       "slot (", lane, ",", row, ",", col,
+                       ") outside grid ", lanes, "x", rows, "x", cols);
+        return (static_cast<std::int64_t>(col) * rows + row) * lanes +
+               lane;
+    }
+};
+
+/**
+ * Borrow window of one scheduling pass.
+ *
+ * advanceCap models SRAM bandwidth: how many step-costs of new operand
+ * data can stream into the buffers per cycle (baseline = 1).
+ * budgetCeiling is the buffer capacity in the same units — prefetch
+ * cannot run further ahead than the window can hold.
+ */
+struct BorrowWindow
+{
+    int steps = 1;      ///< resident temporal steps (1 + d1)
+    int laneDist = 0;   ///< lookaside reach across lanes
+    int rowDist = 0;    ///< cross-PE reach across rows (A side)
+    int colDist = 0;    ///< cross-PE reach across columns (B side)
+    double advanceCap = 1.0;
+    double budgetCeiling = 1.0;
+};
+
+/**
+ * One executed operation: which element (identified by its original
+ * grid position) ran on which consumer slot at which cycle.  Recorded
+ * only when verification asks for it.
+ */
+struct ScheduledOp
+{
+    std::int64_t step;
+    int lane;
+    int row;
+    int col;
+    int consumerLane;
+    int consumerRow;
+    int consumerCol;
+    std::int64_t cycle;
+};
+
+/** Aggregate counters of one scheduling pass. */
+struct ScheduleStats
+{
+    std::int64_t cycles = 0;      ///< schedule length
+    std::int64_t ops = 0;         ///< effectual elements executed
+    std::int64_t ownOps = 0;      ///< executed in their home slot
+    std::int64_t stolenOps = 0;   ///< executed via borrowing
+    std::int64_t idleSlotCycles = 0; ///< slot-cycles with no work
+    std::int64_t bwLimitedCycles = 0; ///< cycles where the bandwidth
+                                      ///< budget capped the advance
+};
+
+/** Full result of one scheduling pass. */
+struct ScheduleResult
+{
+    ScheduleStats stats;
+    std::vector<ScheduledOp> ops; ///< empty unless recording enabled
+};
+
+/**
+ * Per-slot FIFO queues of effectual element steps.  Elements must be
+ * pushed in increasing step order per slot (the hardware's priority
+ * encoders scan in stream order).
+ */
+class SlotQueues
+{
+  public:
+    explicit SlotQueues(const GridSpec &grid)
+        : grid_(grid), queues_(static_cast<std::size_t>(grid.slots()))
+    {
+    }
+
+    const GridSpec &grid() const { return grid_; }
+
+    void
+    push(std::int64_t step, int lane, int row, int col)
+    {
+        GRIFFIN_ASSERT(step >= 0 && step < grid_.steps,
+                       "step ", step, " outside grid of ", grid_.steps);
+        auto &q = queues_[static_cast<std::size_t>(
+            grid_.slotIndex(lane, row, col))];
+        GRIFFIN_ASSERT(q.empty() || q.back() < step,
+                       "elements must be pushed in increasing step "
+                       "order per slot");
+        q.push_back(step);
+    }
+
+    const std::vector<std::int64_t> &
+    queue(int lane, int row, int col) const
+    {
+        return queues_[static_cast<std::size_t>(
+            grid_.slotIndex(lane, row, col))];
+    }
+
+    std::int64_t
+    totalElements() const
+    {
+        std::int64_t n = 0;
+        for (const auto &q : queues_)
+            n += static_cast<std::int64_t>(q.size());
+        return n;
+    }
+
+    const std::vector<std::vector<std::int64_t>> &raw() const
+    {
+        return queues_;
+    }
+
+  private:
+    GridSpec grid_;
+    std::vector<std::vector<std::int64_t>> queues_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_SCHED_SCHEDULE_HH

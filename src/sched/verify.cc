@@ -1,0 +1,152 @@
+#include "sched/verify.hh"
+
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace griffin {
+
+MatrixI32
+referenceTile(const MatrixI8 &a, const MatrixI8 &b, std::int64_t row_base,
+              std::int64_t col_base, const TileShape &shape)
+{
+    GRIFFIN_ASSERT(a.cols() == b.rows(), "GEMM shape mismatch");
+    MatrixI32 c(shape.m0, shape.n0);
+    for (int m = 0; m < shape.m0; ++m) {
+        for (int n = 0; n < shape.n0; ++n) {
+            std::int32_t acc = 0;
+            for (std::size_t k = 0; k < a.cols(); ++k) {
+                acc += static_cast<std::int32_t>(a.atOrZero(
+                           static_cast<std::size_t>(row_base + m), k)) *
+                       b.atOrZero(k,
+                                  static_cast<std::size_t>(col_base + n));
+            }
+            c.at(m, n) = acc;
+        }
+    }
+    return c;
+}
+
+MatrixI32
+replayBSchedule(const BSchedule &stream, const MatrixI8 &a,
+                const MatrixI8 &b, std::int64_t row_base,
+                std::int64_t col_base, const TileShape &shape)
+{
+    MatrixI32 c(shape.m0, shape.n0);
+    for (std::int64_t cyc = 0; cyc < stream.cycles(); ++cyc) {
+        for (int j = 0; j < stream.cols(); ++j) {
+            for (int l = 0; l < stream.lanes(); ++l) {
+                const auto k = stream.flatK(cyc, l, j);
+                if (k < 0)
+                    continue;
+                const int home = stream.homeCol(cyc, l, j);
+                const std::int32_t bv = b.atOrZero(
+                    static_cast<std::size_t>(k),
+                    static_cast<std::size_t>(col_base + home));
+                for (int m = 0; m < shape.m0; ++m) {
+                    const std::int32_t av = a.atOrZero(
+                        static_cast<std::size_t>(row_base + m),
+                        static_cast<std::size_t>(k));
+                    c.at(m, home) += av * bv;
+                }
+            }
+        }
+    }
+    return c;
+}
+
+MatrixI32
+replayASchedule(const std::vector<ScheduledOp> &ops,
+                const Shuffler &shuffler, const MatrixI8 &a,
+                const MatrixI8 &b, std::int64_t row_base,
+                std::int64_t col_base, const TileShape &shape)
+{
+    MatrixI32 c(shape.m0, shape.n0);
+    for (const auto &op : ops) {
+        const int orig_k2 = shuffler.invert(op.step, op.lane);
+        const auto k = op.step * shape.k0 + orig_k2;
+        const std::int32_t av =
+            a.atOrZero(static_cast<std::size_t>(row_base + op.row),
+                       static_cast<std::size_t>(k));
+        for (int n = 0; n < shape.n0; ++n) {
+            const std::int32_t bv = b.atOrZero(
+                static_cast<std::size_t>(k),
+                static_cast<std::size_t>(col_base + n));
+            c.at(op.row, n) += av * bv;
+        }
+    }
+    return c;
+}
+
+MatrixI32
+replayDualSchedule(const std::vector<DualOp> &ops, const MatrixI8 &a,
+                   const MatrixI8 &b, std::int64_t row_base,
+                   std::int64_t col_base, const TileShape &shape)
+{
+    MatrixI32 c(shape.m0, shape.n0);
+    for (const auto &op : ops) {
+        const std::int32_t av =
+            a.atOrZero(static_cast<std::size_t>(row_base + op.m),
+                       static_cast<std::size_t>(op.flatK));
+        const std::int32_t bv =
+            b.atOrZero(static_cast<std::size_t>(op.flatK),
+                       static_cast<std::size_t>(col_base + op.homeCol));
+        c.at(op.m, op.homeCol) += av * bv;
+    }
+    return c;
+}
+
+bool
+checkScheduleBounds(const std::vector<ScheduledOp> &ops,
+                    const BorrowWindow &window, std::string *err)
+{
+    std::set<std::tuple<std::int64_t, int, int, int>> seen;
+    for (const auto &op : ops) {
+        const auto key =
+            std::make_tuple(op.step, op.lane, op.row, op.col);
+        if (!seen.insert(key).second) {
+            if (err) {
+                std::ostringstream os;
+                os << "element (step " << op.step << ", lane " << op.lane
+                   << ", row " << op.row << ", col " << op.col
+                   << ") executed more than once";
+                *err = os.str();
+            }
+            return false;
+        }
+        const int dl = op.lane - op.consumerLane;
+        const int dr = op.row - op.consumerRow;
+        const int dc = op.col - op.consumerCol;
+        if (dl < 0 || dl > window.laneDist || dr < 0 ||
+            dr > window.rowDist || dc < 0 || dc > window.colDist) {
+            if (err) {
+                std::ostringstream os;
+                os << "borrow (" << dl << "," << dr << "," << dc
+                   << ") outside window (" << window.laneDist << ","
+                   << window.rowDist << "," << window.colDist << ")";
+                *err = os.str();
+            }
+            return false;
+        }
+        // The window starts at step 0 and advances at most
+        // window.steps per cycle, so an element at step s cannot be
+        // visible before cycle ceil((s+1)/W) - 1.
+        const std::int64_t earliest_possible =
+            (op.step + window.steps) / window.steps - 1;
+        if (op.cycle < earliest_possible) {
+            if (err) {
+                std::ostringstream os;
+                os << "element at step " << op.step
+                   << " executed at cycle " << op.cycle
+                   << " before the window could reach it";
+                *err = os.str();
+            }
+            return false;
+        }
+    }
+    if (err)
+        err->clear();
+    return true;
+}
+
+} // namespace griffin

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Functional verification of schedules.
+ *
+ * The paper's analytical model is "verified by a simulator"; here the
+ * simulator itself is verified functionally: every schedule can be
+ * replayed into the C contributions it would compute, which must equal
+ * the reference dense GEMM of the tile — proving that zero skipping
+ * and borrowing reorder work without dropping or duplicating any
+ * effectual operation.
+ */
+
+#ifndef GRIFFIN_SCHED_VERIFY_HH
+#define GRIFFIN_SCHED_VERIFY_HH
+
+#include <string>
+#include <vector>
+
+#include "sched/b_preprocess.hh"
+#include "sched/dual_scheduler.hh"
+#include "sched/schedule.hh"
+#include "tensor/matrix.hh"
+#include "tensor/shuffle.hh"
+#include "tensor/tile.hh"
+
+namespace griffin {
+
+/**
+ * Reference output tile: C[row_base .. row_base+m0) x
+ * [col_base .. col_base+n0) of A x B, zero-padded past the matrix
+ * edges.  The golden value every replay must reproduce.
+ */
+MatrixI32 referenceTile(const MatrixI8 &a, const MatrixI8 &b,
+                        std::int64_t row_base, std::int64_t col_base,
+                        const TileShape &shape);
+
+/**
+ * Replay a preprocessed B stream against one A row tile: each stream
+ * entry multiplies with every resident A row; partial products land in
+ * the entry's home column.
+ */
+MatrixI32 replayBSchedule(const BSchedule &stream, const MatrixI8 &a,
+                          const MatrixI8 &b, std::int64_t row_base,
+                          std::int64_t col_base, const TileShape &shape);
+
+/**
+ * Replay a recorded A schedule against one B column tile: each
+ * executed A element multiplies with the matching B element of every
+ * resident column.
+ */
+MatrixI32 replayASchedule(const std::vector<ScheduledOp> &ops,
+                          const Shuffler &shuffler, const MatrixI8 &a,
+                          const MatrixI8 &b, std::int64_t row_base,
+                          std::int64_t col_base, const TileShape &shape);
+
+/** Replay recorded dual-sparse pair ops. */
+MatrixI32 replayDualSchedule(const std::vector<DualOp> &ops,
+                             const MatrixI8 &a, const MatrixI8 &b,
+                             std::int64_t row_base, std::int64_t col_base,
+                             const TileShape &shape);
+
+/**
+ * Structural checks on recorded ops: every borrow stays within its
+ * window distances (forward-only), and no element executes twice.
+ * Returns true when clean; otherwise false with a diagnostic in *err.
+ */
+bool checkScheduleBounds(const std::vector<ScheduledOp> &ops,
+                         const BorrowWindow &window, std::string *err);
+
+} // namespace griffin
+
+#endif // GRIFFIN_SCHED_VERIFY_HH

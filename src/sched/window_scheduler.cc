@@ -1,0 +1,200 @@
+#include "sched/window_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace griffin {
+
+namespace {
+
+/** Mutable cursor over one slot's queue. */
+struct Cursor
+{
+    const std::vector<std::int64_t> *queue;
+    std::size_t next = 0;
+
+    bool empty() const { return next >= queue->size(); }
+    std::int64_t head() const { return (*queue)[next]; }
+    void pop() { ++next; }
+};
+
+} // namespace
+
+ScheduleResult
+runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
+                  bool record,
+                  const std::vector<std::int64_t> *step_costs)
+{
+    const GridSpec &grid = queues.grid();
+    GRIFFIN_ASSERT(window.steps >= 1, "window of ", window.steps,
+                   " steps");
+    GRIFFIN_ASSERT(window.advanceCap > 0.0,
+                   "advance cap must be positive");
+    GRIFFIN_ASSERT(window.budgetCeiling >= 1.0,
+                   "budget ceiling below one step cost");
+    GRIFFIN_ASSERT(window.laneDist >= 0 && window.rowDist >= 0 &&
+                   window.colDist >= 0, "negative borrow distance");
+    if (step_costs != nullptr) {
+        GRIFFIN_ASSERT(
+            static_cast<std::int64_t>(step_costs->size()) == grid.steps,
+            "step cost vector size ", step_costs->size(),
+            " != steps ", grid.steps);
+        for (auto c : *step_costs)
+            GRIFFIN_ASSERT(c >= 0 && static_cast<double>(c) <=
+                           window.budgetCeiling,
+                           "step cost ", c, " exceeds buffer capacity ",
+                           window.budgetCeiling);
+    }
+
+    ScheduleResult result;
+    std::int64_t remaining = queues.totalElements();
+    if (remaining == 0)
+        return result;
+
+    std::vector<Cursor> cursors;
+    cursors.reserve(static_cast<std::size_t>(grid.slots()));
+    for (const auto &q : queues.raw())
+        cursors.push_back(Cursor{&q});
+
+    // Pre-enumerate steal offsets in priority order: lexicographic in
+    // (lane, row, col) deltas, own slot (0,0,0) excluded — pass 1
+    // handles it.  This mirrors a fixed priority-encoder chain.
+    struct Offset { int dl, dr, dc; };
+    std::vector<Offset> steals;
+    for (int dl = 0; dl <= window.laneDist; ++dl)
+        for (int dr = 0; dr <= window.rowDist; ++dr)
+            for (int dc = 0; dc <= window.colDist; ++dc)
+                if (dl || dr || dc)
+                    steals.push_back({dl, dr, dc});
+
+    const std::int64_t w_limit = window.steps; // max step advance/cycle
+    std::int64_t w = 0;
+    // The first window's worth of operands is loaded during pipeline
+    // fill (accounted by the tile simulator), so the streaming budget
+    // starts empty and accrues advanceCap per cycle.
+    double budget = 0.0;
+    std::vector<std::uint8_t> busy(
+        static_cast<std::size_t>(grid.slots()));
+
+    // Advancing the window base from w to w+1 brings step w+W into
+    // residence; that is the data that must stream in.  Past the end
+    // of the grid nothing enters, so draining the tail is free.
+    auto entering_cost = [&](std::int64_t base) -> double {
+        const std::int64_t entering = base + window.steps;
+        if (entering >= grid.steps)
+            return 0.0;
+        return step_costs == nullptr
+                   ? 1.0
+                   : static_cast<double>((
+                         *step_costs)[static_cast<std::size_t>(
+                         entering)]);
+    };
+
+    while (remaining > 0) {
+        ++result.stats.cycles;
+        const std::int64_t horizon = w + window.steps - 1;
+        std::fill(busy.begin(), busy.end(), 0);
+        std::int64_t consumed_this_cycle = 0;
+
+        auto consume = [&](std::int64_t src_slot, int src_lane,
+                           int src_row, int src_col, int con_lane,
+                           int con_row, int con_col, bool own) {
+            auto &cur = cursors[static_cast<std::size_t>(src_slot)];
+            const std::int64_t step = cur.head();
+            cur.pop();
+            --remaining;
+            ++consumed_this_cycle;
+            ++result.stats.ops;
+            if (own)
+                ++result.stats.ownOps;
+            else
+                ++result.stats.stolenOps;
+            if (record) {
+                result.ops.push_back({step, src_lane, src_row, src_col,
+                                      con_lane, con_row, con_col,
+                                      result.stats.cycles - 1});
+            }
+        };
+
+        // Pass 1: every slot takes its own head if it is in window.
+        for (int col = 0; col < grid.cols; ++col) {
+            for (int row = 0; row < grid.rows; ++row) {
+                for (int lane = 0; lane < grid.lanes; ++lane) {
+                    const auto s = grid.slotIndex(lane, row, col);
+                    auto &cur = cursors[static_cast<std::size_t>(s)];
+                    if (!cur.empty() && cur.head() <= horizon) {
+                        consume(s, lane, row, col, lane, row, col, true);
+                        busy[static_cast<std::size_t>(s)] = 1;
+                    }
+                }
+            }
+        }
+
+        // Pass 2: idle slots steal the earliest eligible neighbour
+        // head, scanning offsets in fixed priority order.
+        if (!steals.empty()) {
+            for (int col = 0; col < grid.cols; ++col) {
+                for (int row = 0; row < grid.rows; ++row) {
+                    for (int lane = 0; lane < grid.lanes; ++lane) {
+                        const auto s = grid.slotIndex(lane, row, col);
+                        if (busy[static_cast<std::size_t>(s)])
+                            continue;
+                        for (const auto &off : steals) {
+                            const int sl = lane + off.dl;
+                            const int sr = row + off.dr;
+                            const int sc = col + off.dc;
+                            if (sl >= grid.lanes || sr >= grid.rows ||
+                                sc >= grid.cols) {
+                                continue;
+                            }
+                            const auto src =
+                                grid.slotIndex(sl, sr, sc);
+                            auto &cur =
+                                cursors[static_cast<std::size_t>(src)];
+                            if (!cur.empty() && cur.head() <= horizon) {
+                                consume(src, sl, sr, sc, lane, row, col,
+                                        false);
+                                busy[static_cast<std::size_t>(s)] = 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        result.stats.idleSlotCycles += grid.slots() - consumed_this_cycle;
+        if (remaining == 0)
+            break;
+
+        // Advance the window tail toward the earliest outstanding
+        // element, bounded by buffer turnover (window depth) and the
+        // SRAM bandwidth budget.
+        std::int64_t min_head = std::numeric_limits<std::int64_t>::max();
+        for (const auto &cur : cursors)
+            if (!cur.empty())
+                min_head = std::min(min_head, cur.head());
+
+        budget = std::min(budget + window.advanceCap,
+                          window.budgetCeiling);
+        std::int64_t advanced = 0;
+        bool bw_limited = false;
+        while (w < min_head && advanced < w_limit) {
+            const double c = entering_cost(w);
+            if (budget >= c) {
+                budget -= c;
+                ++w;
+                ++advanced;
+            } else {
+                bw_limited = true;
+                break;
+            }
+        }
+        if (bw_limited)
+            ++result.stats.bwLimitedCycles;
+    }
+
+    return result;
+}
+
+} // namespace griffin

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The generic sliding-window scheduler every sparse family reuses.
+ *
+ * Cycle-level greedy semantics (DESIGN.md Section 3):
+ *
+ *  1. The window covers steps [w, w + W - 1].
+ *  2. Each cycle, pass 1 lets every slot consume the head of its own
+ *     queue if that head lies in the window; pass 2 lets still-idle
+ *     slots steal the head of a neighbouring queue within
+ *     (laneDist, rowDist, colDist), scanning offsets lexicographically
+ *     — a priority-encoder chain like Bit-Tactical's.
+ *  3. The window tail then advances past drained steps, at most
+ *     `advanceCap` step-costs per cycle (SRAM bandwidth), with unused
+ *     budget accumulating up to `budgetCeiling` (buffer capacity).
+ *
+ * Consequences: max speedup = W (paper observation VI-A(1)); lane
+ * imbalance stalls the window unless laneDist / shuffle spreads load;
+ * cross-PE borrowing needs the extra adder trees accounted elsewhere.
+ *
+ * An optional per-step cost vector supports dual-sparse stage 2, where
+ * each "step" is a compressed B entry spanning several raw A steps.
+ */
+
+#ifndef GRIFFIN_SCHED_WINDOW_SCHEDULER_HH
+#define GRIFFIN_SCHED_WINDOW_SCHEDULER_HH
+
+#include "sched/schedule.hh"
+
+namespace griffin {
+
+/**
+ * Run the window schedule to completion.
+ *
+ * @param queues     per-slot effectual element steps (consumed FIFO)
+ * @param window     borrow window and bandwidth parameters
+ * @param record     when true, every executed op lands in result.ops
+ * @param step_costs optional cost to stream past each step (default 1
+ *                   each); size must equal grid.steps when given
+ */
+ScheduleResult runWindowSchedule(
+    const SlotQueues &queues, const BorrowWindow &window, bool record,
+    const std::vector<std::int64_t> *step_costs = nullptr);
+
+} // namespace griffin
+
+#endif // GRIFFIN_SCHED_WINDOW_SCHEDULER_HH

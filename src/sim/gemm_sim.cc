@@ -1,0 +1,210 @@
+#include "sim/gemm_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "arch/overhead.hh"
+#include "sched/a_arbiter.hh"
+#include "sched/b_preprocess.hh"
+#include "sched/dual_scheduler.hh"
+#include "sim/sampling.hh"
+#include "tensor/shuffle.hh"
+#include "tensor/tile.hh"
+
+namespace griffin {
+
+namespace {
+
+void
+accumulate(ScheduleStats &into, const ScheduleStats &from)
+{
+    into.cycles += from.cycles;
+    into.ops += from.ops;
+    into.ownOps += from.ownOps;
+    into.stolenOps += from.stolenOps;
+    into.idleSlotCycles += from.idleSlotCycles;
+    into.bwLimitedCycles += from.bwLimitedCycles;
+}
+
+/** Count MACs where both operands are nonzero, in O(MK + KN). */
+std::int64_t
+countEffectualOps(const MatrixI8 &a, const MatrixI8 &b)
+{
+    std::int64_t total = 0;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+        std::int64_t a_nnz = 0;
+        for (std::size_t m = 0; m < a.rows(); ++m)
+            a_nnz += a.at(m, k) != 0;
+        std::int64_t b_nnz = 0;
+        for (std::size_t n = 0; n < b.cols(); ++n)
+            b_nnz += b.at(k, n) != 0;
+        total += a_nnz * b_nnz;
+    }
+    return total;
+}
+
+/** Scale a sampled cycle total back to the full population. */
+std::int64_t
+scaleUp(std::int64_t sampled_sum, std::int64_t sampled_count,
+        std::int64_t population)
+{
+    if (sampled_count == 0)
+        return 0;
+    const double scale = static_cast<double>(population) /
+                         static_cast<double>(sampled_count);
+    return static_cast<std::int64_t>(
+        std::llround(static_cast<double>(sampled_sum) * scale));
+}
+
+} // namespace
+
+GemmSimResult
+simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
+             DnnCategory cat, const SimOptions &opt)
+{
+    arch.validate();
+    if (arch.style != DatapathStyle::VectorCore)
+        fatal("simulateGemm handles vector-core architectures; use the "
+              "SparTen simulator in src/baselines for '",
+              arch.name, "'");
+    GRIFFIN_ASSERT(a.cols() == b.rows(), "GEMM shape mismatch: A ",
+                   a.rows(), "x", a.cols(), ", B ", b.rows(), "x",
+                   b.cols());
+    if (opt.sampleFraction <= 0.0 || opt.sampleFraction > 1.0)
+        fatal("sample fraction ", opt.sampleFraction, " outside (0,1]");
+
+    const TileShape &shape = arch.tile;
+    const auto routing = arch.effectiveRouting(cat);
+    const double bw = arch.effectiveBwScale(cat);
+    const auto m = static_cast<std::int64_t>(a.rows());
+    const auto k = static_cast<std::int64_t>(a.cols());
+    const auto n = static_cast<std::int64_t>(b.cols());
+
+    GemmSimResult result;
+    result.denseCycles = denseCycles(m, k, n, shape);
+    result.denseOps = m * k * n;
+    result.effectualOps = countEffectualOps(a, b);
+    const std::int64_t row_tiles = (m + shape.m0 - 1) / shape.m0;
+    const std::int64_t col_tiles = (n + shape.n0 - 1) / shape.n0;
+    result.totalTiles = row_tiles * col_tiles;
+    if (result.totalTiles == 0 || k == 0) {
+        result.totalCycles = 0;
+        return result;
+    }
+
+    Shuffler shuffler(routing.shuffle, shape.k0);
+
+    switch (routing.mode) {
+      case SparsityMode::Dense: {
+        result.computeCycles = result.denseCycles;
+        result.simulatedTiles = result.totalTiles;
+        break;
+      }
+
+      case SparsityMode::B: {
+        // Schedules depend only on B: simulate (a subset of) column
+        // tiles and multiply by the row-tile count.
+        auto picks = sampleTiles(col_tiles, 1, opt.sampleFraction,
+                                 opt.minSampledTiles, opt.seed);
+        std::int64_t sum = 0;
+        for (const auto &t : picks) {
+            TileViewB vb(b, shape, t.row * shape.n0);
+            auto stream = preprocessB(vb, routing.b, shuffler, false);
+            // Runtime is bandwidth-capped even though packing is
+            // offline: replaying the stream can consume at most `bw`
+            // raw A steps per cycle.
+            std::int64_t cycles = stream.cycles();
+            const double min_cycles =
+                static_cast<double>(vb.steps()) / bw;
+            cycles = std::max<std::int64_t>(
+                cycles, static_cast<std::int64_t>(
+                            std::ceil(min_cycles)));
+            sum += cycles;
+            accumulate(result.sched, stream.stats());
+        }
+        result.computeCycles =
+            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
+                    col_tiles) *
+            row_tiles;
+        result.simulatedTiles =
+            static_cast<std::int64_t>(picks.size()) * row_tiles;
+        break;
+      }
+
+      case SparsityMode::A: {
+        auto picks = sampleTiles(row_tiles, 1, opt.sampleFraction,
+                                 opt.minSampledTiles, opt.seed);
+        std::int64_t sum = 0;
+        for (const auto &t : picks) {
+            TileViewA va(a, shape, t.row * shape.m0);
+            auto sched = scheduleA(va, routing.a, shuffler, bw, false);
+            sum += sched.stats.cycles;
+            accumulate(result.sched, sched.stats);
+        }
+        result.computeCycles =
+            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
+                    row_tiles) *
+            col_tiles;
+        result.simulatedTiles =
+            static_cast<std::int64_t>(picks.size()) * col_tiles;
+        break;
+      }
+
+      case SparsityMode::AB: {
+        auto picks =
+            sampleTiles(row_tiles, col_tiles, opt.sampleFraction,
+                        opt.minSampledTiles, opt.seed);
+        // One preprocessed stream per distinct column tile.
+        std::map<std::int64_t, BSchedule> streams;
+        std::int64_t sum = 0;
+        for (const auto &t : picks) {
+            TileViewA va(a, shape, t.row * shape.m0);
+            TileViewB vb(b, shape, t.col * shape.n0);
+            const BSchedule *stream = nullptr;
+            if (routing.preprocessB) {
+                auto it = streams.find(t.col);
+                if (it == streams.end()) {
+                    it = streams
+                             .emplace(t.col,
+                                      preprocessB(vb, routing.b,
+                                                  shuffler, false))
+                             .first;
+                }
+                stream = &it->second;
+            }
+            auto dual = scheduleDual(va, vb, routing, shuffler, stream,
+                                     bw, false);
+            sum += dual.cycles;
+            accumulate(result.sched, dual.stage2);
+        }
+        result.computeCycles =
+            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
+                    result.totalTiles);
+        result.simulatedTiles =
+            static_cast<std::int64_t>(picks.size());
+        break;
+      }
+    }
+
+    // DRAM traffic: A and C stream dense; B streams dense or as the
+    // compressed payload plus metadata when preprocessed.
+    const auto hw = computeOverhead(routing, shape);
+    std::int64_t b_bytes = k * n;
+    if (routing.preprocessB) {
+        const auto nnz_b = static_cast<std::int64_t>(b.nnz());
+        b_bytes = nnz_b + (nnz_b * hw.metadataBits + 7) / 8;
+    }
+    result.dramBytes = m * k + b_bytes + m * n;
+    result.dramCycles = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(result.dramBytes) /
+                  arch.mem.dramBytesPerCycle()));
+
+    result.totalCycles =
+        std::max(result.computeCycles, result.dramCycles) +
+        static_cast<std::int64_t>(opt.drainCyclesPerTile) *
+            result.totalTiles;
+    return result;
+}
+
+} // namespace griffin

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Cycle-level simulation of one GEMM on a vector-core architecture.
+ *
+ * Pulls the scheduling engines together with the memory model:
+ *
+ *   - Sparse.B schedules are computed once per column tile and reused
+ *     by every row tile (they are independent of A's values).
+ *   - Sparse.A schedules are computed once per row tile and reused by
+ *     every column tile.
+ *   - Dual schedules are per tile pair; deterministic sampling keeps
+ *     large layers tractable (sim/sampling.hh).
+ *   - DRAM streams A, B (compressed + metadata when preprocessed) and
+ *     C once per layer; the layer runs at
+ *     max(compute, DRAM transfer) under double buffering.
+ *   - Window advance is capped by the provisioned SRAM bandwidth
+ *     (ArchConfig::effectiveBwScale), the paper's "SRAM BW must scale
+ *     with speedup" constraint.
+ *
+ * MacGrid architectures (SparTen) have their own simulator in
+ * src/baselines; this one panics on them.
+ */
+
+#ifndef GRIFFIN_SIM_GEMM_SIM_HH
+#define GRIFFIN_SIM_GEMM_SIM_HH
+
+#include <cstdint>
+
+#include "arch/arch_config.hh"
+#include "sched/schedule.hh"
+#include "tensor/matrix.hh"
+
+namespace griffin {
+
+/** Simulation knobs. */
+struct SimOptions
+{
+    /**
+     * Fraction of tiles (or tile pairs, for dual sparsity) to
+     * simulate; results are scaled back to the full grid.  1.0 = every
+     * tile.
+     */
+    double sampleFraction = 1.0;
+
+    /** Minimum tiles to simulate regardless of the fraction. */
+    std::int64_t minSampledTiles = 8;
+
+    /** Seed for the sampling phase (not for data generation). */
+    std::uint64_t seed = 1;
+
+    /**
+     * Extra cycles per output tile for pipeline fill and accumulator
+     * drain (output synchronization).  The paper's dense latencies are
+     * compute-dominated, so the default is 0.
+     */
+    int drainCyclesPerTile = 0;
+};
+
+/** Result of simulating one GEMM. */
+struct GemmSimResult
+{
+    std::int64_t denseCycles = 0;   ///< dense-baseline cycles
+    std::int64_t computeCycles = 0; ///< datapath cycles on this arch
+    std::int64_t dramCycles = 0;    ///< DRAM streaming time
+    std::int64_t totalCycles = 0;   ///< max(compute, dram) + drain
+    std::int64_t dramBytes = 0;     ///< A + B(+metadata) + C traffic
+    std::int64_t denseOps = 0;      ///< M*K*N MACs
+    std::int64_t effectualOps = 0;  ///< MACs with both operands nonzero
+    ScheduleStats sched;            ///< summed over simulated tiles
+                                    ///< (unscaled)
+    std::int64_t simulatedTiles = 0;
+    std::int64_t totalTiles = 0;
+
+    /** Normalized speedup over the dense baseline. */
+    double
+    speedup() const
+    {
+        return totalCycles > 0 ? static_cast<double>(denseCycles) /
+                                     static_cast<double>(totalCycles)
+                               : 1.0;
+    }
+};
+
+/**
+ * Simulate C = A x B on `arch` running in workload category `cat`
+ * (the category selects Griffin's morph and the bandwidth
+ * provisioning; non-hybrid architectures use their fixed routing).
+ */
+GemmSimResult simulateGemm(const MatrixI8 &a, const MatrixI8 &b,
+                           const ArchConfig &arch, DnnCategory cat,
+                           const SimOptions &opt = {});
+
+} // namespace griffin
+
+#endif // GRIFFIN_SIM_GEMM_SIM_HH

@@ -1,0 +1,58 @@
+#include "sim/sampling.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+std::vector<TileCoord>
+sampleTiles(std::int64_t rows, std::int64_t cols, double fraction,
+            std::int64_t min_tiles, std::uint64_t seed)
+{
+    GRIFFIN_ASSERT(rows >= 0 && cols >= 0, "negative tile grid");
+    GRIFFIN_ASSERT(fraction > 0.0, "non-positive sample fraction ",
+                   fraction);
+    const std::int64_t total = rows * cols;
+    std::vector<TileCoord> out;
+    if (total == 0)
+        return out;
+
+    std::int64_t want = total;
+    if (fraction < 1.0) {
+        want = static_cast<std::int64_t>(
+            static_cast<double>(total) * fraction + 0.5);
+        want = std::clamp<std::int64_t>(want,
+                                        std::min(min_tiles, total),
+                                        total);
+        want = std::max<std::int64_t>(want, 1);
+    }
+
+    out.reserve(static_cast<std::size_t>(want));
+    if (want == total) {
+        for (std::int64_t r = 0; r < rows; ++r)
+            for (std::int64_t c = 0; c < cols; ++c)
+                out.push_back({r, c});
+        return out;
+    }
+
+    // Even stride over the flattened grid with a seed-derived phase.
+    // Using exact integer arithmetic keeps every index distinct:
+    // flat_i = floor((i + phase01) * total / want) mod total.
+    const std::int64_t phase =
+        static_cast<std::int64_t>(seed % static_cast<std::uint64_t>(
+                                             std::max<std::int64_t>(
+                                                 total / want, 1)));
+    for (std::int64_t i = 0; i < want; ++i) {
+        const std::int64_t flat = (i * total / want + phase) % total;
+        out.push_back({flat / cols, flat % cols});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TileCoord &a, const TileCoord &b) {
+                  return a.row != b.row ? a.row < b.row : a.col < b.col;
+              });
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace griffin

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Deterministic strided tile sampling.
+ *
+ * End-to-end networks are billions of MACs and the benches sweep
+ * dozens of configurations; simulating every tile of every layer is
+ * wasteful because tiles of one layer are statistically exchangeable
+ * (same shapes, same sparsity process).  The sampler picks an
+ * evenly-strided, seed-phased subset of the R x C tile grid; the
+ * simulator scales the sampled cycle total back up.  Tests compare
+ * sampled against exact results on small layers.
+ */
+
+#ifndef GRIFFIN_SIM_SAMPLING_HH
+#define GRIFFIN_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace griffin {
+
+/** One sampled tile coordinate. */
+struct TileCoord
+{
+    std::int64_t row; ///< row-tile index (A side)
+    std::int64_t col; ///< column-tile index (B side)
+
+    bool operator==(const TileCoord &) const = default;
+};
+
+/**
+ * Pick ~fraction of the rows x cols grid, at least min_tiles (clamped
+ * to the grid size), spread with an even stride whose phase is derived
+ * from the seed so different layers sample different positions.
+ * fraction >= 1 returns every tile.
+ */
+std::vector<TileCoord> sampleTiles(std::int64_t rows, std::int64_t cols,
+                                   double fraction,
+                                   std::int64_t min_tiles,
+                                   std::uint64_t seed);
+
+} // namespace griffin
+
+#endif // GRIFFIN_SIM_SAMPLING_HH

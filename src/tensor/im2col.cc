@@ -1,0 +1,118 @@
+#include "tensor/im2col.hh"
+
+namespace griffin {
+
+void
+ConvShape::validate() const
+{
+    if (cin <= 0 || h <= 0 || w <= 0 || r <= 0 || s <= 0 || cout <= 0)
+        fatal("conv shape has non-positive dimension");
+    if (stride <= 0)
+        fatal("conv stride must be positive, got ", stride);
+    if (pad < 0)
+        fatal("conv padding must be non-negative, got ", pad);
+    if (groups <= 0 || cin % groups != 0 || cout % groups != 0)
+        fatal("conv groups=", groups, " must divide cin=", cin,
+              " and cout=", cout);
+    if (h + 2 * pad < r || w + 2 * pad < s)
+        fatal("filter ", r, "x", s, " larger than padded input ",
+              h + 2 * pad, "x", w + 2 * pad);
+}
+
+MatrixI8
+im2col(const FeatureMap &input, const ConvShape &shape, int group)
+{
+    shape.validate();
+    GRIFFIN_ASSERT(input.channels() == shape.cin,
+                   "input has ", input.channels(), " channels, shape says ",
+                   shape.cin);
+    GRIFFIN_ASSERT(group >= 0 && group < shape.groups,
+                   "group ", group, " out of ", shape.groups);
+
+    const int cg = shape.cin / shape.groups;
+    const int c_base = group * cg;
+    const int ho = shape.outH();
+    const int wo = shape.outW();
+
+    MatrixI8 a(static_cast<std::size_t>(ho) * wo,
+               static_cast<std::size_t>(cg) * shape.r * shape.s);
+    for (int y = 0; y < ho; ++y) {
+        for (int x = 0; x < wo; ++x) {
+            const std::size_t row = static_cast<std::size_t>(y) * wo + x;
+            std::size_t col = 0;
+            for (int c = 0; c < cg; ++c) {
+                for (int dy = 0; dy < shape.r; ++dy) {
+                    for (int dx = 0; dx < shape.s; ++dx, ++col) {
+                        const int iy = y * shape.stride + dy - shape.pad;
+                        const int ix = x * shape.stride + dx - shape.pad;
+                        a.at(row, col) =
+                            input.atOrZero(c_base + c, iy, ix);
+                    }
+                }
+            }
+        }
+    }
+    return a;
+}
+
+MatrixI8
+kernelMatrix(const MatrixI8 &kernels, const ConvShape &shape, int group)
+{
+    shape.validate();
+    const int cg = shape.cin / shape.groups;
+    const int ng = shape.cout / shape.groups;
+    const std::size_t k_per_group =
+        static_cast<std::size_t>(cg) * shape.r * shape.s;
+    GRIFFIN_ASSERT(kernels.rows() == static_cast<std::size_t>(shape.cout) &&
+                   kernels.cols() == k_per_group,
+                   "kernel matrix is ", kernels.rows(), "x", kernels.cols(),
+                   ", expected ", shape.cout, "x", k_per_group);
+    GRIFFIN_ASSERT(group >= 0 && group < shape.groups,
+                   "group ", group, " out of ", shape.groups);
+
+    MatrixI8 b(k_per_group, ng);
+    for (int n = 0; n < ng; ++n) {
+        const std::size_t oc = static_cast<std::size_t>(group) * ng + n;
+        for (std::size_t k = 0; k < k_per_group; ++k)
+            b.at(k, n) = kernels.at(oc, k);
+    }
+    return b;
+}
+
+MatrixI32
+convRef(const FeatureMap &input, const MatrixI8 &kernels,
+        const ConvShape &shape)
+{
+    shape.validate();
+    const int cg = shape.cin / shape.groups;
+    const int ng = shape.cout / shape.groups;
+    const int ho = shape.outH();
+    const int wo = shape.outW();
+
+    MatrixI32 out(shape.cout, static_cast<std::size_t>(ho) * wo);
+    for (int oc = 0; oc < shape.cout; ++oc) {
+        const int group = oc / ng;
+        const int c_base = group * cg;
+        for (int y = 0; y < ho; ++y) {
+            for (int x = 0; x < wo; ++x) {
+                std::int32_t acc = 0;
+                std::size_t k = 0;
+                for (int c = 0; c < cg; ++c) {
+                    for (int dy = 0; dy < shape.r; ++dy) {
+                        for (int dx = 0; dx < shape.s; ++dx, ++k) {
+                            const int iy = y * shape.stride + dy - shape.pad;
+                            const int ix = x * shape.stride + dx - shape.pad;
+                            acc += static_cast<std::int32_t>(
+                                       input.atOrZero(c_base + c, iy, ix)) *
+                                   kernels.at(oc, k);
+                        }
+                    }
+                }
+                out.at(oc, static_cast<std::size_t>(y) * wo + x) = acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace griffin

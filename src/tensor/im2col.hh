@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Convolution-to-GEMM lowering (im2col) and the naive convolution
+ * reference it is tested against.
+ *
+ * The paper maps a convolution layer onto the GEMM core as
+ *   A: (Hout*Wout) x (Cin*R*S)   — unfolded input patches
+ *   B: (Cin*R*S) x Cout          — flattened kernels
+ * (Section II-A).  Grouped convolution (MobileNetV2 depthwise layers)
+ * lowers each group independently.
+ */
+
+#ifndef GRIFFIN_TENSOR_IM2COL_HH
+#define GRIFFIN_TENSOR_IM2COL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.hh"
+
+namespace griffin {
+
+/**
+ * Channel-major 3-D feature map (c, y, x) with INT8 elements.
+ */
+class FeatureMap
+{
+  public:
+    FeatureMap(int channels, int height, int width)
+        : channels_(channels), height_(height), width_(width),
+          data_(static_cast<std::size_t>(channels) * height * width, 0)
+    {
+        GRIFFIN_ASSERT(channels > 0 && height > 0 && width > 0,
+                       "degenerate feature map ", channels, "x", height,
+                       "x", width);
+    }
+
+    int channels() const { return channels_; }
+    int height() const { return height_; }
+    int width() const { return width_; }
+
+    std::int8_t &
+    at(int c, int y, int x)
+    {
+        GRIFFIN_ASSERT(c >= 0 && c < channels_ && y >= 0 && y < height_ &&
+                       x >= 0 && x < width_,
+                       "feature map index (", c, ",", y, ",", x,
+                       ") out of range");
+        return data_[(static_cast<std::size_t>(c) * height_ + y) * width_ +
+                     x];
+    }
+
+    std::int8_t
+    at(int c, int y, int x) const
+    {
+        return const_cast<FeatureMap *>(this)->at(c, y, x);
+    }
+
+    /** Zero outside the map: implements zero padding. */
+    std::int8_t
+    atOrZero(int c, int y, int x) const
+    {
+        if (c < 0 || c >= channels_ || y < 0 || y >= height_ || x < 0 ||
+            x >= width_) {
+            return 0;
+        }
+        return at(c, y, x);
+    }
+
+  private:
+    int channels_;
+    int height_;
+    int width_;
+    std::vector<std::int8_t> data_;
+};
+
+/** Convolution geometry. */
+struct ConvShape
+{
+    int cin = 1;    ///< input channels
+    int h = 1;      ///< input height
+    int w = 1;      ///< input width
+    int r = 1;      ///< filter height
+    int s = 1;      ///< filter width
+    int cout = 1;   ///< output channels
+    int stride = 1;
+    int pad = 0;
+    int groups = 1; ///< grouped conv; cin and cout divisible by groups
+
+    int outH() const { return (h + 2 * pad - r) / stride + 1; }
+    int outW() const { return (w + 2 * pad - s) / stride + 1; }
+
+    /** GEMM M dimension per group. */
+    std::int64_t gemmM() const
+    {
+        return static_cast<std::int64_t>(outH()) * outW();
+    }
+    /** GEMM K dimension per group. */
+    std::int64_t gemmK() const
+    {
+        return static_cast<std::int64_t>(cin / groups) * r * s;
+    }
+    /** GEMM N dimension per group. */
+    std::int64_t gemmN() const { return cout / groups; }
+
+    /** MAC count of the whole layer (all groups). */
+    std::int64_t macs() const
+    {
+        return gemmM() * gemmK() * gemmN() * groups;
+    }
+
+    /** Sanity-check the geometry; fatal() on user error. */
+    void validate() const;
+};
+
+/**
+ * Unfold one group of the input into the A matrix:
+ * rows = output pixels (y*outW + x), cols = (c, dy, dx) flattened.
+ *
+ * @param group which group's channels to unfold (0-based).
+ */
+MatrixI8 im2col(const FeatureMap &input, const ConvShape &shape,
+                int group = 0);
+
+/**
+ * Flatten one group of kernels into the B matrix: rows = (c, dy, dx),
+ * cols = output channel within the group.  `kernels` holds
+ * cout x (cinPerGroup*r*s) weights, row per output channel.
+ */
+MatrixI8 kernelMatrix(const MatrixI8 &kernels, const ConvShape &shape,
+                      int group = 0);
+
+/**
+ * Naive direct convolution used as the golden reference for the
+ * im2col + GEMM path.  Returns (cout, outH, outW) results flattened to
+ * a matrix of cout rows x (outH*outW) cols in INT32.
+ */
+MatrixI32 convRef(const FeatureMap &input, const MatrixI8 &kernels,
+                  const ConvShape &shape);
+
+} // namespace griffin
+
+#endif // GRIFFIN_TENSOR_IM2COL_HH

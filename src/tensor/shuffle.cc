@@ -1,0 +1,16 @@
+#include "tensor/shuffle.hh"
+
+namespace griffin {
+
+Shuffler::Shuffler(bool enabled, int lanes, int group_size)
+    : enabled_(enabled), lanes_(lanes), groupSize_(group_size)
+{
+    GRIFFIN_ASSERT(lanes > 0, "lanes must be positive, got ", lanes);
+    if (enabled) {
+        GRIFFIN_ASSERT(group_size > 0 && lanes % group_size == 0,
+                       "group size ", group_size,
+                       " must divide lane count ", lanes);
+    }
+}
+
+} // namespace griffin

@@ -1,0 +1,16 @@
+#include "tensor/tile.hh"
+
+namespace griffin {
+
+std::int64_t
+denseCycles(std::int64_t m, std::int64_t k, std::int64_t n,
+            const TileShape &shape)
+{
+    GRIFFIN_ASSERT(m >= 0 && k >= 0 && n >= 0,
+                   "negative GEMM dimension (", m, ",", k, ",", n, ")");
+    const auto row_tiles = (m + shape.m0 - 1) / shape.m0;
+    const auto col_tiles = (n + shape.n0 - 1) / shape.n0;
+    return row_tiles * col_tiles * stepsForK(k, shape.k0);
+}
+
+} // namespace griffin

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * AlexNet (Krizhevsky et al.), the classic two-group Caffe variant,
+ * pruned per Deep Compression [20] (Table IV row 1).
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+NetworkSpec
+alexNet()
+{
+    using netutil::conv;
+    NetworkSpec net;
+    net.name = "AlexNet";
+    net.weightSparsity = 0.89;
+    net.actSparsity = 0.53;
+    net.accuracy = "57.3% (top-1)";
+    net.paperDenseCycles = 1'000'000;
+
+    // 227x227x3 input; pooling between stages halves the grid.
+    auto conv1 = conv("conv1", 3, 55, 11, 11, 96);
+    // The first convolution sees raw pixels (dense) and is pruned far
+    // less aggressively than the rest of the model [20].
+    conv1.actSparsity = 0.0;
+    conv1.weightSparsity = 0.4;
+    net.layers.push_back(conv1);
+    net.layers.push_back(conv("conv2", 96, 27, 5, 5, 256, 2));
+    net.layers.push_back(conv("conv3", 256, 13, 3, 3, 384));
+    net.layers.push_back(conv("conv4", 384, 13, 3, 3, 384, 2));
+    net.layers.push_back(conv("conv5", 384, 13, 3, 3, 256, 2));
+    net.layers.push_back(fcLayer("fc6", 9216, 4096));
+    net.layers.push_back(fcLayer("fc7", 4096, 4096));
+    net.layers.push_back(fcLayer("fc8", 4096, 1000));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

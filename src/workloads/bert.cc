@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BERT-base fine-tuned on MNLI, sequence length 64, movement-pruned
+ * per [57] (Table IV row 6).  GeLU keeps activations dense
+ * (A sparsity 0), so BERT is the suite's DNN.B representative.
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+NetworkSpec
+bertBase()
+{
+    NetworkSpec net;
+    net.name = "BERT";
+    net.weightSparsity = 0.82;
+    net.actSparsity = 0.0;
+    net.accuracy = "81.0% Dev / 81.4% MM";
+    net.paperDenseCycles = 5'300'000;
+
+    constexpr std::int64_t seq = 64;
+    constexpr std::int64_t hidden = 768;
+    constexpr std::int64_t ffn = 3072;
+    constexpr int heads = 12;
+    constexpr std::int64_t head_dim = hidden / heads;
+    constexpr std::int64_t blocks = 12;
+
+    auto repeat = [&](LayerSpec layer) {
+        layer.repeat = blocks;
+        net.layers.push_back(layer);
+    };
+
+    repeat(fcLayer("attn/query", hidden, hidden, seq));
+    repeat(fcLayer("attn/key", hidden, hidden, seq));
+    repeat(fcLayer("attn/value", hidden, hidden, seq));
+
+    // Q x K^T and P x V are activation-activation GEMMs, one per head:
+    // neither operand is a pruned weight and softmax output is dense.
+    LayerSpec scores;
+    scores.name = "attn/scores";
+    scores.m = seq;
+    scores.k = head_dim;
+    scores.n = seq;
+    scores.groups = heads;
+    scores.weightSparsity = 0.0;
+    scores.actSparsity = 0.0;
+    repeat(scores);
+
+    LayerSpec context = scores;
+    context.name = "attn/context";
+    context.k = seq;
+    context.n = head_dim;
+    repeat(context);
+
+    repeat(fcLayer("attn/output", hidden, hidden, seq));
+    repeat(fcLayer("ffn/intermediate", hidden, ffn, seq));
+    repeat(fcLayer("ffn/output", ffn, hidden, seq));
+
+    net.layers.push_back(fcLayer("classifier", hidden, 3, 1));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * GoogLeNet / Inception-v1 (Szegedy et al.), pruned per [51]
+ * (Table IV row 2).
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+namespace {
+
+/**
+ * One inception module: four parallel branches over the same grid.
+ * Branch channel counts follow the original paper's Table 1.
+ */
+void
+inception(NetworkSpec &net, const std::string &name, int hw, int cin,
+          int c1x1, int c3r, int c3, int c5r, int c5, int cpool)
+{
+    using netutil::conv;
+    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, c1x1));
+    net.layers.push_back(conv(name + "/3x3_reduce", cin, hw, 1, 1, c3r));
+    net.layers.push_back(conv(name + "/3x3", c3r, hw, 3, 3, c3));
+    net.layers.push_back(conv(name + "/5x5_reduce", cin, hw, 1, 1, c5r));
+    net.layers.push_back(conv(name + "/5x5", c5r, hw, 5, 5, c5));
+    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, cpool));
+}
+
+} // namespace
+
+NetworkSpec
+googleNet()
+{
+    using netutil::conv;
+    NetworkSpec net;
+    net.name = "GoogLeNet";
+    net.weightSparsity = 0.82;
+    net.actSparsity = 0.37;
+    net.accuracy = "68.2% (top-1)";
+    net.paperDenseCycles = 2'200'000;
+
+    auto stem = conv("conv1/7x7_s2", 3, 112, 7, 7, 64);
+    stem.actSparsity = 0.0;
+    stem.weightSparsity = 0.4;
+    net.layers.push_back(stem);
+    net.layers.push_back(conv("conv2/3x3_reduce", 64, 56, 1, 1, 64));
+    net.layers.push_back(conv("conv2/3x3", 64, 56, 3, 3, 192));
+
+    inception(net, "inception_3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(net, "inception_3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    inception(net, "inception_4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(net, "inception_4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(net, "inception_4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(net, "inception_4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(net, "inception_4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    inception(net, "inception_5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(net, "inception_5b", 7, 832, 384, 192, 384, 48, 128, 128);
+
+    net.layers.push_back(fcLayer("loss3/classifier", 1024, 1000));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

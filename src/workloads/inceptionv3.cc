@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Inception-V3 (Szegedy et al.), pruned per [73] (Table IV row 4).
+ * Branch channel counts follow the reference TensorFlow slim model.
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+namespace {
+
+using netutil::conv;
+
+/** 35x35 module: 1x1, 5x5 (factor 48), double-3x3 (64->96->96),
+ *  pool-proj. */
+void
+inceptionA(NetworkSpec &net, const std::string &name, int cin,
+           int cpool)
+{
+    const int hw = 35;
+    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 64));
+    net.layers.push_back(conv(name + "/5x5_reduce", cin, hw, 1, 1, 48));
+    net.layers.push_back(conv(name + "/5x5", 48, hw, 5, 5, 64));
+    net.layers.push_back(conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 64));
+    net.layers.push_back(conv(name + "/3x3dbl_1", 64, hw, 3, 3, 96));
+    net.layers.push_back(conv(name + "/3x3dbl_2", 96, hw, 3, 3, 96));
+    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, cpool));
+}
+
+/** 17x17 module with factorized 7x7 convolutions of width c7. */
+void
+inceptionB(NetworkSpec &net, const std::string &name, int c7)
+{
+    const int hw = 17, cin = 768;
+    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 192));
+    net.layers.push_back(conv(name + "/7x7_reduce", cin, hw, 1, 1, c7));
+    net.layers.push_back(conv(name + "/1x7", c7, hw, 1, 7, c7));
+    net.layers.push_back(conv(name + "/7x1", c7, hw, 7, 1, 192));
+    net.layers.push_back(conv(name + "/7x7dbl_reduce", cin, hw, 1, 1, c7));
+    net.layers.push_back(conv(name + "/7x7dbl_1", c7, hw, 7, 1, c7));
+    net.layers.push_back(conv(name + "/7x7dbl_2", c7, hw, 1, 7, c7));
+    net.layers.push_back(conv(name + "/7x7dbl_3", c7, hw, 7, 1, c7));
+    net.layers.push_back(conv(name + "/7x7dbl_4", c7, hw, 1, 7, 192));
+    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, 192));
+}
+
+/** 8x8 module with split 3x3 branches. */
+void
+inceptionC(NetworkSpec &net, const std::string &name, int cin)
+{
+    const int hw = 8;
+    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 320));
+    net.layers.push_back(conv(name + "/3x3_reduce", cin, hw, 1, 1, 384));
+    net.layers.push_back(conv(name + "/3x3_a", 384, hw, 1, 3, 384));
+    net.layers.push_back(conv(name + "/3x3_b", 384, hw, 3, 1, 384));
+    net.layers.push_back(conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 448));
+    net.layers.push_back(conv(name + "/3x3dbl_1", 448, hw, 3, 3, 384));
+    net.layers.push_back(conv(name + "/3x3dbl_2a", 384, hw, 1, 3, 384));
+    net.layers.push_back(conv(name + "/3x3dbl_2b", 384, hw, 3, 1, 384));
+    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, 192));
+}
+
+} // namespace
+
+NetworkSpec
+inceptionV3()
+{
+    NetworkSpec net;
+    net.name = "InceptionV3";
+    net.weightSparsity = 0.79;
+    net.actSparsity = 0.46;
+    net.accuracy = "75.1% (top-1)";
+    net.paperDenseCycles = 6'900'000;
+
+    // Stem on a 299x299 input.
+    auto stem = conv("conv1_3x3_s2", 3, 149, 3, 3, 32);
+    stem.actSparsity = 0.0;
+    stem.weightSparsity = 0.4;
+    net.layers.push_back(stem);
+    net.layers.push_back(conv("conv2_3x3", 32, 147, 3, 3, 32));
+    net.layers.push_back(conv("conv3_3x3", 32, 147, 3, 3, 64));
+    net.layers.push_back(conv("conv4_1x1", 64, 73, 1, 1, 80));
+    net.layers.push_back(conv("conv5_3x3", 80, 71, 3, 3, 192));
+
+    inceptionA(net, "mixed_a1", 192, 32);
+    inceptionA(net, "mixed_a2", 256, 64);
+    inceptionA(net, "mixed_a3", 288, 64);
+
+    // Reduction A: 35 -> 17.
+    net.layers.push_back(conv("red_a/3x3_s2", 288, 17, 3, 3, 384));
+    net.layers.push_back(conv("red_a/3x3dbl_reduce", 288, 35, 1, 1, 64));
+    net.layers.push_back(conv("red_a/3x3dbl_1", 64, 35, 3, 3, 96));
+    net.layers.push_back(conv("red_a/3x3dbl_2_s2", 96, 17, 3, 3, 96));
+
+    inceptionB(net, "mixed_b1", 128);
+    inceptionB(net, "mixed_b2", 160);
+    inceptionB(net, "mixed_b3", 160);
+    inceptionB(net, "mixed_b4", 192);
+
+    // Reduction B: 17 -> 8.
+    net.layers.push_back(conv("red_b/3x3_reduce", 768, 17, 1, 1, 192));
+    net.layers.push_back(conv("red_b/3x3_s2", 192, 8, 3, 3, 320));
+    net.layers.push_back(conv("red_b/7x7_reduce", 768, 17, 1, 1, 192));
+    net.layers.push_back(conv("red_b/1x7", 192, 17, 1, 7, 192));
+    net.layers.push_back(conv("red_b/7x1", 192, 17, 7, 1, 192));
+    net.layers.push_back(conv("red_b/3x3dbl_s2", 192, 8, 3, 3, 192));
+
+    inceptionC(net, "mixed_c1", 1280);
+    inceptionC(net, "mixed_c2", 2048);
+
+    net.layers.push_back(fcLayer("fc", 2048, 1000));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

@@ -1,0 +1,46 @@
+#include "workloads/layer.hh"
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+void
+LayerSpec::validate() const
+{
+    if (m <= 0 || k <= 0 || n <= 0)
+        fatal("layer '", name, "' has non-positive GEMM dims (", m, ",",
+              k, ",", n, ")");
+    if (groups <= 0 || repeat <= 0)
+        fatal("layer '", name, "' has non-positive groups/repeat");
+    if (weightSparsity > 1.0 || actSparsity > 1.0)
+        fatal("layer '", name, "' has sparsity above 1");
+}
+
+LayerSpec
+convLayer(const std::string &name, const ConvShape &shape)
+{
+    shape.validate();
+    LayerSpec layer;
+    layer.name = name;
+    layer.m = shape.gemmM();
+    layer.k = shape.gemmK();
+    layer.n = shape.gemmN();
+    layer.groups = shape.groups;
+    layer.validate();
+    return layer;
+}
+
+LayerSpec
+fcLayer(const std::string &name, std::int64_t in, std::int64_t out,
+        std::int64_t batch)
+{
+    LayerSpec layer;
+    layer.name = name;
+    layer.m = batch;
+    layer.k = in;
+    layer.n = out;
+    layer.validate();
+    return layer;
+}
+
+} // namespace griffin

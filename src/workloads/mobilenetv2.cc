@@ -1,0 +1,83 @@
+/**
+ * @file
+ * MobileNetV2 (Sandler et al.), sparsified per RigL [16]
+ * (Table IV row 5).  Depthwise convolutions lower to per-channel
+ * grouped GEMMs.
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+namespace {
+
+using netutil::conv;
+
+/**
+ * One inverted residual block: 1x1 expansion (skipped when t = 1),
+ * 3x3 depthwise at `stride`, 1x1 linear projection.  Depthwise
+ * weights are customarily left unpruned (they are <1% of parameters);
+ * the linear projection has no ReLU after it, so the following
+ * expansion sees denser activations — modelled via the block output.
+ */
+void
+invertedResidual(NetworkSpec &net, const std::string &name, int hw_in,
+                 int cin, int cout, int stride, int t)
+{
+    const int expanded = cin * t;
+    const int hw_out = hw_in / stride;
+    if (t != 1) {
+        net.layers.push_back(
+            conv(name + "/expand", cin, hw_in, 1, 1, expanded));
+    }
+    auto dw = conv(name + "/depthwise", expanded, hw_out, 3, 3, expanded,
+                   /*groups=*/expanded);
+    dw.weightSparsity = 0.0;
+    net.layers.push_back(dw);
+    auto project = conv(name + "/project", expanded, hw_out, 1, 1, cout);
+    net.layers.push_back(project);
+}
+
+} // namespace
+
+NetworkSpec
+mobileNetV2()
+{
+    NetworkSpec net;
+    net.name = "MobileNetV2";
+    net.weightSparsity = 0.81;
+    net.actSparsity = 0.52;
+    net.accuracy = "67.5% (top-1)";
+    net.paperDenseCycles = 2'200'000;
+
+    auto stem = conv("conv0", 3, 112, 3, 3, 32);
+    stem.actSparsity = 0.0;
+    stem.weightSparsity = 0.4;
+    net.layers.push_back(stem);
+
+    invertedResidual(net, "block1", 112, 32, 16, 1, 1);
+    invertedResidual(net, "block2", 112, 16, 24, 2, 6);
+    invertedResidual(net, "block3", 56, 24, 24, 1, 6);
+    invertedResidual(net, "block4", 56, 24, 32, 2, 6);
+    invertedResidual(net, "block5", 28, 32, 32, 1, 6);
+    invertedResidual(net, "block6", 28, 32, 32, 1, 6);
+    invertedResidual(net, "block7", 28, 32, 64, 2, 6);
+    invertedResidual(net, "block8", 14, 64, 64, 1, 6);
+    invertedResidual(net, "block9", 14, 64, 64, 1, 6);
+    invertedResidual(net, "block10", 14, 64, 64, 1, 6);
+    invertedResidual(net, "block11", 14, 64, 96, 1, 6);
+    invertedResidual(net, "block12", 14, 96, 96, 1, 6);
+    invertedResidual(net, "block13", 14, 96, 96, 1, 6);
+    invertedResidual(net, "block14", 14, 96, 160, 2, 6);
+    invertedResidual(net, "block15", 7, 160, 160, 1, 6);
+    invertedResidual(net, "block16", 7, 160, 160, 1, 6);
+    invertedResidual(net, "block17", 7, 160, 320, 1, 6);
+
+    net.layers.push_back(conv("conv_last", 320, 7, 1, 1, 1280));
+    net.layers.push_back(fcLayer("fc", 1280, 1000));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

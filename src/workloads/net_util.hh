@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared helpers for encoding network layer tables.
+ */
+
+#ifndef GRIFFIN_WORKLOADS_NET_UTIL_HH
+#define GRIFFIN_WORKLOADS_NET_UTIL_HH
+
+#include <string>
+
+#include "workloads/layer.hh"
+
+namespace griffin {
+namespace netutil {
+
+/**
+ * Convolution lowered to GEMM from its *output* geometry (square
+ * hw x hw grid): padding and stride are already folded into the
+ * output size, which keeps asymmetric ("same") paddings trivial.
+ */
+inline LayerSpec
+conv(const std::string &name, int cin, int hw, int r, int s, int cout,
+     int groups = 1)
+{
+    LayerSpec layer;
+    layer.name = name;
+    layer.m = static_cast<std::int64_t>(hw) * hw;
+    layer.k = static_cast<std::int64_t>(cin / groups) * r * s;
+    layer.n = cout / groups;
+    layer.groups = groups;
+    layer.validate();
+    return layer;
+}
+
+} // namespace netutil
+} // namespace griffin
+
+#endif // GRIFFIN_WORKLOADS_NET_UTIL_HH

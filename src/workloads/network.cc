@@ -1,0 +1,90 @@
+#include "workloads/network.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+std::int64_t
+NetworkSpec::macs() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.macs();
+    return total;
+}
+
+std::int64_t
+NetworkSpec::denseCycles(const TileShape &shape) const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.denseCycles(shape);
+    return total;
+}
+
+double
+NetworkSpec::layerWeightSparsity(const LayerSpec &layer,
+                                 DnnCategory cat) const
+{
+    if (!hasSparseB(cat))
+        return 0.0;
+    return layer.weightSparsity >= 0.0 ? layer.weightSparsity
+                                       : weightSparsity;
+}
+
+double
+NetworkSpec::layerActSparsity(const LayerSpec &layer,
+                              DnnCategory cat) const
+{
+    if (!hasSparseA(cat))
+        return 0.0;
+    if (layer.actSparsity >= 0.0)
+        return layer.actSparsity;
+    // GeLU-dense models switch to their ReLU variant in activation-
+    // sparse categories (Table I's pairing).
+    return actSparsity > 0.0 ? actSparsity : reluModeActSparsity;
+}
+
+void
+NetworkSpec::validate() const
+{
+    if (layers.empty())
+        fatal("network '", name, "' has no layers");
+    for (const auto &layer : layers)
+        layer.validate();
+    if (weightSparsity < 0.0 || weightSparsity > 1.0 ||
+        actSparsity < 0.0 || actSparsity > 1.0) {
+        fatal("network '", name, "' sparsity outside [0,1]");
+    }
+}
+
+std::vector<NetworkSpec>
+benchmarkSuite()
+{
+    return {alexNet(),     googleNet(),    resNet50(),
+            inceptionV3(), mobileNetV2(),  bertBase()};
+}
+
+NetworkSpec
+networkByName(const std::string &name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char ch) { return std::tolower(ch); });
+    for (auto &net : benchmarkSuite()) {
+        std::string candidate = net.name;
+        std::transform(candidate.begin(), candidate.end(),
+                       candidate.begin(),
+                       [](unsigned char ch) { return std::tolower(ch); });
+        if (candidate == lower)
+            return net;
+    }
+    fatal("unknown network '", name,
+          "' (want AlexNet|GoogLeNet|ResNet50|InceptionV3|MobileNetV2|"
+          "BERT)");
+}
+
+} // namespace griffin

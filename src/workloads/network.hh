@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Benchmark networks (paper Table IV).
+ *
+ * Layer shapes are the published architectures; the (weight,
+ * activation) sparsity ratios, accuracies and dense-latency targets
+ * are Table IV's.  Synthetic tensors are generated at these rates —
+ * the cycle behaviour of the simulator depends only on zero positions,
+ * not values (DESIGN.md, substitutions).
+ */
+
+#ifndef GRIFFIN_WORKLOADS_NETWORK_HH
+#define GRIFFIN_WORKLOADS_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/category.hh"
+#include "workloads/layer.hh"
+
+namespace griffin {
+
+/** A benchmark network: layers plus Table IV metadata. */
+struct NetworkSpec
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+
+    double weightSparsity = 0.0; ///< Table IV column B
+    double actSparsity = 0.0;    ///< Table IV column A
+    /**
+     * Activation sparsity of the network's ReLU variant, used when a
+     * DNN.A / DNN.AB run asks for sparse activations but the Table IV
+     * model is GeLU-dense (BERT).  Table I pairs each category with
+     * the matching activation function ("Transformer+ReLU" for
+     * DNN.A), and ReLU zeroes roughly half of pre-activations.
+     */
+    double reluModeActSparsity = 0.5;
+    std::string accuracy;        ///< reported accuracy (constant)
+    std::int64_t paperDenseCycles = 0; ///< Table IV dense latency
+
+    std::int64_t macs() const;
+    std::int64_t denseCycles(const TileShape &shape) const;
+
+    /**
+     * Effective per-layer sparsities when running a category: a layer
+     * override wins, the network rate applies otherwise, and dense
+     * categories zero the corresponding side.
+     */
+    double layerWeightSparsity(const LayerSpec &layer,
+                               DnnCategory cat) const;
+    double layerActSparsity(const LayerSpec &layer,
+                            DnnCategory cat) const;
+
+    void validate() const;
+};
+
+/** AlexNet, 89%/53% sparse, 1.0e6 dense cycles. */
+NetworkSpec alexNet();
+/** GoogLeNet (Inception v1), 82%/37%, 2.2e6. */
+NetworkSpec googleNet();
+/** ResNet-50, 81%/43%, 4.8e6. */
+NetworkSpec resNet50();
+/** Inception-V3, 79%/46%, 6.9e6. */
+NetworkSpec inceptionV3();
+/** MobileNetV2, 81%/52%, 2.2e6. */
+NetworkSpec mobileNetV2();
+/** BERT-base on MNLI, sequence length 64, 82%/0%, 5.3e6. */
+NetworkSpec bertBase();
+
+/** All six, Table IV order. */
+std::vector<NetworkSpec> benchmarkSuite();
+
+/** Look up by case-insensitive name; fatal() when unknown. */
+NetworkSpec networkByName(const std::string &name);
+
+} // namespace griffin
+
+#endif // GRIFFIN_WORKLOADS_NETWORK_HH

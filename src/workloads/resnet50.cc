@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ResNet-50 v1.5 (He et al.), pruned per [17] (Table IV row 3).
+ */
+
+#include "workloads/net_util.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+namespace {
+
+/**
+ * One bottleneck block: 1x1 reduce, 3x3 (optionally strided), 1x1
+ * expand, plus the projection shortcut when the shape changes.
+ *
+ * @param hw_in grid at the block input; the 3x3 applies the stride
+ */
+void
+bottleneck(NetworkSpec &net, const std::string &name, int hw_in, int cin,
+           int mid, int cout, int stride, bool project)
+{
+    using netutil::conv;
+    const int hw_out = hw_in / stride;
+    net.layers.push_back(conv(name + "/conv1", cin, hw_in, 1, 1, mid));
+    net.layers.push_back(conv(name + "/conv2", mid, hw_out, 3, 3, mid));
+    net.layers.push_back(conv(name + "/conv3", mid, hw_out, 1, 1, cout));
+    if (project) {
+        net.layers.push_back(
+            conv(name + "/shortcut", cin, hw_out, 1, 1, cout));
+    }
+}
+
+/** One stage: `blocks` bottlenecks, first one strided/projected. */
+void
+stage(NetworkSpec &net, const std::string &name, int hw_in, int cin,
+      int mid, int cout, int blocks, int stride)
+{
+    bottleneck(net, name + "_1", hw_in, cin, mid, cout, stride, true);
+    const int hw = hw_in / stride;
+    for (int i = 2; i <= blocks; ++i) {
+        bottleneck(net, name + "_" + std::to_string(i), hw, cout, mid,
+                   cout, 1, false);
+    }
+}
+
+} // namespace
+
+NetworkSpec
+resNet50()
+{
+    using netutil::conv;
+    NetworkSpec net;
+    net.name = "ResNet50";
+    net.weightSparsity = 0.81;
+    net.actSparsity = 0.43;
+    net.accuracy = "76.1% (top-1)";
+    net.paperDenseCycles = 4'800'000;
+
+    auto stem = conv("conv1", 3, 112, 7, 7, 64);
+    stem.actSparsity = 0.0;
+    stem.weightSparsity = 0.4;
+    net.layers.push_back(stem);
+    // Max pool takes 112 -> 56 before the first stage.
+    stage(net, "conv2_x", 56, 64, 64, 256, 3, 1);
+    stage(net, "conv3_x", 56, 256, 128, 512, 4, 2);
+    stage(net, "conv4_x", 28, 512, 256, 1024, 6, 2);
+    stage(net, "conv5_x", 14, 1024, 512, 2048, 3, 2);
+    net.layers.push_back(fcLayer("fc", 2048, 1000));
+    net.validate();
+    return net;
+}
+
+} // namespace griffin

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+namespace griffin {
+namespace {
+
+Cli
+makeCli()
+{
+    Cli cli("test program");
+    cli.addInt("iters", 10, "iteration count");
+    cli.addDouble("sparsity", 0.5, "target sparsity");
+    cli.addString("network", "resnet50", "benchmark network");
+    cli.addBool("exact", false, "disable tile sampling");
+    return cli;
+}
+
+TEST(Cli, DefaultsApplyWithoutArgs)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog"};
+    cli.parse(1, argv);
+    EXPECT_EQ(cli.getInt("iters"), 10);
+    EXPECT_DOUBLE_EQ(cli.getDouble("sparsity"), 0.5);
+    EXPECT_EQ(cli.getString("network"), "resnet50");
+    EXPECT_FALSE(cli.getBool("exact"));
+}
+
+TEST(Cli, EqualsFormParses)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--iters=42", "--sparsity=0.8",
+                          "--network=bert", "--exact=true"};
+    cli.parse(5, argv);
+    EXPECT_EQ(cli.getInt("iters"), 42);
+    EXPECT_DOUBLE_EQ(cli.getDouble("sparsity"), 0.8);
+    EXPECT_EQ(cli.getString("network"), "bert");
+    EXPECT_TRUE(cli.getBool("exact"));
+}
+
+TEST(Cli, SpaceFormAndBareBool)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--iters", "7", "--exact"};
+    cli.parse(4, argv);
+    EXPECT_EQ(cli.getInt("iters"), 7);
+    EXPECT_TRUE(cli.getBool("exact"));
+}
+
+TEST(Cli, PositionalArgsReturned)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "alpha", "--iters=1", "beta"};
+    auto pos = cli.parse(4, argv);
+    ASSERT_EQ(pos.size(), 2u);
+    EXPECT_EQ(pos[0], "alpha");
+    EXPECT_EQ(pos[1], "beta");
+}
+
+TEST(Cli, BoolAcceptsOnOffSynonyms)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--exact=on"};
+    cli.parse(2, argv);
+    EXPECT_TRUE(cli.getBool("exact"));
+}
+
+TEST(CliDeathTest, UnknownFlagIsFatal)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                "unknown flag --bogus");
+}
+
+TEST(CliDeathTest, NonNumericIntIsFatal)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--iters=abc"};
+    cli.parse(2, argv);
+    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeathTest, MissingValueIsFatal)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--iters"};
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                "expects a value");
+}
+
+TEST(Cli, UsageListsFlagsAndDefaults)
+{
+    auto cli = makeCli();
+    const auto u = cli.usage();
+    EXPECT_NE(u.find("--iters (default: 10)"), std::string::npos);
+    EXPECT_NE(u.find("target sparsity"), std::string::npos);
+}
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the calibrated power/area cost model: reproduction of the
+ * Table VII structure and the efficiency metrics of Definition V.1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/presets.hh"
+#include "power/cost_model.hh"
+
+namespace griffin {
+namespace {
+
+/** |got - want| / want */
+double
+relErr(double got, double want)
+{
+    return std::abs(got - want) / want;
+}
+
+TEST(CostModel, BaselineMatchesTableSevenClosely)
+{
+    // Baseline power 151 mW / area 217 kum^2: the model is calibrated
+    // on this row, so it must be tight.
+    auto cost = estimateCost(denseBaseline());
+    EXPECT_LT(relErr(cost.powerMw.total(), 151.0), 0.03);
+    EXPECT_LT(relErr(cost.areaKum2.total(), 217.0), 0.03);
+    // Component spot checks.
+    EXPECT_NEAR(cost.powerMw.mul, 62.6, 0.1);
+    EXPECT_NEAR(cost.powerMw.acc, 10.9, 0.1);
+    EXPECT_NEAR(cost.powerMw.adt, 21.8, 0.1);
+    EXPECT_DOUBLE_EQ(cost.powerMw.ctrl, 0.0);
+    EXPECT_DOUBLE_EQ(cost.powerMw.abuf, 0.0);
+    EXPECT_NEAR(cost.areaKum2.sram, 180.0, 1.0); // 176 + 4*bw(=1)
+}
+
+TEST(CostModel, SparseRowsLandNearTableSeven)
+{
+    // The sparse rows mix calibrated and structural terms; hold them
+    // to 20% on totals (deviations are documented in calibration.hh).
+    const struct
+    {
+        ArchConfig arch;
+        double power;
+        double area;
+    } rows[] = {
+        {sparseBStar(), 206.0, 258.0},  {tclB(), 209.0, 233.0},
+        {sparseAStar(), 223.0, 253.0},  {sparseABStar(), 282.0, 282.0},
+        {griffinArch(), 284.0, 286.0},  {tdashAB(), 284.0, 276.0},
+    };
+    for (const auto &row : rows) {
+        auto cost = estimateCost(row.arch);
+        EXPECT_LT(relErr(cost.powerMw.total(), row.power), 0.20)
+            << row.arch.name << " power "
+            << cost.powerMw.total() << " vs " << row.power;
+        EXPECT_LT(relErr(cost.areaKum2.total(), row.area), 0.20)
+            << row.arch.name << " area "
+            << cost.areaKum2.total() << " vs " << row.area;
+    }
+}
+
+TEST(CostModel, SparTenIsByFarTheMostExpensive)
+{
+    auto sparten = estimateCost(sparTenAB());
+    EXPECT_LT(relErr(sparten.powerMw.total(), 991.0), 0.10);
+    EXPECT_LT(relErr(sparten.areaKum2.total(), 1139.0), 0.10);
+    for (const auto &arch : tableSevenPresets()) {
+        if (arch.name == "SparTen.AB")
+            continue;
+        EXPECT_LT(estimateCost(arch).powerMw.total(),
+                  sparten.powerMw.total())
+            << arch.name;
+    }
+}
+
+TEST(CostModel, OverheadOrderingMatchesTableSeven)
+{
+    // Table VII rows are "in the order of increasing power
+    // efficiency"; in raw power the ordering baseline < single sparse
+    // < dual sparse must hold structurally.
+    const double base = estimateCost(denseBaseline()).powerMw.total();
+    const double b_star = estimateCost(sparseBStar()).powerMw.total();
+    const double ab_star = estimateCost(sparseABStar()).powerMw.total();
+    const double griffin = estimateCost(griffinArch()).powerMw.total();
+    EXPECT_LT(base, b_star);
+    EXPECT_LT(b_star, ab_star);
+    // Griffin costs only marginally more than the rigid dual design
+    // (paper: ~1%; allow 5%).
+    EXPECT_GT(griffin, ab_star);
+    EXPECT_LT(griffin / ab_star, 1.05);
+}
+
+TEST(CostModel, HybridPaysUnionOfMorphConfigs)
+{
+    // Griffin's BMUX must be the conf.A width (5), not the dual (3),
+    // so its MUX power exceeds Sparse.AB*'s.
+    auto griffin = estimateCost(griffinArch());
+    auto dual = estimateCost(sparseABStar());
+    EXPECT_GT(griffin.powerMw.mux, dual.powerMw.mux);
+    EXPECT_EQ(griffin.powerMw.abuf, dual.powerMw.abuf); // same depth 9
+}
+
+TEST(CostModel, PeakTopsIsGeometryTimesFrequency)
+{
+    // 1024 MACs x 0.8 GHz x 2 ops = 1.6384 TOPS.
+    EXPECT_NEAR(densePeakTops(denseBaseline()), 1.6384, 1e-9);
+}
+
+TEST(CostModel, BaselineDenseEfficiencyIsTableScale)
+{
+    // 1.6384 TOPS / 0.151 W ~ 10.8 TOPS/W; /0.217 mm^2 ~ 7.5 TOPS/mm^2.
+    EXPECT_NEAR(
+        effectiveTopsPerWatt(denseBaseline(), DnnCategory::Dense, 1.0),
+        10.8, 0.6);
+    EXPECT_NEAR(
+        effectiveTopsPerMm2(denseBaseline(), DnnCategory::Dense, 1.0),
+        7.5, 0.4);
+}
+
+TEST(CostModel, EffectiveEfficiencyScalesWithSpeedup)
+{
+    const auto arch = sparseBStar();
+    EXPECT_NEAR(effectiveTopsPerWatt(arch, DnnCategory::B, 2.0),
+                2.0 * effectiveTopsPerWatt(arch, DnnCategory::B, 1.0),
+                1e-9);
+    EXPECT_NEAR(effectiveTopsPerMm2(arch, DnnCategory::B, 3.0),
+                3.0 * effectiveTopsPerMm2(arch, DnnCategory::B, 1.0),
+                1e-9);
+}
+
+TEST(CostModel, SparsityTaxOnDenseModels)
+{
+    // Running dense models, every sparse design is less efficient than
+    // the baseline (paper Fig. 8(a)): idle sparse logic still leaks.
+    // Griffin's tax (paper: 29% power) must be far below SparTen's.
+    const auto dense = DnnCategory::Dense;
+    const double base = effectiveTopsPerWatt(denseBaseline(), dense, 1.0);
+    const double griffin = effectiveTopsPerWatt(griffinArch(), dense, 1.0);
+    const double sparten = effectiveTopsPerWatt(sparTenAB(), dense, 1.0);
+    EXPECT_LT(griffin, base);
+    EXPECT_LT(sparten, griffin);
+    const double griffin_tax = 1.0 - griffin / base;
+    const double sparten_tax = 1.0 - sparten / base;
+    EXPECT_GT(griffin_tax, 0.10);
+    EXPECT_LT(griffin_tax, 0.40); // paper: 29%
+    EXPECT_GT(sparten_tax, 0.50); // paper's gating is more optimistic
+}
+
+TEST(CostModel, RuntimePowerIsBelowBuiltPowerOffMode)
+{
+    // Griffin running dense draws far less than its all-on figure, but
+    // running dual sparse it draws the full Table VII power.
+    const double built = estimateCost(griffinArch()).powerMw.total();
+    const double at_dense =
+        estimateCost(griffinArch(), DnnCategory::Dense).powerMw.total();
+    const double at_ab =
+        estimateCost(griffinArch(), DnnCategory::AB).powerMw.total();
+    EXPECT_LT(at_dense, 0.8 * built);
+    EXPECT_NEAR(at_ab, built, 0.05 * built);
+}
+
+TEST(CostModel, AreaIsWorkloadIndependent)
+{
+    const auto built = estimateCost(griffinArch()).areaKum2.total();
+    for (DnnCategory cat : allCategories) {
+        EXPECT_DOUBLE_EQ(
+            estimateCost(griffinArch(), cat).areaKum2.total(), built);
+    }
+}
+
+TEST(CostModel, SingleSidedSparTenIsCheaperThanDual)
+{
+    EXPECT_LT(estimateCost(sparTenB()).powerMw.total(),
+              estimateCost(sparTenAB()).powerMw.total());
+    EXPECT_LT(estimateCost(sparTenA()).areaKum2.total(),
+              estimateCost(sparTenAB()).areaKum2.total());
+}
+
+TEST(CostModel, BreakdownTotalsSumComponents)
+{
+    auto cost = estimateCost(griffinArch());
+    const auto &p = cost.powerMw;
+    EXPECT_NEAR(p.total(),
+                p.ctrl + p.shf + p.abuf + p.bbuf + p.regwr + p.acc +
+                    p.mul + p.adt + p.mux + p.sram,
+                1e-12);
+}
+
+TEST(CostModelDeathTest, NonPositiveSpeedupPanics)
+{
+    EXPECT_DEATH(
+        effectiveTopsPerWatt(denseBaseline(), DnnCategory::Dense, 0.0),
+        "non-positive speedup");
+}
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for convolution-to-GEMM lowering against naive convolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tensor/im2col.hh"
+#include "tensor/sparsity.hh"
+
+namespace griffin {
+namespace {
+
+/** Fill a feature map with deterministic pseudo-random INT8 values. */
+FeatureMap
+randomMap(int c, int h, int w, Rng &rng, double sparsity = 0.0)
+{
+    FeatureMap fm(c, h, w);
+    for (int ci = 0; ci < c; ++ci)
+        for (int y = 0; y < h; ++y)
+            for (int x = 0; x < w; ++x)
+                if (!rng.bernoulli(sparsity))
+                    fm.at(ci, y, x) = rng.nonzeroInt8();
+    return fm;
+}
+
+/** Run conv both ways and compare every output element. */
+void
+checkConvAgreement(const ConvShape &shape, Rng &rng, double sparsity = 0.0)
+{
+    auto input = randomMap(shape.cin, shape.h, shape.w, rng, sparsity);
+    auto kernels = randomSparse(
+        shape.cout,
+        static_cast<std::size_t>(shape.cin / shape.groups) * shape.r *
+            shape.s,
+        sparsity, rng);
+
+    auto ref = convRef(input, kernels, shape);
+
+    const int ng = shape.cout / shape.groups;
+    for (int g = 0; g < shape.groups; ++g) {
+        auto a = im2col(input, shape, g);
+        auto b = kernelMatrix(kernels, shape, g);
+        auto c = matmulRef(a, b);
+        ASSERT_EQ(c.rows(), static_cast<std::size_t>(shape.gemmM()));
+        ASSERT_EQ(c.cols(), static_cast<std::size_t>(ng));
+        for (std::size_t pix = 0; pix < c.rows(); ++pix)
+            for (int n = 0; n < ng; ++n)
+                EXPECT_EQ(c.at(pix, n),
+                          ref.at(static_cast<std::size_t>(g) * ng + n, pix))
+                    << "group " << g << " pixel " << pix << " ch " << n;
+    }
+}
+
+TEST(Im2col, OneByOneConvIsPlainGemm)
+{
+    Rng rng(41);
+    ConvShape s{.cin = 8, .h = 5, .w = 5, .r = 1, .s = 1, .cout = 6};
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, ThreeByThreeSamePadding)
+{
+    Rng rng(42);
+    ConvShape s{.cin = 3, .h = 8, .w = 8, .r = 3, .s = 3, .cout = 4,
+                .stride = 1, .pad = 1};
+    EXPECT_EQ(s.outH(), 8);
+    EXPECT_EQ(s.outW(), 8);
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, StridedConvolution)
+{
+    Rng rng(43);
+    ConvShape s{.cin = 4, .h = 11, .w = 11, .r = 3, .s = 3, .cout = 8,
+                .stride = 2, .pad = 0};
+    EXPECT_EQ(s.outH(), 5);
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, AsymmetricFilterAndInput)
+{
+    Rng rng(44);
+    ConvShape s{.cin = 2, .h = 7, .w = 9, .r = 1, .s = 7, .cout = 3,
+                .stride = 1, .pad = 3};
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, GroupedConvolution)
+{
+    Rng rng(45);
+    ConvShape s{.cin = 8, .h = 6, .w = 6, .r = 3, .s = 3, .cout = 8,
+                .stride = 1, .pad = 1, .groups = 4};
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, DepthwiseConvolution)
+{
+    Rng rng(46);
+    ConvShape s{.cin = 6, .h = 6, .w = 6, .r = 3, .s = 3, .cout = 6,
+                .stride = 1, .pad = 1, .groups = 6};
+    EXPECT_EQ(s.gemmK(), 9); // 1 channel x 3 x 3 per group
+    checkConvAgreement(s, rng);
+}
+
+TEST(Im2col, SparseInputsStillAgree)
+{
+    Rng rng(47);
+    ConvShape s{.cin = 4, .h = 8, .w = 8, .r = 3, .s = 3, .cout = 8,
+                .stride = 1, .pad = 1};
+    checkConvAgreement(s, rng, 0.6);
+}
+
+TEST(Im2col, MacCountMatchesClosedForm)
+{
+    ConvShape s{.cin = 64, .h = 56, .w = 56, .r = 3, .s = 3, .cout = 64,
+                .stride = 1, .pad = 1};
+    EXPECT_EQ(s.macs(),
+              static_cast<std::int64_t>(56) * 56 * 64 * 3 * 3 * 64);
+    ConvShape dw{.cin = 32, .h = 14, .w = 14, .r = 3, .s = 3, .cout = 32,
+                 .stride = 1, .pad = 1, .groups = 32};
+    EXPECT_EQ(dw.macs(), static_cast<std::int64_t>(14) * 14 * 9 * 32);
+}
+
+TEST(Im2colDeathTest, InvalidShapesAreFatal)
+{
+    FeatureMap fm(1, 4, 4);
+    MatrixI8 kernels(1, 9);
+    ConvShape bad_stride{.cin = 1, .h = 4, .w = 4, .r = 3, .s = 3,
+                         .cout = 1, .stride = 0};
+    EXPECT_EXIT(convRef(fm, kernels, bad_stride),
+                testing::ExitedWithCode(1), "stride");
+    ConvShape bad_groups{.cin = 3, .h = 4, .w = 4, .r = 1, .s = 1,
+                         .cout = 4, .stride = 1, .pad = 0, .groups = 2};
+    EXPECT_EXIT(im2col(fm, bad_groups), testing::ExitedWithCode(1),
+                "groups");
+    ConvShape big_filter{.cin = 1, .h = 4, .w = 4, .r = 9, .s = 9,
+                         .cout = 1};
+    EXPECT_EXIT(big_filter.validate(), testing::ExitedWithCode(1),
+                "larger than");
+}
+
+TEST(FeatureMap, PaddingReadsZero)
+{
+    FeatureMap fm(2, 3, 3);
+    fm.at(1, 2, 2) = 9;
+    EXPECT_EQ(fm.atOrZero(1, 2, 2), 9);
+    EXPECT_EQ(fm.atOrZero(1, -1, 0), 0);
+    EXPECT_EQ(fm.atOrZero(1, 0, 3), 0);
+    EXPECT_EQ(fm.atOrZero(2, 0, 0), 0);
+}
+
+} // namespace
+} // namespace griffin

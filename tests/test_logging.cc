@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the logging / error-reporting substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Logging, ConcatStreamsHeterogeneousArgs)
+{
+    EXPECT_EQ(detail::concat("lane ", 3, " of ", 16), "lane 3 of 16");
+    EXPECT_EQ(detail::concat(), "");
+    EXPECT_EQ(detail::concat(1.5), "1.5");
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 42, " broken"), "invariant 42 broken");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(GRIFFIN_ASSERT(1 == 2, "math is off"),
+                 "assertion '1 == 2' failed: math is off");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    GRIFFIN_ASSERT(2 + 2 == 4);
+    SUCCEED();
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("just a warning ", 1);
+    inform("status ", 2);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace griffin

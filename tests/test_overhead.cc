@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Tests for the hardware overhead formulas against every concrete
+ * value the paper states (Table II, Section IV-A, Table III, Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/overhead.hh"
+
+namespace griffin {
+namespace {
+
+const TileShape kShape{}; // (16,16,4)
+
+TEST(Overhead, DenseHasNoSparseLogic)
+{
+    auto hw = computeOverhead(RoutingConfig::dense(), kShape);
+    EXPECT_EQ(hw.abufDepth, 1);
+    EXPECT_EQ(hw.amuxFanin, 1);
+    EXPECT_EQ(hw.adtPerPe, 1);
+    EXPECT_EQ(hw.extraAdtCount, 0);
+    EXPECT_EQ(hw.ctrlUnits, 0);
+    EXPECT_EQ(hw.amuxCount, 0);
+    EXPECT_EQ(hw.shufflerCrossbars, 0);
+    EXPECT_EQ(hw.metadataBits, 0);
+}
+
+// --- Table II special cases, Sparse.A family ------------------------
+
+TEST(Overhead, TableII_SparseA_TimeOnly)
+{
+    // Sparse.A(da1,0,0): ABUF 1+da1, AMUX 1+da1, BBUF 1+da1,
+    // BMUX 1+da1, ADT 1.
+    for (int d1 = 1; d1 <= 4; ++d1) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseA(d1, 0, 0, false), kShape);
+        EXPECT_EQ(hw.abufDepth, 1 + d1);
+        EXPECT_EQ(hw.amuxFanin, 1 + d1);
+        EXPECT_EQ(hw.bbufDepth, 1 + d1);
+        EXPECT_EQ(hw.bmuxFanin, 1 + d1);
+        EXPECT_EQ(hw.adtPerPe, 1);
+    }
+}
+
+TEST(Overhead, TableII_SparseA_LaneOnly)
+{
+    // Sparse.A(1,da2,0): ABUF 2, AMUX 2+da2, BBUF 2, BMUX 2+da2, ADT 1.
+    for (int d2 = 1; d2 <= 3; ++d2) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseA(1, d2, 0, false), kShape);
+        EXPECT_EQ(hw.abufDepth, 2);
+        EXPECT_EQ(hw.amuxFanin, 2 + d2);
+        EXPECT_EQ(hw.bbufDepth, 2);
+        EXPECT_EQ(hw.bmuxFanin, 2 + d2);
+        EXPECT_EQ(hw.adtPerPe, 1);
+    }
+}
+
+TEST(Overhead, TableII_SparseA_CrossPe)
+{
+    // Sparse.A(1,0,da3): ABUF 2, AMUX 2+da3 (da3 widens AMUX), BBUF 2,
+    // BMUX 2, ADT 1+da3.
+    for (int d3 = 1; d3 <= 2; ++d3) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseA(1, 0, d3, false), kShape);
+        EXPECT_EQ(hw.abufDepth, 2);
+        EXPECT_EQ(hw.amuxFanin, 1 + 1 * 1 * (1 + d3));
+        EXPECT_EQ(hw.bmuxFanin, 2);
+        EXPECT_EQ(hw.adtPerPe, 1 + d3);
+    }
+}
+
+TEST(Overhead, SectionVIB_AmuxFormulaQuote)
+{
+    // Section VI-B observation 4 quotes
+    // AMUX = 1 + da1*(1+da2)*(1+da3) explicitly.
+    auto hw =
+        computeOverhead(RoutingConfig::sparseA(4, 1, 0, false), kShape);
+    EXPECT_EQ(hw.amuxFanin, 1 + 4 * 2 * 1); // 9 -> excluded by limits
+    EXPECT_FALSE(
+        withinFaninLimits(RoutingConfig::sparseA(4, 1, 0, false), kShape));
+}
+
+// --- Table II special cases, Sparse.B family ------------------------
+
+TEST(Overhead, TableII_SparseB_TimeOnly)
+{
+    for (int d1 = 1; d1 <= 6; ++d1) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseB(d1, 0, 0, false), kShape);
+        EXPECT_EQ(hw.abufDepth, 1 + d1);
+        EXPECT_EQ(hw.amuxFanin, 1 + d1);
+        EXPECT_EQ(hw.adtPerPe, 1);
+        EXPECT_EQ(hw.bbufWords, 0); // preprocessed: no BBUF
+        EXPECT_EQ(hw.bmuxCount, 0);
+    }
+}
+
+TEST(Overhead, TableII_SparseB_LaneOnly)
+{
+    for (int d2 = 1; d2 <= 3; ++d2) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseB(1, d2, 0, false), kShape);
+        EXPECT_EQ(hw.abufDepth, 2);
+        EXPECT_EQ(hw.amuxFanin, 2 + d2);
+    }
+}
+
+TEST(Overhead, TableII_SparseB_CrossPe)
+{
+    // Sparse.B(1,0,db3): AMUX stays 2 (db3 does not widen AMUX,
+    // Section VI-C observation 3), ADT 1+db3.
+    for (int d3 = 1; d3 <= 2; ++d3) {
+        auto hw = computeOverhead(
+            RoutingConfig::sparseB(1, 0, d3, false), kShape);
+        EXPECT_EQ(hw.amuxFanin, 2);
+        EXPECT_EQ(hw.adtPerPe, 1 + d3);
+    }
+}
+
+// --- Section IV-A dual formulas and the Fig. 4 / Table III values ---
+
+TEST(Overhead, ConfAB_MatchesPaperQuotedValues)
+{
+    // "This configuration requires 9-entry ABUF, 3-entry BBUF, 9-input
+    // AMUX, and 3-input BMUXs, and one extra adder tree."
+    auto hw = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true), kShape);
+    EXPECT_EQ(hw.abufDepth, 9);
+    EXPECT_EQ(hw.bbufDepth, 3);
+    EXPECT_EQ(hw.amuxFanin, 9);
+    EXPECT_EQ(hw.bmuxFanin, 3);
+    EXPECT_EQ(hw.adtPerPe, 2); // one extra beyond the dense tree
+    EXPECT_EQ(hw.ctrlUnits, 16 * 4); // one controller per PE
+}
+
+TEST(Overhead, ConfB_MetadataIsFourBits)
+{
+    // Fig. 4(b): conf.B(8,0,1) "requires 4 bits of metadata per
+    // element of B rather than 3 bits" (3 bits = the dual downgrade
+    // B(2,0,1)).
+    auto conf_b = computeOverhead(
+        RoutingConfig::sparseB(8, 0, 1, true), kShape);
+    EXPECT_EQ(conf_b.metadataBits, 4);
+    EXPECT_EQ(conf_b.abufDepth, 9); // reuses the whole dual ABUF
+
+    auto downgrade = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true), kShape);
+    EXPECT_EQ(downgrade.metadataBits, 3);
+}
+
+TEST(Overhead, ConfA_BmuxFaninIsFive)
+{
+    // Table III: morphing to Sparse.A(2,1,1) raises BMUX fan-in from 3
+    // to 5.
+    auto conf_a = computeOverhead(
+        RoutingConfig::sparseA(2, 1, 1, true), kShape);
+    EXPECT_EQ(conf_a.bmuxFanin, 5);
+    EXPECT_EQ(conf_a.bbufDepth, 3); // all three BBUF entries used
+    auto downgrade = computeOverhead(
+        RoutingConfig::sparseA(2, 0, 0, true), kShape);
+    EXPECT_EQ(downgrade.bmuxFanin, 3);
+}
+
+TEST(Overhead, DualOnTheFlyNeedsDeeperRawBuffers)
+{
+    auto otf = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, false, false), kShape);
+    auto pre = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true), kShape);
+    EXPECT_EQ(otf.bbufDepth, 3);   // raw steps
+    EXPECT_EQ(otf.metadataBits, 0);
+    EXPECT_GT(otf.bmuxFanin, pre.bmuxFanin);
+}
+
+TEST(Overhead, ExtraAdderTreeCounts)
+{
+    // AB(2,0,0,4,0,2): (1+0)(1+2) = 3 trees per PE, 2 extra x 64 PEs.
+    auto hw = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 4, 0, 2, true), kShape);
+    EXPECT_EQ(hw.adtPerPe, 3);
+    EXPECT_EQ(hw.extraAdtCount, 2 * 64);
+}
+
+TEST(Overhead, ShufflerCrossbarCount)
+{
+    // K0/4 = 4 crossbars per PE row (A side) and per PE column (B
+    // side): 4 * (4 + 16) = 80.
+    auto hw = computeOverhead(
+        RoutingConfig::sparseB(4, 0, 1, true), kShape);
+    EXPECT_EQ(hw.shufflerCrossbars, 80);
+}
+
+TEST(Overhead, BufferWordTotals)
+{
+    auto hw = computeOverhead(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true), kShape);
+    // ABUF: depth 9 x 16 lanes x 4 rows; BBUF: depth 3 x 16 x 16 cols.
+    EXPECT_EQ(hw.abufWords, 9 * 16 * 4);
+    EXPECT_EQ(hw.bbufWords, 3 * 16 * 16);
+}
+
+// --- Fan-in legality limits -----------------------------------------
+
+TEST(FaninLimits, SingleSparseLimitEight)
+{
+    EXPECT_TRUE(
+        withinFaninLimits(RoutingConfig::sparseB(7, 0, 0, false), kShape));
+    EXPECT_FALSE(
+        withinFaninLimits(RoutingConfig::sparseB(8, 0, 0, false), kShape));
+    EXPECT_TRUE(
+        withinFaninLimits(RoutingConfig::sparseA(2, 1, 1, true), kShape));
+    EXPECT_FALSE(withinFaninLimits(
+        RoutingConfig::sparseB(15, 15, 0, false), kShape)); // Cambricon-X
+}
+
+TEST(FaninLimits, DualSparseLimitSixteen)
+{
+    EXPECT_TRUE(withinFaninLimits(
+        RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true), kShape));
+    // AB(2,1,0,2,1,0): AMUX = 1 + 8*3 = 25 > 16.
+    EXPECT_FALSE(withinFaninLimits(
+        RoutingConfig::sparseAB(2, 1, 0, 2, 1, 0, true), kShape));
+}
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for architecture presets, Griffin morphing, and the DSE
+ * enumerators.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "arch/dse.hh"
+#include "arch/overhead.hh"
+#include "arch/presets.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Presets, TableVIOptimalPoints)
+{
+    EXPECT_EQ(sparseBStar().routing.str(), "B(4,0,1,on)");
+    EXPECT_EQ(sparseAStar().routing.str(), "A(2,1,0,on)");
+    EXPECT_EQ(sparseABStar().routing.str(), "AB(2,0,0,2,0,1,on)");
+    EXPECT_EQ(griffinArch().routing.str(), "AB(2,0,0,2,0,1,on)");
+    EXPECT_TRUE(griffinArch().hybrid);
+    EXPECT_FALSE(sparseABStar().hybrid);
+}
+
+TEST(Presets, AllValidateAndHaveUniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &cfg : allPresets()) {
+        cfg.validate();
+        EXPECT_TRUE(names.insert(cfg.name).second)
+            << "duplicate preset name " << cfg.name;
+    }
+    EXPECT_EQ(names.size(), 12u);
+}
+
+TEST(Presets, LookupByName)
+{
+    EXPECT_EQ(presetByName("Griffin").name, "Griffin");
+    EXPECT_EQ(presetByName("Sparse.B*").routing.b.d1, 4);
+}
+
+TEST(PresetsDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(presetByName("NoSuchArch"), testing::ExitedWithCode(1),
+                "unknown architecture preset");
+}
+
+TEST(Presets, SparTenIsMacGridWithDeepBuffers)
+{
+    auto cfg = sparTenAB();
+    EXPECT_EQ(cfg.style, DatapathStyle::MacGrid);
+    EXPECT_EQ(cfg.macBufferDepth, 128);
+    EXPECT_EQ(sparTenA().routing.mode, SparsityMode::A);
+    EXPECT_EQ(sparTenB().routing.mode, SparsityMode::B);
+}
+
+TEST(Presets, TdashHasNoPreprocessing)
+{
+    EXPECT_FALSE(tdashAB().routing.preprocessB);
+    EXPECT_FALSE(tdashAB().routing.shuffle);
+}
+
+TEST(Presets, TclHasNoCrossPeRoutingOrShuffle)
+{
+    auto cfg = tclB();
+    EXPECT_EQ(cfg.routing.b.d3, 0);
+    EXPECT_FALSE(cfg.routing.shuffle);
+    EXPECT_TRUE(withinFaninLimits(cfg.routing, cfg.tile));
+}
+
+TEST(Presets, TableSevenRowOrder)
+{
+    auto rows = tableSevenPresets();
+    ASSERT_EQ(rows.size(), 8u);
+    EXPECT_EQ(rows.front().name, "Baseline");
+    EXPECT_EQ(rows.back().name, "SparTen.AB");
+}
+
+TEST(GriffinMorph, MatchesFigureFour)
+{
+    EXPECT_EQ(griffinMorph(DnnCategory::AB).str(), "AB(2,0,0,2,0,1,on)");
+    EXPECT_EQ(griffinMorph(DnnCategory::B).str(), "B(8,0,1,on)");
+    EXPECT_EQ(griffinMorph(DnnCategory::A).str(), "A(2,1,1,on)");
+    EXPECT_EQ(griffinMorph(DnnCategory::Dense).str(), "Dense");
+}
+
+TEST(GriffinMorph, EffectiveRoutingSelectsByCategory)
+{
+    auto g = griffinArch();
+    EXPECT_EQ(g.effectiveRouting(DnnCategory::B).str(), "B(8,0,1,on)");
+    // Non-hybrid dual design keeps its routing for every category.
+    auto ab = sparseABStar();
+    EXPECT_EQ(ab.effectiveRouting(DnnCategory::B).str(),
+              "AB(2,0,0,2,0,1,on)");
+}
+
+TEST(GriffinMorph, AutoBandwidthFollowsWindowDepth)
+{
+    auto g = griffinArch();
+    EXPECT_DOUBLE_EQ(g.effectiveBwScale(DnnCategory::AB), 9.0);
+    EXPECT_DOUBLE_EQ(g.effectiveBwScale(DnnCategory::B), 9.0);
+    EXPECT_DOUBLE_EQ(g.effectiveBwScale(DnnCategory::A), 3.0);
+    EXPECT_DOUBLE_EQ(g.effectiveBwScale(DnnCategory::Dense), 1.0);
+    auto fixed = griffinArch();
+    fixed.bwScale = 2.5;
+    EXPECT_DOUBLE_EQ(fixed.effectiveBwScale(DnnCategory::AB), 2.5);
+}
+
+TEST(ArchConfigDeathTest, ValidationCatchesUserErrors)
+{
+    auto cfg = denseBaseline();
+    cfg.tile.k0 = 0;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "non-positive tile geometry");
+    auto mac = sparTenAB();
+    mac.macBufferDepth = 0;
+    EXPECT_EXIT(mac.validate(), testing::ExitedWithCode(1),
+                "positive buffer depth");
+}
+
+TEST(Dse, SparseBSpaceRespectsLimits)
+{
+    auto space = enumerateSparseB(TileShape{});
+    EXPECT_GT(space.size(), 10u);
+    for (const auto &cfg : space) {
+        EXPECT_GE(cfg.b.d1, 2); // db1 = 1 dropped per the paper
+        EXPECT_TRUE(withinFaninLimits(cfg, TileShape{}));
+    }
+    // The paper's Sparse.B* must be in the enumerated space.
+    auto star = sparseBStar().routing;
+    EXPECT_NE(std::find(space.begin(), space.end(), star), space.end());
+}
+
+TEST(Dse, SparseASpaceContainsOptimum)
+{
+    auto space = enumerateSparseA(TileShape{});
+    auto star = sparseAStar().routing;
+    EXPECT_NE(std::find(space.begin(), space.end(), star), space.end());
+    for (const auto &cfg : space)
+        EXPECT_TRUE(withinFaninLimits(cfg, TileShape{}));
+}
+
+TEST(Dse, SparseABSpaceExcludesDoubleAdderTrees)
+{
+    auto space = enumerateSparseAB(TileShape{});
+    auto star = sparseABStar().routing;
+    EXPECT_NE(std::find(space.begin(), space.end(), star), space.end());
+    for (const auto &cfg : space) {
+        EXPECT_EQ(cfg.a.d3, 0); // da3 excluded (Section VI-C)
+        EXPECT_TRUE(withinFaninLimits(cfg, TileShape{}));
+    }
+}
+
+TEST(Dse, ShuffleSweepDoublesConfigs)
+{
+    DseLimits lim;
+    lim.sweepShuffle = false;
+    auto on_only = enumerateSparseB(TileShape{}, lim);
+    lim.sweepShuffle = true;
+    auto both = enumerateSparseB(TileShape{}, lim);
+    EXPECT_EQ(both.size(), 2 * on_only.size());
+}
+
+} // namespace
+} // namespace griffin

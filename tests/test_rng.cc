@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for deterministic random number generation.
+ */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1'000'000), b.uniformInt(0, 1'000'000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.uniformInt(0, 1 << 30) != b.uniformInt(0, 1 << 30);
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformIntDegenerateRange)
+{
+    Rng rng(7);
+    EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(Rng, Uniform01HalfOpen)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform01();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+    // Out-of-range probabilities are clamped, not errors.
+    EXPECT_TRUE(rng.bernoulli(2.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+}
+
+TEST(Rng, BernoulliRateIsRoughlyP)
+{
+    Rng rng(5);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.bernoulli(0.8);
+    const double rate = static_cast<double>(hits) / trials;
+    EXPECT_NEAR(rate, 0.8, 0.02);
+}
+
+TEST(Rng, NonzeroInt8NeverZeroAndCoversSignRange)
+{
+    Rng rng(9);
+    bool saw_negative = false, saw_positive = false;
+    std::set<int> values;
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.nonzeroInt8();
+        EXPECT_NE(v, 0);
+        EXPECT_GE(v, -128);
+        EXPECT_LE(v, 127);
+        saw_negative |= v < 0;
+        saw_positive |= v > 0;
+        values.insert(v);
+    }
+    EXPECT_TRUE(saw_negative);
+    EXPECT_TRUE(saw_positive);
+    // 5000 draws over 255 values should cover most of the range.
+    EXPECT_GT(values.size(), 200u);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    Rng rng(13);
+    std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    auto original = v;
+    rng.shuffle(v);
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, original);
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation)
+{
+    Rng parent(77);
+    Rng child = parent.fork();
+    // The child stream must be reproducible: rebuilding the same way
+    // gives the same values.
+    Rng parent2(77);
+    Rng child2 = parent2.fork();
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(child.uniformInt(0, 1 << 20), child2.uniformInt(0, 1 << 20));
+}
+
+} // namespace
+} // namespace griffin

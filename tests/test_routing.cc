@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for routing configurations and window-parameter derivation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/routing.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Routing, DenseFactory)
+{
+    auto cfg = RoutingConfig::dense();
+    EXPECT_EQ(cfg.mode, SparsityMode::Dense);
+    EXPECT_FALSE(cfg.sparseA());
+    EXPECT_FALSE(cfg.sparseB());
+    EXPECT_EQ(cfg.str(), "Dense");
+}
+
+TEST(Routing, SparseAFactoryAndName)
+{
+    auto cfg = RoutingConfig::sparseA(2, 1, 0, true);
+    EXPECT_TRUE(cfg.sparseA());
+    EXPECT_FALSE(cfg.sparseB());
+    EXPECT_EQ(cfg.str(), "A(2,1,0,on)");
+}
+
+TEST(Routing, SparseBFactoryAndName)
+{
+    auto cfg = RoutingConfig::sparseB(4, 0, 1, false);
+    EXPECT_FALSE(cfg.sparseA());
+    EXPECT_TRUE(cfg.sparseB());
+    EXPECT_TRUE(cfg.preprocessB);
+    EXPECT_EQ(cfg.str(), "B(4,0,1,off)");
+}
+
+TEST(Routing, SparseABFactoryAndName)
+{
+    auto cfg = RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true);
+    EXPECT_TRUE(cfg.sparseA());
+    EXPECT_TRUE(cfg.sparseB());
+    EXPECT_EQ(cfg.str(), "AB(2,0,0,2,0,1,on)");
+    auto otf = RoutingConfig::sparseAB(3, 1, 0, 3, 1, 0, false, false);
+    EXPECT_EQ(otf.str(), "AB(3,1,0,3,1,0,off)[otf]");
+}
+
+TEST(RoutingDeathTest, InvalidConfigsPanic)
+{
+    EXPECT_DEATH(RoutingConfig::sparseA(-1, 0, 0, false), "negative");
+    RoutingConfig bad;
+    bad.mode = SparsityMode::B;
+    bad.a = {1, 0, 0}; // A distances on a B-only design
+    bad.preprocessB = true;
+    EXPECT_DEATH(bad.validate(), "mode does not skip A");
+    RoutingConfig no_preprocess;
+    no_preprocess.mode = SparsityMode::B;
+    no_preprocess.b = {2, 0, 0};
+    EXPECT_DEATH(no_preprocess.validate(), "requires preprocessing");
+}
+
+TEST(WindowParams, DenseIsUnitWindow)
+{
+    EXPECT_EQ(windowParams(RoutingConfig::dense()),
+              (WindowParams{1, 0, 0, 0}));
+}
+
+TEST(WindowParams, SingleSparseWindows)
+{
+    EXPECT_EQ(windowParams(RoutingConfig::sparseA(2, 1, 1, true)),
+              (WindowParams{3, 1, 1, 0}));
+    EXPECT_EQ(windowParams(RoutingConfig::sparseB(4, 0, 1, true)),
+              (WindowParams{5, 0, 0, 1}));
+    EXPECT_EQ(windowParams(RoutingConfig::sparseB(8, 0, 1, true)),
+              (WindowParams{9, 0, 0, 1}));
+}
+
+TEST(WindowParams, DualPreprocessedMultipliesLookahead)
+{
+    // conf.AB: ABUF depth L = (1+2)(1+2) = 9 original steps.
+    auto w = windowParams(RoutingConfig::sparseAB(2, 0, 0, 2, 0, 1, true));
+    EXPECT_EQ(w.steps, 9);
+    EXPECT_EQ(w.laneDist, 0);
+    EXPECT_EQ(w.rowDist, 0);
+    EXPECT_EQ(w.colDist, 1);
+}
+
+TEST(WindowParams, DualOnTheFlyLimitedByShallowerBuffer)
+{
+    auto w = windowParams(
+        RoutingConfig::sparseAB(3, 1, 0, 2, 1, 0, false, false));
+    EXPECT_EQ(w.steps, 1 + 2); // min(da1, db1) = 2
+    EXPECT_EQ(w.laneDist, 2);  // da2 + db2
+}
+
+TEST(WindowParams, LaneDistancesAdd)
+{
+    auto w = windowParams(RoutingConfig::sparseAB(1, 1, 0, 1, 2, 0, true));
+    EXPECT_EQ(w.laneDist, 3);
+    EXPECT_EQ(w.steps, 4);
+}
+
+} // namespace
+} // namespace griffin

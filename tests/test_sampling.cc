@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for deterministic tile sampling.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/sampling.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Sampling, FullFractionReturnsEveryTileInOrder)
+{
+    auto tiles = sampleTiles(3, 4, 1.0, 1, 7);
+    ASSERT_EQ(tiles.size(), 12u);
+    EXPECT_EQ(tiles.front(), (TileCoord{0, 0}));
+    EXPECT_EQ(tiles.back(), (TileCoord{2, 3}));
+}
+
+TEST(Sampling, FractionPicksApproximateShare)
+{
+    auto tiles = sampleTiles(100, 10, 0.1, 1, 3);
+    EXPECT_NEAR(static_cast<double>(tiles.size()), 100.0, 2.0);
+}
+
+TEST(Sampling, MinTilesFloorApplies)
+{
+    auto tiles = sampleTiles(100, 1, 0.001, 8, 3);
+    EXPECT_GE(tiles.size(), 8u);
+}
+
+TEST(Sampling, MinTilesClampedToGrid)
+{
+    auto tiles = sampleTiles(2, 2, 0.01, 64, 3);
+    EXPECT_LE(tiles.size(), 4u);
+    EXPECT_GE(tiles.size(), 1u);
+}
+
+TEST(Sampling, CoordinatesAreUniqueAndInRange)
+{
+    auto tiles = sampleTiles(37, 11, 0.3, 4, 123);
+    std::set<std::pair<std::int64_t, std::int64_t>> seen;
+    for (const auto &t : tiles) {
+        EXPECT_GE(t.row, 0);
+        EXPECT_LT(t.row, 37);
+        EXPECT_GE(t.col, 0);
+        EXPECT_LT(t.col, 11);
+        EXPECT_TRUE(seen.insert({t.row, t.col}).second);
+    }
+}
+
+TEST(Sampling, DeterministicForSameSeed)
+{
+    auto a = sampleTiles(50, 20, 0.2, 4, 99);
+    auto b = sampleTiles(50, 20, 0.2, 4, 99);
+    EXPECT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Sampling, SpreadCoversTheGrid)
+{
+    // Strided sampling must not cluster at the start of the grid.
+    auto tiles = sampleTiles(1000, 1, 0.05, 1, 5);
+    EXPECT_GT(tiles.back().row, 900);
+    EXPECT_LT(tiles.front().row, 100);
+}
+
+TEST(Sampling, EmptyGrid)
+{
+    EXPECT_TRUE(sampleTiles(0, 5, 0.5, 1, 1).empty());
+}
+
+TEST(SamplingDeathTest, BadFractionPanics)
+{
+    EXPECT_DEATH(sampleTiles(4, 4, 0.0, 1, 1), "sample fraction");
+}
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the rotation-based load-balancing shuffle.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tensor/shuffle.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Shuffle, DisabledIsIdentity)
+{
+    Shuffler sh(false, 16);
+    for (std::int64_t step = 0; step < 10; ++step)
+        for (int lane = 0; lane < 16; ++lane)
+            EXPECT_EQ(sh.apply(step, lane), lane);
+}
+
+TEST(Shuffle, IsAPermutationPerStep)
+{
+    Shuffler sh(true, 16, 4);
+    for (std::int64_t step = 0; step < 8; ++step) {
+        std::set<int> targets;
+        for (int lane = 0; lane < 16; ++lane)
+            targets.insert(sh.apply(step, lane));
+        EXPECT_EQ(targets.size(), 16u) << "step " << step;
+    }
+}
+
+TEST(Shuffle, InvertUndoesApply)
+{
+    Shuffler sh(true, 16, 4);
+    for (std::int64_t step = 0; step < 12; ++step) {
+        for (int lane = 0; lane < 16; ++lane) {
+            EXPECT_EQ(sh.invert(step, sh.apply(step, lane)), lane);
+            EXPECT_EQ(sh.apply(step, sh.invert(step, lane)), lane);
+        }
+    }
+}
+
+TEST(Shuffle, StaysWithinLocalGroup)
+{
+    // The paper limits the crossbar to 4x4 blocks: a lane never leaves
+    // its group of 4 consecutive lanes.
+    Shuffler sh(true, 16, 4);
+    for (std::int64_t step = 0; step < 8; ++step)
+        for (int lane = 0; lane < 16; ++lane)
+            EXPECT_EQ(sh.apply(step, lane) / 4, lane / 4);
+}
+
+TEST(Shuffle, RotationVariesWithStep)
+{
+    Shuffler sh(true, 16, 4);
+    // Within a period of 4 steps, lane 0 visits all 4 group positions.
+    std::set<int> positions;
+    for (std::int64_t step = 0; step < 4; ++step)
+        positions.insert(sh.apply(step, 0));
+    EXPECT_EQ(positions, (std::set<int>{0, 1, 2, 3}));
+}
+
+TEST(Shuffle, FullCrossbarUsesWholeWidth)
+{
+    Shuffler sh(true, 16, 16);
+    std::set<int> positions;
+    for (std::int64_t step = 0; step < 16; ++step)
+        positions.insert(sh.apply(step, 0));
+    EXPECT_EQ(positions.size(), 16u);
+}
+
+TEST(ShuffleDeathTest, BadGeometryPanics)
+{
+    EXPECT_DEATH(Shuffler(true, 16, 5), "must divide");
+    EXPECT_DEATH(Shuffler(true, 0, 4), "positive");
+    Shuffler sh(true, 16, 4);
+    EXPECT_DEATH(sh.apply(0, 16), "out of");
+    EXPECT_DEATH(sh.invert(0, -1), "out of");
+}
+
+} // namespace
+} // namespace griffin

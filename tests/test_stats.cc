@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for summary statistics (geomean is the paper's aggregator).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Stats, GeomeanOfEqualValuesIsThatValue)
+{
+    EXPECT_DOUBLE_EQ(geomean({3.0, 3.0, 3.0}), 3.0);
+}
+
+TEST(Stats, GeomeanKnownValue)
+{
+    // geomean(2, 8) = 4
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanEmptyIsOne)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 1.0);
+}
+
+TEST(Stats, GeomeanIsNotAboveArithmeticMean)
+{
+    const std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+    EXPECT_LE(geomean(v), mean(v));
+}
+
+TEST(StatsDeathTest, GeomeanRejectsNonPositive)
+{
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+    EXPECT_DEATH(geomean({-2.0}), "positive");
+}
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, RunningStatTracksMinMaxMeanCount)
+{
+    RunningStat rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+    rs.add(4.0);
+    rs.add(-2.0);
+    rs.add(10.0);
+    EXPECT_EQ(rs.count(), 3u);
+    EXPECT_DOUBLE_EQ(rs.min(), -2.0);
+    EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(rs.sum(), 12.0);
+}
+
+TEST(StatsDeathTest, RunningStatMinOfEmptyPanics)
+{
+    RunningStat rs;
+    EXPECT_DEATH(rs.min(), "empty");
+}
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for ASCII / CSV table rendering.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Table, RendersAlignedBox)
+{
+    Table t("demo", {"config", "speedup"});
+    t.addRow({"B(4,0,1,on)", "2.47"});
+    t.addRow({"baseline", "1.00"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("| config      | speedup |"), std::string::npos);
+    EXPECT_NE(out.find("| B(4,0,1,on) | 2.47    |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes)
+{
+    Table t("", {"name", "note"});
+    t.addRow({"a,b", "he said \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, CellAccessor)
+{
+    Table t("x", {"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.cell(0, 1), "2");
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(TableDeathTest, RowArityMismatchPanics)
+{
+    Table t("x", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row has 1 cells");
+}
+
+TEST(TableDeathTest, CellOutOfRangePanics)
+{
+    Table t("x", {"a"});
+    EXPECT_DEATH(t.cell(0, 0), "out of range");
+}
+
+TEST(Table, NumFormatsFixedPrecision)
+{
+    EXPECT_EQ(Table::num(2.468, 2), "2.47");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::num(-0.5, 1), "-0.5");
+}
+
+TEST(Table, CountAddsThousandsSeparators)
+{
+    EXPECT_EQ(Table::count(0), "0");
+    EXPECT_EQ(Table::count(999), "999");
+    EXPECT_EQ(Table::count(1000), "1,000");
+    EXPECT_EQ(Table::count(4800000), "4,800,000");
+}
+
+} // namespace
+} // namespace griffin

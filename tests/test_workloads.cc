@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the benchmark networks: layer tables, MAC counts, and the
+ * Table IV dense-latency targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/network.hh"
+
+namespace griffin {
+namespace {
+
+const TileShape kShape{};
+
+TEST(Workloads, SuiteHasTheSixTableFourNetworks)
+{
+    auto suite = benchmarkSuite();
+    ASSERT_EQ(suite.size(), 6u);
+    EXPECT_EQ(suite[0].name, "AlexNet");
+    EXPECT_EQ(suite[5].name, "BERT");
+    for (const auto &net : suite)
+        net.validate();
+}
+
+TEST(Workloads, TableFourSparsityRatios)
+{
+    EXPECT_DOUBLE_EQ(networkByName("alexnet").weightSparsity, 0.89);
+    EXPECT_DOUBLE_EQ(networkByName("alexnet").actSparsity, 0.53);
+    EXPECT_DOUBLE_EQ(networkByName("bert").weightSparsity, 0.82);
+    EXPECT_DOUBLE_EQ(networkByName("bert").actSparsity, 0.0);
+    EXPECT_DOUBLE_EQ(networkByName("resnet50").weightSparsity, 0.81);
+}
+
+TEST(Workloads, MacCountsAreInTheLiteratureBallpark)
+{
+    // Published single-inference MAC counts (within a factor that
+    // tolerates our head/pool simplifications).
+    const struct
+    {
+        const char *name;
+        double macs;
+        double tolerance;
+    } expected[] = {
+        {"AlexNet", 0.72e9, 0.25},     {"GoogLeNet", 1.6e9, 0.30},
+        {"ResNet50", 4.1e9, 0.15},     {"InceptionV3", 5.7e9, 0.20},
+        {"MobileNetV2", 0.31e9, 0.25}, {"BERT", 5.6e9, 0.15},
+    };
+    for (const auto &e : expected) {
+        const auto macs =
+            static_cast<double>(networkByName(e.name).macs());
+        EXPECT_NEAR(macs / e.macs, 1.0, e.tolerance) << e.name;
+    }
+}
+
+TEST(Workloads, DenseLatencyNearTableFour)
+{
+    // Table IV dense cycle counts; our lowering differs in pooling /
+    // head details, so hold each to 35%.  MobileNetV2 is the known
+    // outlier: the paper's mapping runs depthwise layers far below
+    // even our (already poor) grouped-GEMM utilisation — see
+    // EXPERIMENTS.md — so it only gets an order-of-magnitude check.
+    for (const auto &net : benchmarkSuite()) {
+        const auto cycles =
+            static_cast<double>(net.denseCycles(kShape));
+        const auto target =
+            static_cast<double>(net.paperDenseCycles);
+        const double tolerance =
+            net.name == "MobileNetV2" ? 0.65 : 0.35;
+        EXPECT_NEAR(cycles / target, 1.0, tolerance)
+            << net.name << ": " << cycles << " vs " << target;
+    }
+}
+
+TEST(Workloads, FirstConvsAreDenseActivationOverride)
+{
+    for (const auto &name :
+         {"AlexNet", "GoogLeNet", "ResNet50", "InceptionV3",
+          "MobileNetV2"}) {
+        const auto net = networkByName(name);
+        const auto &first = net.layers.front();
+        EXPECT_DOUBLE_EQ(
+            net.layerActSparsity(first, DnnCategory::AB), 0.0)
+            << name;
+        // But later layers follow the network rate.
+        const auto &later = net.layers[3];
+        EXPECT_GT(net.layerActSparsity(later, DnnCategory::AB), 0.3)
+            << name;
+    }
+}
+
+TEST(Workloads, CategoryGatesSparsity)
+{
+    const auto net = networkByName("resnet50");
+    const auto &layer = net.layers[5];
+    EXPECT_DOUBLE_EQ(net.layerWeightSparsity(layer, DnnCategory::Dense),
+                     0.0);
+    EXPECT_DOUBLE_EQ(net.layerActSparsity(layer, DnnCategory::Dense),
+                     0.0);
+    EXPECT_DOUBLE_EQ(net.layerWeightSparsity(layer, DnnCategory::B),
+                     0.81);
+    EXPECT_DOUBLE_EQ(net.layerActSparsity(layer, DnnCategory::B), 0.0);
+    EXPECT_DOUBLE_EQ(net.layerActSparsity(layer, DnnCategory::A), 0.43);
+    EXPECT_DOUBLE_EQ(net.layerWeightSparsity(layer, DnnCategory::AB),
+                     0.81);
+}
+
+TEST(Workloads, BertAttentionGemmsAreUnpruned)
+{
+    const auto net = networkByName("bert");
+    for (const auto &layer : net.layers) {
+        if (layer.name.find("scores") != std::string::npos ||
+            layer.name.find("context") != std::string::npos) {
+            EXPECT_DOUBLE_EQ(
+                net.layerWeightSparsity(layer, DnnCategory::B), 0.0)
+                << layer.name;
+            EXPECT_EQ(layer.groups, 12) << layer.name;
+        }
+    }
+}
+
+TEST(Workloads, DepthwiseLayersAreGroupedAndUnpruned)
+{
+    const auto net = networkByName("mobilenetv2");
+    int depthwise = 0;
+    for (const auto &layer : net.layers) {
+        if (layer.name.find("depthwise") == std::string::npos)
+            continue;
+        ++depthwise;
+        EXPECT_GT(layer.groups, 1) << layer.name;
+        EXPECT_EQ(layer.n, 1) << layer.name; // one channel per group
+        EXPECT_DOUBLE_EQ(net.layerWeightSparsity(layer, DnnCategory::B),
+                         0.0)
+            << layer.name;
+    }
+    EXPECT_EQ(depthwise, 17);
+}
+
+TEST(Workloads, RepeatAndGroupsMultiplyCounts)
+{
+    LayerSpec layer = fcLayer("x", 16, 32, 8);
+    layer.repeat = 3;
+    EXPECT_EQ(layer.macs(), 3 * 8 * 16 * 32);
+    EXPECT_EQ(layer.denseCycles(kShape), 3 * 2 * 2 * 1);
+}
+
+TEST(WorkloadsDeathTest, UnknownNetworkIsFatal)
+{
+    EXPECT_EXIT(networkByName("VGG16"), testing::ExitedWithCode(1),
+                "unknown network");
+}
+
+TEST(WorkloadsDeathTest, InvalidLayerIsFatal)
+{
+    LayerSpec bad;
+    bad.name = "bad";
+    bad.m = 0;
+    EXPECT_EXIT(bad.validate(), testing::ExitedWithCode(1),
+                "non-positive GEMM dims");
+}
+
+} // namespace
+} // namespace griffin
