@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel sweep driver over the (architecture x network x category)
+ * grid — the runtime/ subsystem's command-line face.
+ *
+ *   ./bench_runner --threads 8 --json sweep.json
+ *   ./bench_runner --archs Griffin,SparTen.AB --cats b,ab --threads 4
+ *
+ * The merged results are bit-identical for any --threads value; the
+ * paper-table benches remain the curated per-figure views, this one
+ * regenerates the whole grid at once.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "bench_util.hh"
+
+#include "arch/presets.hh"
+#include "runtime/result_sink.hh"
+#include "runtime/runner.hh"
+#include "runtime/thread_pool.hh"
+
+using namespace griffin;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::istringstream is(csv);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("Parallel experiment runner: sweep architectures x "
+            "networks x categories on a thread pool");
+    cli.addString("archs", "Griffin,Sparse.B*,Sparse.A*,Sparse.AB*",
+                  "comma-separated preset names (arch/presets.hh)");
+    cli.addString("networks",
+                  "alexnet,googlenet,resnet50,inceptionv3,mobilenetv2,"
+                  "bert",
+                  "comma-separated benchmark networks");
+    cli.addString("cats", "dense,a,b,ab",
+                  "comma-separated workload categories");
+    cli.addInt("threads", ThreadPool::hardwareThreads(),
+               "worker threads (1 = serial)");
+    bench::addRunFlags(cli);
+    cli.addBool("csv", false, "emit per-layer CSV instead of the table");
+    cli.addString("json", "", "write merged results to this path");
+    cli.parse(argc, argv);
+
+    SweepSpec spec;
+    for (const auto &name : splitList(cli.getString("archs")))
+        spec.archs.push_back(presetByName(name));
+    for (const auto &name : splitList(cli.getString("networks")))
+        spec.networks.push_back(networkByName(name));
+    for (const auto &name : splitList(cli.getString("cats")))
+        spec.categories.push_back(categoryFromString(name));
+
+    spec.optionVariants = {bench::readRunFlags(cli)};
+
+    const int threads = static_cast<int>(cli.getInt("threads"));
+    const auto sweep = runSweep(spec, threads);
+
+    if (cli.getBool("csv")) {
+        writeCsv(std::cout, sweep.results());
+    } else {
+        Table t("Sweep results (" + std::to_string(threads) +
+                    " threads)",
+                {"network", "arch", "category", "speedup", "TOPS/W"});
+        for (const auto &r : sweep.results())
+            t.addRow({r.network, r.arch, toString(r.category),
+                      Table::num(r.speedup), Table::num(r.topsPerWatt)});
+        t.print(std::cout);
+        std::cout << '\n';
+
+        Table g("Geomean speedup per architecture and category",
+                {"arch", "category", "geomean"});
+        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+            for (std::size_t c = 0; c < spec.categories.size(); ++c) {
+                std::vector<NetworkResult> slice;
+                for (std::size_t i = 0; i < sweep.jobs().size(); ++i) {
+                    const auto &job = sweep.jobs()[i];
+                    if (job.archIndex == a && job.categoryIndex == c)
+                        slice.push_back(sweep.results()[i]);
+                }
+                g.addRow({spec.archs[a].name,
+                          toString(spec.categories[c]),
+                          Table::num(geomeanSpeedup(slice))});
+            }
+        }
+        g.print(std::cout);
+        std::cout << '\n';
+    }
+
+    const auto &cs = sweep.cacheStats();
+    inform("schedule cache: ", cs.hits, " hits / ", cs.misses,
+           " misses (", Table::num(100.0 * cs.hitRate(), 1),
+           "% hit rate, ", cs.entries, " entries)");
+
+    if (!cli.getString("json").empty()) {
+        ResultSink sink(cli.getString("json"));
+        sink.add(sweep.results());
+        sink.flush();
+        inform("wrote ", sweep.results().size(), " results to ",
+               cli.getString("json"));
+    }
+    return 0;
+}

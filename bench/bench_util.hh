@@ -12,6 +12,7 @@
 #ifndef GRIFFIN_BENCH_BENCH_UTIL_HH
 #define GRIFFIN_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -19,6 +20,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "griffin/accelerator.hh"
+#include "runtime/result_sink.hh"
 
 namespace griffin {
 namespace bench {
@@ -28,14 +30,26 @@ struct BenchArgs
 {
     RunOptions run;
     bool csv = false;
+    /**
+     * When set, every table show()n is written to this path as one
+     * JSON Lines record ({"table", "columns", "rows"}), so perf
+     * trajectories can be diffed by machine instead of screen-scraped.
+     * The file is rewritten per run (first table truncates, the rest
+     * of the run appends).
+     */
+    std::string jsonPath;
+    bool jsonStarted = false; ///< first write truncates, rest append
 };
 
-inline BenchArgs
-parseArgs(int argc, const char *const *argv,
-          const std::string &description, double default_sample = 0.04,
-          std::int64_t default_rowcap = 48)
+/**
+ * Declare the simulation-fidelity flags every bench shares.  Kept as a
+ * separate phase so drivers with extra flags (bench_runner) register
+ * the same names, defaults, and help text as the table benches.
+ */
+inline void
+addRunFlags(Cli &cli, double default_sample = 0.04,
+            std::int64_t default_rowcap = 48)
 {
-    Cli cli(description);
     cli.addDouble("sample", default_sample,
                   "fraction of tiles simulated per layer");
     cli.addInt("rowcap", default_rowcap,
@@ -43,27 +57,58 @@ parseArgs(int argc, const char *const *argv,
     cli.addInt("seed", 1, "tensor generation seed");
     cli.addDouble("lanebias", 0.5,
                   "weight lane-imbalance depth (see sparsity.hh)");
+}
+
+/** Read back the flags addRunFlags() declared. */
+inline RunOptions
+readRunFlags(const Cli &cli)
+{
+    RunOptions run;
+    run.sim.sampleFraction = cli.getDouble("sample");
+    run.sim.minSampledTiles = 4;
+    run.rowCap = cli.getInt("rowcap");
+    run.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    run.weightLaneBias = cli.getDouble("lanebias");
+    return run;
+}
+
+inline BenchArgs
+parseArgs(int argc, const char *const *argv,
+          const std::string &description, double default_sample = 0.04,
+          std::int64_t default_rowcap = 48)
+{
+    Cli cli(description);
+    addRunFlags(cli, default_sample, default_rowcap);
     cli.addBool("csv", false, "emit CSV instead of boxed tables");
+    cli.addString("json", "",
+                  "write each table to this path as JSON Lines "
+                  "(rewritten per run)");
     cli.parse(argc, argv);
 
     BenchArgs args;
-    args.run.sim.sampleFraction = cli.getDouble("sample");
-    args.run.sim.minSampledTiles = 4;
-    args.run.rowCap = cli.getInt("rowcap");
-    args.run.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
-    args.run.weightLaneBias = cli.getDouble("lanebias");
+    args.run = readRunFlags(cli);
     args.csv = cli.getBool("csv");
+    args.jsonPath = cli.getString("json");
     return args;
 }
 
 inline void
-show(const Table &table, const BenchArgs &args)
+show(const Table &table, BenchArgs &args)
 {
     if (args.csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
     std::cout << '\n';
+    if (!args.jsonPath.empty()) {
+        std::ofstream os(args.jsonPath, args.jsonStarted
+                                            ? std::ios::app
+                                            : std::ios::trunc);
+        if (!os)
+            fatal("cannot open --json path '", args.jsonPath, "'");
+        args.jsonStarted = true;
+        writeTableJsonLine(os, table);
+    }
 }
 
 /** Geometric-mean speedup of one architecture over the whole suite. */

@@ -32,7 +32,12 @@ struct Borrow
     int d2 = 0;
     int d3 = 0;
 
-    bool operator==(const Borrow &) const = default;
+    bool
+    operator==(const Borrow &o) const
+    {
+        return d1 == o.d1 && d2 == o.d2 && d3 == o.d3;
+    }
+    bool operator!=(const Borrow &o) const { return !(*this == o); }
 };
 
 /** Which operand tensors the datapath can skip zeros in. */
@@ -63,7 +68,13 @@ struct RoutingConfig
      */
     bool preprocessB = false;
 
-    bool operator==(const RoutingConfig &) const = default;
+    bool
+    operator==(const RoutingConfig &o) const
+    {
+        return mode == o.mode && a == o.a && b == o.b &&
+               shuffle == o.shuffle && preprocessB == o.preprocessB;
+    }
+    bool operator!=(const RoutingConfig &o) const { return !(*this == o); }
 
     /** Does the datapath skip zeros in A (resp. B)? */
     bool sparseA() const
@@ -108,7 +119,13 @@ struct WindowParams
     int rowDist = 0;
     int colDist = 0;
 
-    bool operator==(const WindowParams &) const = default;
+    bool
+    operator==(const WindowParams &o) const
+    {
+        return steps == o.steps && laneDist == o.laneDist &&
+               rowDist == o.rowDist && colDist == o.colDist;
+    }
+    bool operator!=(const WindowParams &o) const { return !(*this == o); }
 };
 
 WindowParams windowParams(const RoutingConfig &cfg);

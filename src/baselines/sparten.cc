@@ -1,7 +1,6 @@
 #include "baselines/sparten.hh"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <queue>
 #include <vector>
@@ -52,7 +51,7 @@ overlap(const KMasks &rows, std::size_t row, const KMasks &cols,
     const auto *px = rows.vec(row);
     const auto *py = cols.vec(col);
     for (std::size_t w = 0; w < rows.words(); ++w)
-        count += std::popcount(px[w] & py[w]);
+        count += __builtin_popcountll(px[w] & py[w]);
     return count;
 }
 

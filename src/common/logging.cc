@@ -2,35 +2,63 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace griffin {
 namespace detail {
 
+namespace {
+
+/**
+ * Serialises all log writes.  Parallel runner jobs warn() and inform()
+ * concurrently; without the lock their lines interleave mid-message.
+ * panic()/fatal() also take it so a crash message is never shredded by
+ * a concurrent status line (abort/exit follow after release).
+ */
+std::mutex &
+logMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s\n  @ %s:%d\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file, line);
-    std::fflush(stderr);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s\n  @ %s:%d\n", msg.c_str(), file,
+                     line);
+        std::fflush(stderr);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(logMutex());
     std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 

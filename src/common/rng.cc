@@ -53,4 +53,24 @@ Rng::fork()
     return Rng(engine_());
 }
 
+std::uint64_t
+Rng::mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    // splitmix64 finalizer over the sum: cheap, well-mixed, and stable
+    // across platforms (no std:: hashing, whose values are unspecified).
+    std::uint64_t z = seed + salt + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+Rng::mixSeed(std::uint64_t seed, const std::string &salt)
+{
+    std::uint64_t h = mixSeed(seed, salt.size());
+    for (unsigned char c : salt)
+        h = mixSeed(h, c);
+    return h;
+}
+
 } // namespace griffin

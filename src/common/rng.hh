@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace griffin {
@@ -53,6 +54,18 @@ class Rng
      * or tile its own stream so results do not depend on visit order.
      */
     Rng fork();
+
+    /**
+     * Deterministically fold `salt` into `seed` (splitmix64 finalizer).
+     * Order-independent job seeding for the parallel runner and the
+     * content hashing of the schedule cache both flow through this, so
+     * derived streams never depend on which thread asked first.
+     */
+    static std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t salt);
+
+    /** mixSeed over every byte of a string salt. */
+    static std::uint64_t mixSeed(std::uint64_t seed,
+                                 const std::string &salt);
 
   private:
     std::mt19937_64 engine_;

@@ -41,6 +41,8 @@ class Table
     std::size_t rows() const { return rows_.size(); }
     std::size_t cols() const { return headers_.size(); }
     const std::string &cell(std::size_t r, std::size_t c) const;
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headers() const { return headers_; }
 
     /** Format a double with fixed precision (default 2 decimals). */
     static std::string num(double v, int precision = 2);

@@ -135,8 +135,16 @@ Accelerator::run(const NetworkSpec &net, DnnCategory cat,
 std::vector<NetworkResult>
 Accelerator::runSuite(DnnCategory cat, const RunOptions &opt) const
 {
+    return runSuite(benchmarkSuite(), cat, opt);
+}
+
+std::vector<NetworkResult>
+Accelerator::runSuite(const std::vector<NetworkSpec> &nets,
+                      DnnCategory cat, const RunOptions &opt) const
+{
     std::vector<NetworkResult> results;
-    for (const auto &net : benchmarkSuite())
+    results.reserve(nets.size());
+    for (const auto &net : nets)
         results.push_back(run(net, cat, opt));
     return results;
 }
@@ -144,10 +152,25 @@ Accelerator::runSuite(DnnCategory cat, const RunOptions &opt) const
 double
 geomeanSpeedup(const std::vector<NetworkResult> &results)
 {
+    if (results.empty()) {
+        warn("geomeanSpeedup over no results; returning 1.0");
+        return 1.0;
+    }
     std::vector<double> speedups;
     speedups.reserve(results.size());
-    for (const auto &r : results)
+    for (const auto &r : results) {
+        // A degenerate run (all-zero cycles) can report a non-positive
+        // speedup; the geometric mean is undefined over those, so skip
+        // them rather than poisoning the aggregate.
+        if (r.speedup <= 0.0) {
+            warn("geomeanSpeedup skipping non-positive speedup ",
+                 r.speedup, " of ", r.network, " on ", r.arch);
+            continue;
+        }
         speedups.push_back(r.speedup);
+    }
+    if (speedups.empty())
+        return 1.0;
     return geomean(speedups);
 }
 

@@ -103,6 +103,15 @@ class Accelerator
     std::vector<NetworkResult> runSuite(DnnCategory cat,
                                         const RunOptions &opt = {}) const;
 
+    /**
+     * Run an explicit network list in one category.  run() is const
+     * and keeps no per-call state, so concurrent calls on one
+     * Accelerator are safe (the runtime/ subsystem relies on this).
+     */
+    std::vector<NetworkResult>
+    runSuite(const std::vector<NetworkSpec> &nets, DnnCategory cat,
+             const RunOptions &opt = {}) const;
+
   private:
     ArchConfig config_;
 };

@@ -1,0 +1,192 @@
+#include "runtime/result_sink.hh"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+namespace {
+
+std::string
+indentStr(int level)
+{
+    return std::string(static_cast<std::size_t>(level) * 2, ' ');
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    // std::to_chars emits the shortest round-tripping decimal form and
+    // ignores the process locale — printf's %g would honour a comma
+    // LC_NUMERIC separator and emit invalid JSON.
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    GRIFFIN_ASSERT(res.ec == std::errc{}, "double formatting failed");
+    return std::string(buf, res.ptr);
+}
+
+void
+writeJson(std::ostream &os, const NetworkResult &result, int indent)
+{
+    const std::string in0 = indentStr(indent);
+    const std::string in1 = indentStr(indent + 1);
+    const std::string in2 = indentStr(indent + 2);
+    os << in0 << "{\n"
+       << in1 << "\"network\": \"" << jsonEscape(result.network) << "\",\n"
+       << in1 << "\"arch\": \"" << jsonEscape(result.arch) << "\",\n"
+       << in1 << "\"category\": \"" << toString(result.category) << "\",\n"
+       << in1 << "\"dense_cycles\": " << result.denseCycles << ",\n"
+       << in1 << "\"total_cycles\": " << result.totalCycles << ",\n"
+       << in1 << "\"speedup\": " << jsonNumber(result.speedup) << ",\n"
+       << in1 << "\"tops_per_watt\": " << jsonNumber(result.topsPerWatt)
+       << ",\n"
+       << in1 << "\"tops_per_mm2\": " << jsonNumber(result.topsPerMm2)
+       << ",\n"
+       << in1 << "\"layers\": [";
+    for (std::size_t i = 0; i < result.layers.size(); ++i) {
+        const auto &l = result.layers[i];
+        os << (i == 0 ? "\n" : ",\n")
+           << in2 << "{\"name\": \"" << jsonEscape(l.name) << "\", "
+           << "\"dense_cycles\": " << l.denseCycles << ", "
+           << "\"compute_cycles\": " << l.computeCycles << ", "
+           << "\"dram_cycles\": " << l.dramCycles << ", "
+           << "\"total_cycles\": " << l.totalCycles << ", "
+           << "\"macs\": " << l.macs << ", "
+           << "\"speedup\": " << jsonNumber(l.speedup) << "}";
+    }
+    if (!result.layers.empty())
+        os << "\n" << in1;
+    os << "]\n" << in0 << "}";
+}
+
+void
+writeJson(std::ostream &os, const std::vector<NetworkResult> &results)
+{
+    os << "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        writeJson(os, results[i], 1);
+    }
+    if (!results.empty())
+        os << "\n";
+    os << "]\n";
+}
+
+void
+writeCsv(std::ostream &os, const std::vector<NetworkResult> &results)
+{
+    os << "network,arch,category,layer,dense_cycles,compute_cycles,"
+          "dram_cycles,total_cycles,macs,speedup\n";
+    for (const auto &r : results) {
+        for (const auto &l : r.layers) {
+            os << r.network << ',' << r.arch << ','
+               << toString(r.category) << ',' << l.name << ','
+               << l.denseCycles << ',' << l.computeCycles << ','
+               << l.dramCycles << ',' << l.totalCycles << ',' << l.macs
+               << ',' << jsonNumber(l.speedup) << '\n';
+        }
+        os << r.network << ',' << r.arch << ',' << toString(r.category)
+           << ",total," << r.denseCycles << ",,," << r.totalCycles
+           << ",," << jsonNumber(r.speedup) << '\n';
+    }
+}
+
+void
+writeTableJsonLine(std::ostream &os, const Table &table)
+{
+    os << "{\"table\": \"" << jsonEscape(table.title()) << "\", "
+       << "\"columns\": [";
+    for (std::size_t c = 0; c < table.cols(); ++c) {
+        if (c != 0)
+            os << ", ";
+        os << '"' << jsonEscape(table.headers()[c]) << '"';
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows(); ++r) {
+        os << (r == 0 ? "[" : ", [");
+        for (std::size_t c = 0; c < table.cols(); ++c) {
+            if (c != 0)
+                os << ", ";
+            os << '"' << jsonEscape(table.cell(r, c)) << '"';
+        }
+        os << "]";
+    }
+    os << "]}\n";
+}
+
+ResultSink::ResultSink(std::string path) : path_(std::move(path))
+{
+    if (path_.empty())
+        fatal("result sink needs a non-empty path");
+}
+
+void
+ResultSink::add(NetworkResult result)
+{
+    results_.push_back(std::move(result));
+}
+
+void
+ResultSink::add(const std::vector<NetworkResult> &results)
+{
+    results_.insert(results_.end(), results.begin(), results.end());
+}
+
+void
+ResultSink::flush() const
+{
+    std::ofstream os(path_);
+    if (!os)
+        fatal("cannot open result sink path '", path_, "'");
+    const bool csv = path_.size() >= 4 &&
+                     path_.compare(path_.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        writeCsv(os, results_);
+    else
+        writeJson(os, results_);
+    if (!os)
+        fatal("write to result sink path '", path_, "' failed");
+}
+
+} // namespace griffin

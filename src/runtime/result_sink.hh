@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Structured serialization of run results.
+ *
+ * Benches and the experiment runner historically emitted boxed ASCII
+ * tables only; perf-trajectory tooling needs the same results machine-
+ * readable.  This sink renders NetworkResult / LayerResult trees as
+ * JSON documents and flat CSV, and Table objects as JSON Lines
+ * records (one object per table, append-friendly across a bench's
+ * multiple tables).
+ *
+ * Output is byte-deterministic: fixed key order, no timestamps, and
+ * shortest-round-trip double formatting, so a parallel sweep merged in
+ * submission order serializes identically to its serial run.
+ */
+
+#ifndef GRIFFIN_RUNTIME_RESULT_SINK_HH
+#define GRIFFIN_RUNTIME_RESULT_SINK_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "griffin/accelerator.hh"
+
+namespace griffin {
+
+/** JSON string escaping per RFC 8259 (quotes, backslash, control). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Shortest decimal form that round-trips the double (std::to_chars) —
+ * deterministic for equal inputs and locale-independent.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * One network run as a JSON object: identity, cycle totals, aggregate
+ * metrics, and the per-layer breakdown.
+ */
+void writeJson(std::ostream &os, const NetworkResult &result,
+               int indent = 0);
+
+/** A result list as a JSON array (the runner's merged sweep output). */
+void writeJson(std::ostream &os, const std::vector<NetworkResult> &results);
+
+/**
+ * Flat CSV: one row per layer plus one `total` row per network, with
+ * the network/arch/category identity repeated per row.
+ */
+void writeCsv(std::ostream &os, const std::vector<NetworkResult> &results);
+
+/** One Table as a single-line JSON object (for JSON Lines streams). */
+void writeTableJsonLine(std::ostream &os, const Table &table);
+
+/**
+ * File-backed sink: collects results and writes one document on
+ * flush().  Format is chosen by the path suffix: ".csv" writes CSV,
+ * anything else JSON.
+ */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::string path);
+
+    void add(NetworkResult result);
+    void add(const std::vector<NetworkResult> &results);
+
+    const std::vector<NetworkResult> &results() const { return results_; }
+
+    /** Write the collected document; fatal() on an unwritable path. */
+    void flush() const;
+
+  private:
+    std::string path_;
+    std::vector<NetworkResult> results_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_RESULT_SINK_HH

@@ -1,0 +1,103 @@
+#include "runtime/runner.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "runtime/thread_pool.hh"
+
+namespace griffin {
+
+std::size_t
+SweepSpec::jobCount() const
+{
+    return archs.size() * networks.size() * categories.size() *
+           optionVariants.size();
+}
+
+void
+SweepSpec::validate() const
+{
+    if (archs.empty())
+        fatal("sweep spec has no architectures");
+    if (networks.empty())
+        fatal("sweep spec has no networks");
+    if (categories.empty())
+        fatal("sweep spec has no categories");
+    if (optionVariants.empty())
+        fatal("sweep spec has no RunOptions variants");
+    for (const auto &arch : archs)
+        arch.validate();
+    for (const auto &net : networks)
+        net.validate();
+}
+
+std::vector<SweepJob>
+expandSweep(const SweepSpec &spec)
+{
+    spec.validate();
+    std::vector<SweepJob> jobs;
+    jobs.reserve(spec.jobCount());
+    for (std::size_t o = 0; o < spec.optionVariants.size(); ++o) {
+        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+            for (std::size_t n = 0; n < spec.networks.size(); ++n) {
+                for (std::size_t c = 0; c < spec.categories.size();
+                     ++c) {
+                    SweepJob job;
+                    job.archIndex = a;
+                    job.networkIndex = n;
+                    job.categoryIndex = c;
+                    job.optionsIndex = o;
+                    job.options = spec.optionVariants[o];
+                    if (spec.perArchSeeds)
+                        job.options.seed = Rng::mixSeed(
+                            job.options.seed, spec.archs[a].name);
+                    jobs.push_back(std::move(job));
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
+{
+    auto jobs = expandSweep(spec);
+
+    std::unique_ptr<ScheduleCache> owned_cache;
+    if (cache == nullptr) {
+        owned_cache = std::make_unique<ScheduleCache>();
+        cache = owned_cache.get();
+    }
+
+    // One Accelerator per architecture, shared read-only by every job.
+    std::vector<Accelerator> accelerators;
+    accelerators.reserve(spec.archs.size());
+    for (const auto &arch : spec.archs)
+        accelerators.emplace_back(arch);
+
+    // Each job writes only its own slot: no result lock needed, and
+    // the merge is the identity — submission order is result order.
+    std::vector<NetworkResult> results(jobs.size());
+    {
+        ThreadPool pool(threads);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            pool.submit([&spec, &jobs, &accelerators, &results, cache,
+                         i] {
+                const SweepJob &job = jobs[i];
+                RunOptions opt = job.options;
+                opt.sim.scheduleCache = cache;
+                results[i] = accelerators[job.archIndex].run(
+                    spec.networks[job.networkIndex],
+                    spec.categories[job.categoryIndex], opt);
+            });
+        }
+        pool.wait();
+    }
+
+    return SweepResult(std::move(jobs), std::move(results),
+                       cache->stats());
+}
+
+} // namespace griffin

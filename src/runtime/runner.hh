@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Declarative experiment sweeps over the (architecture x network x
+ * category x RunOptions) grid, sharded across a work-stealing pool.
+ *
+ * The seed benches walk this grid serially through
+ * Accelerator::runSuite; sparse-optimization studies sweep grids far
+ * larger than six networks, so the runner turns the grid into
+ * independent jobs:
+ *
+ *   SweepSpec spec;
+ *   spec.archs = {sparseBStar(), griffinArch()};
+ *   spec.networks = benchmarkSuite();
+ *   spec.categories = {DnnCategory::B, DnnCategory::AB};
+ *   auto sweep = runSweep(spec, 8);
+ *   writeJson(std::cout, sweep.results());
+ *
+ * Determinism: every job's inputs are fixed at expansion time (its
+ * own RunOptions copy; Accelerator::run derives all randomness from
+ * opt.seed and the network name), and results land in a slot indexed
+ * by submission order — so the merged output is bit-identical no
+ * matter how many threads ran it or how work-stealing interleaved the
+ * jobs.  Accelerator::run is const and shares no mutable state, which
+ * is what makes the fan-out safe.
+ *
+ * A ScheduleCache shared across the sweep memoizes B-side
+ * preprocessing between jobs that stream the same weight tiles
+ * (schedule_cache.hh); it is an optimization only and does not change
+ * any result.
+ */
+
+#ifndef GRIFFIN_RUNTIME_RUNNER_HH
+#define GRIFFIN_RUNTIME_RUNNER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "griffin/accelerator.hh"
+#include "runtime/schedule_cache.hh"
+
+namespace griffin {
+
+/**
+ * One point of the sweep grid, fully determined before submission.
+ * Indices refer to the SweepSpec vectors the job was expanded from.
+ */
+struct SweepJob
+{
+    std::size_t archIndex = 0;
+    std::size_t networkIndex = 0;
+    std::size_t categoryIndex = 0;
+    std::size_t optionsIndex = 0;
+    RunOptions options; ///< resolved options, job seed included
+};
+
+/** The declarative grid. */
+struct SweepSpec
+{
+    std::vector<ArchConfig> archs;
+    std::vector<NetworkSpec> networks;
+    std::vector<DnnCategory> categories;
+
+    /**
+     * RunOptions axis of the grid; one entry sweeps nothing.  Empty is
+     * a fatal() user error (there would be no jobs).
+     */
+    std::vector<RunOptions> optionVariants = {RunOptions{}};
+
+    /**
+     * When true, each job's seed is re-derived as
+     * mixSeed(options.seed, arch name) so architectures see
+     * independent tensors; default keeps the per-variant seed so
+     * architectures are compared on identical tensors (the paper's
+     * methodology).
+     */
+    bool perArchSeeds = false;
+
+    /** Expanded job count (archs * networks * categories * options). */
+    std::size_t jobCount() const;
+
+    void validate() const;
+};
+
+/** Merged outcome of one sweep. */
+class SweepResult
+{
+  public:
+    SweepResult() = default;
+    SweepResult(std::vector<SweepJob> jobs,
+                std::vector<NetworkResult> results,
+                ScheduleCache::Stats cache_stats)
+        : jobs_(std::move(jobs)), results_(std::move(results)),
+          cacheStats_(cache_stats)
+    {
+    }
+
+    /** Jobs in submission (= expansion) order. */
+    const std::vector<SweepJob> &jobs() const { return jobs_; }
+
+    /** results()[i] is jobs()[i]'s outcome — same order, any thread
+     *  count. */
+    const std::vector<NetworkResult> &results() const { return results_; }
+
+    const ScheduleCache::Stats &cacheStats() const { return cacheStats_; }
+
+  private:
+    std::vector<SweepJob> jobs_;
+    std::vector<NetworkResult> results_;
+    ScheduleCache::Stats cacheStats_;
+};
+
+/**
+ * Expand the grid in (options, arch, network, category) nesting order
+ * — the order a serial quadruple loop would visit it.
+ */
+std::vector<SweepJob> expandSweep(const SweepSpec &spec);
+
+/**
+ * Run the sweep on `threads` workers (1 = serial through the same
+ * code path).  An internal schedule cache is shared across jobs; pass
+ * `cache` to reuse one across sweeps, or nullptr for per-sweep
+ * caching.
+ */
+SweepResult runSweep(const SweepSpec &spec, int threads,
+                     ScheduleCache *cache = nullptr);
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_RUNNER_HH

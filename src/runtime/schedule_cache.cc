@@ -1,0 +1,116 @@
+#include "runtime/schedule_cache.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace griffin {
+
+ScheduleCache::ScheduleCache(std::size_t shards)
+{
+    if (shards == 0)
+        fatal("schedule cache needs at least 1 shard");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ScheduleCache::Key
+ScheduleCache::contentKey(const TileViewB &b, const Borrow &db,
+                          const Shuffler &shuffler)
+{
+    // Two independently-salted streams give a 128-bit key.  The hash
+    // covers the schedule's full input domain: tile geometry, every
+    // element's zero pattern (padding included, via the view's
+    // zero-extension), the borrow window, and the shuffle config.
+    std::uint64_t lo = Rng::mixSeed(0x5ca1ab1eULL, b.steps());
+    std::uint64_t hi = Rng::mixSeed(0xdecafbadULL, b.steps());
+    auto fold = [&](std::uint64_t v) {
+        lo = Rng::mixSeed(lo, v);
+        hi = Rng::mixSeed(hi, v + 0x9e37ULL);
+    };
+    fold(static_cast<std::uint64_t>(b.lanes()));
+    fold(static_cast<std::uint64_t>(b.units()));
+    fold(static_cast<std::uint64_t>(db.d1));
+    fold(static_cast<std::uint64_t>(db.d2));
+    fold(static_cast<std::uint64_t>(db.d3));
+    fold(shuffler.enabled() ? 1u : 0u);
+    fold(static_cast<std::uint64_t>(shuffler.groupSize()));
+
+    // Pack the tile's INT8 elements 8 per word before mixing: one
+    // splitmix round per 8 elements instead of per element.
+    std::uint64_t word = 0;
+    int packed = 0;
+    for (std::int64_t k1 = 0; k1 < b.steps(); ++k1) {
+        for (int k2 = 0; k2 < b.lanes(); ++k2) {
+            for (int n = 0; n < b.units(); ++n) {
+                word = (word << 8) |
+                       static_cast<std::uint8_t>(b.at(k1, k2, n));
+                if (++packed == 8) {
+                    fold(word);
+                    word = 0;
+                    packed = 0;
+                }
+            }
+        }
+    }
+    if (packed != 0)
+        fold(word);
+    return Key{lo, hi};
+}
+
+ScheduleCache::Shard &
+ScheduleCache::shardFor(const Key &key)
+{
+    return *shards_[key.hi % shards_.size()];
+}
+
+std::shared_ptr<const BSchedule>
+ScheduleCache::obtain(const TileViewB &b, const Borrow &db,
+                      const Shuffler &shuffler)
+{
+    const Key key = contentKey(b, db, shuffler);
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.entries.find(key);
+        if (it != shard.entries.end()) {
+            ++shard.hits;
+            return it->second;
+        }
+        ++shard.misses;
+    }
+
+    // Compute outside the lock; a concurrent requester of the same key
+    // recomputes the identical schedule and the first insert wins.
+    auto fresh = std::make_shared<const BSchedule>(
+        preprocessB(b, db, shuffler, false));
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.entries.emplace(key, std::move(fresh));
+    static_cast<void>(inserted);
+    return it->second;
+}
+
+ScheduleCache::Stats
+ScheduleCache::stats() const
+{
+    Stats s;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.hits += shard->hits;
+        s.misses += shard->misses;
+        s.entries += shard->entries.size();
+    }
+    return s;
+}
+
+void
+ScheduleCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->entries.clear();
+    }
+}
+
+} // namespace griffin

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Content-hash-keyed memoization of B-side preprocessing.
+ *
+ * preprocessB() is the dominant per-column-tile cost of Sparse.B and
+ * preprocessed dual-sparse runs, and it is a pure function of the
+ * tile's zero pattern, the borrow window, and the shuffle setting.
+ * Sweep jobs that share a weight tensor — the same network at the same
+ * sparsity and seed, swept across architectures, categories, or run
+ * options with identical B-side routing — therefore recompute byte-
+ * identical schedules.  This cache keys the compressed stream by a
+ * content hash of exactly those inputs and shares one immutable
+ * BSchedule across every job that asks.
+ *
+ * Thread-safe: the map is sharded by key hash, each shard behind its
+ * own mutex.  On a miss the schedule is computed *outside* the shard
+ * lock (packing a tile is milliseconds; holding the lock would
+ * serialise the pool) and the first finisher wins — preprocessB() is
+ * deterministic, so concurrent double-computes insert equal values.
+ *
+ * Keys are 128 bits of splitmix-mixed content hash; collisions are
+ * treated as impossible (the sweep grids this serves are ~1e4 tiles,
+ * collision odds ~1e-30).
+ */
+
+#ifndef GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
+#define GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/b_preprocess.hh"
+
+namespace griffin {
+
+class ScheduleCache
+{
+  public:
+    /** Aggregate counters (monotone; read with stats()). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;   ///< includes concurrent recomputes
+        std::uint64_t entries = 0;  ///< resident schedules
+
+        double
+        hitRate() const
+        {
+            const auto total = hits + misses;
+            return total == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(total);
+        }
+    };
+
+    explicit ScheduleCache(std::size_t shards = 16);
+
+    /**
+     * The compressed stream of tile `b` under window `db` and
+     * `shuffler`, computed on first request and shared afterwards.
+     * The returned schedule is immutable and outlives the cache entry
+     * (shared ownership), so callers may hold it across clear().
+     *
+     * Cached schedules never carry recorded ops (record = false);
+     * verification passes that need ops must call preprocessB()
+     * directly.
+     */
+    std::shared_ptr<const BSchedule>
+    obtain(const TileViewB &b, const Borrow &db, const Shuffler &shuffler);
+
+    Stats stats() const;
+
+    /** Drop every entry (stat counters survive). */
+    void clear();
+
+  private:
+    struct Key
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return lo == o.lo && hi == o.hi;
+        }
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return static_cast<std::size_t>(k.lo);
+        }
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<Key, std::shared_ptr<const BSchedule>, KeyHash>
+            entries;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    static Key contentKey(const TileViewB &b, const Borrow &db,
+                          const Shuffler &shuffler);
+
+    Shard &shardFor(const Key &key);
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH

@@ -1,0 +1,140 @@
+#include "runtime/thread_pool.hh"
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads <= 0)
+        fatal("thread pool needs at least 1 thread, got ", threads);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        threads_.emplace_back(
+            [this, i] { workerLoop(static_cast<std::size_t>(i)); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Drain-then-join: jobs already submitted are a promise to the
+    // caller, so shutdown finishes them rather than dropping them.
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    GRIFFIN_ASSERT(unfinished_ == 0,
+                   "pool joined with ", unfinished_, " unfinished jobs");
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    GRIFFIN_ASSERT(job != nullptr, "null job submitted");
+    std::size_t target;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_)
+            panic("submit() on a stopping thread pool");
+        ++unfinished_;
+        ++queued_;
+        target = nextWorker_;
+        nextWorker_ = (nextWorker_ + 1) % workers_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(workers_[target]->mu);
+        workers_[target]->jobs.push_back(std::move(job));
+    }
+    workCv_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idleCv_.wait(lock, [this] { return unfinished_ == 0; });
+}
+
+std::size_t
+ThreadPool::pendingJobs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return unfinished_;
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool
+ThreadPool::popOwn(std::size_t self, std::function<void()> &job)
+{
+    auto &w = *workers_[self];
+    std::lock_guard<std::mutex> lock(w.mu);
+    if (w.jobs.empty())
+        return false;
+    job = std::move(w.jobs.back());
+    w.jobs.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t self, std::function<void()> &job)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t i = 1; i < n; ++i) {
+        auto &victim = *workers_[(self + i) % n];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (victim.jobs.empty())
+            continue;
+        job = std::move(victim.jobs.front());
+        victim.jobs.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> job;
+        if (popOwn(self, job) || steal(self, job)) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                --queued_;
+            }
+            job();
+            std::lock_guard<std::mutex> lock(mu_);
+            --unfinished_;
+            if (unfinished_ == 0) {
+                idleCv_.notify_all();
+                if (stopping_)
+                    workCv_.notify_all();
+            }
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mu_);
+        // queued_ > 0 with empty deques means a submit() is between
+        // its counter bump and its deque push: rescan, don't sleep.
+        if (queued_ > 0) {
+            lock.unlock();
+            std::this_thread::yield();
+            continue;
+        }
+        if (stopping_)
+            return; // nothing queued and no more submits coming
+        workCv_.wait(lock,
+                     [this] { return queued_ > 0 || stopping_; });
+    }
+}
+
+} // namespace griffin

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Work-stealing thread pool for the experiment runner.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (hot caches) and
+ * steals FIFO from a victim when empty (oldest jobs first, so long
+ * sweeps drain from the front).  Submission round-robins across the
+ * worker deques, which spreads a burst of jobs without a global queue
+ * becoming the contention point.
+ *
+ * Scheduling order is *not* deterministic — any worker may run any
+ * job.  Determinism is the runner's problem, and it solves it by
+ * giving every job an order-independent seed and merging results by
+ * submission index (runner.hh).
+ */
+
+#ifndef GRIFFIN_RUNTIME_THREAD_POOL_HH
+#define GRIFFIN_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace griffin {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Spawn `threads` workers (>= 1; fatal() on 0 or negative).
+     * hardwareThreads() is the usual argument.
+     */
+    explicit ThreadPool(int threads);
+
+    /** Drains every pending job, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threads() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue one job.  Jobs must not throw (the library reports
+     * errors via fatal()/panic()); an escaping exception terminates.
+     * Submitting after shutdown began is a panic().
+     */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has finished. */
+    void wait();
+
+    /** Jobs submitted but not yet finished (racy; for status lines). */
+    std::size_t pendingJobs() const;
+
+    /** std::thread::hardware_concurrency with a floor of 1. */
+    static int hardwareThreads();
+
+  private:
+    struct Worker
+    {
+        std::deque<std::function<void()>> jobs;
+        mutable std::mutex mu;
+    };
+
+    bool popOwn(std::size_t self, std::function<void()> &job);
+    bool steal(std::size_t self, std::function<void()> &job);
+    void workerLoop(std::size_t self);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    mutable std::mutex mu_;           ///< guards the fields below
+    std::condition_variable workCv_;  ///< workers sleep here
+    std::condition_variable idleCv_;  ///< wait() sleeps here
+    std::size_t unfinished_ = 0;      ///< submitted minus completed
+    std::size_t queued_ = 0;          ///< submitted minus started
+    std::size_t nextWorker_ = 0;      ///< round-robin submit cursor
+    bool stopping_ = false;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_THREAD_POOL_HH

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 
 #include "arch/overhead.hh"
+#include "runtime/schedule_cache.hh"
 #include "sched/a_arbiter.hh"
 #include "sched/b_preprocess.hh"
 #include "sched/dual_scheduler.hh"
@@ -42,6 +44,21 @@ countEffectualOps(const MatrixI8 &a, const MatrixI8 &b)
         total += a_nnz * b_nnz;
     }
     return total;
+}
+
+/**
+ * Preprocess one B tile, through the shared cache when the caller
+ * provided one.  The returned pointer keeps the schedule alive either
+ * way (locally computed streams are wrapped in fresh ownership).
+ */
+std::shared_ptr<const BSchedule>
+obtainStream(ScheduleCache *cache, const TileViewB &vb, const Borrow &db,
+             const Shuffler &shuffler)
+{
+    if (cache != nullptr)
+        return cache->obtain(vb, db, shuffler);
+    return std::make_shared<const BSchedule>(
+        preprocessB(vb, db, shuffler, false));
 }
 
 /** Scale a sampled cycle total back to the full population. */
@@ -110,18 +127,19 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
         std::int64_t sum = 0;
         for (const auto &t : picks) {
             TileViewB vb(b, shape, t.row * shape.n0);
-            auto stream = preprocessB(vb, routing.b, shuffler, false);
+            auto stream =
+                obtainStream(opt.scheduleCache, vb, routing.b, shuffler);
             // Runtime is bandwidth-capped even though packing is
             // offline: replaying the stream can consume at most `bw`
             // raw A steps per cycle.
-            std::int64_t cycles = stream.cycles();
+            std::int64_t cycles = stream->cycles();
             const double min_cycles =
                 static_cast<double>(vb.steps()) / bw;
             cycles = std::max<std::int64_t>(
                 cycles, static_cast<std::int64_t>(
                             std::ceil(min_cycles)));
             sum += cycles;
-            accumulate(result.sched, stream.stats());
+            accumulate(result.sched, stream->stats());
         }
         result.computeCycles =
             scaleUp(sum, static_cast<std::int64_t>(picks.size()),
@@ -155,8 +173,10 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
         auto picks =
             sampleTiles(row_tiles, col_tiles, opt.sampleFraction,
                         opt.minSampledTiles, opt.seed);
-        // One preprocessed stream per distinct column tile.
-        std::map<std::int64_t, BSchedule> streams;
+        // One preprocessed stream per distinct column tile; the
+        // per-call map short-circuits repeat columns of this GEMM even
+        // when no cross-job cache is attached.
+        std::map<std::int64_t, std::shared_ptr<const BSchedule>> streams;
         std::int64_t sum = 0;
         for (const auto &t : picks) {
             TileViewA va(a, shape, t.row * shape.m0);
@@ -167,11 +187,11 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
                 if (it == streams.end()) {
                     it = streams
                              .emplace(t.col,
-                                      preprocessB(vb, routing.b,
-                                                  shuffler, false))
+                                      obtainStream(opt.scheduleCache, vb,
+                                                   routing.b, shuffler))
                              .first;
                 }
-                stream = &it->second;
+                stream = it->second.get();
             }
             auto dual = scheduleDual(va, vb, routing, shuffler, stream,
                                      bw, false);

@@ -32,6 +32,8 @@
 
 namespace griffin {
 
+class ScheduleCache; // runtime/schedule_cache.hh
+
 /** Simulation knobs. */
 struct SimOptions
 {
@@ -54,6 +56,14 @@ struct SimOptions
      * compute-dominated, so the default is 0.
      */
     int drainCyclesPerTile = 0;
+
+    /**
+     * Optional shared memoization of B-side preprocessing (not owned).
+     * Cached and freshly-computed schedules are identical — this only
+     * skips recomputing streams for weight tiles another job already
+     * packed.  nullptr computes every stream locally.
+     */
+    ScheduleCache *scheduleCache = nullptr;
 };
 
 /** Result of simulating one GEMM. */

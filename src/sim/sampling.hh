@@ -25,7 +25,11 @@ struct TileCoord
     std::int64_t row; ///< row-tile index (A side)
     std::int64_t col; ///< column-tile index (B side)
 
-    bool operator==(const TileCoord &) const = default;
+    bool
+    operator==(const TileCoord &o) const
+    {
+        return row == o.row && col == o.col;
+    }
 };
 
 /**

@@ -104,6 +104,12 @@ class Matrix
                data_ == other.data_;
     }
 
+    bool
+    operator!=(const Matrix &other) const
+    {
+        return !(*this == other);
+    }
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

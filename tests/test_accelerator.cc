@@ -145,6 +145,38 @@ TEST(Accelerator, DeterministicAcrossRuns)
     EXPECT_EQ(r1.totalCycles, r2.totalCycles);
 }
 
+TEST(GeomeanSpeedup, EmptyInputIsNeutral)
+{
+    EXPECT_DOUBLE_EQ(geomeanSpeedup({}), 1.0);
+}
+
+TEST(GeomeanSpeedup, SkipsNonPositiveSpeedups)
+{
+    NetworkResult good;
+    good.network = "good";
+    good.speedup = 4.0;
+    NetworkResult zero;
+    zero.network = "zero";
+    zero.speedup = 0.0;
+    NetworkResult negative;
+    negative.network = "negative";
+    negative.speedup = -2.0;
+
+    // Non-positive entries are skipped, not folded into the mean.
+    EXPECT_DOUBLE_EQ(geomeanSpeedup({good, zero, negative}), 4.0);
+    // All entries degenerate -> neutral 1.0 rather than NaN/abort.
+    EXPECT_DOUBLE_EQ(geomeanSpeedup({zero, negative}), 1.0);
+}
+
+TEST(GeomeanSpeedup, MatchesGeomeanOnPositiveInput)
+{
+    NetworkResult a;
+    a.speedup = 2.0;
+    NetworkResult b;
+    b.speedup = 8.0;
+    EXPECT_NEAR(geomeanSpeedup({a, b}), 4.0, 1e-12);
+}
+
 TEST(AcceleratorDeathTest, BadRowCapIsFatal)
 {
     Accelerator acc(denseBaseline());

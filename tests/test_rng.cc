@@ -109,6 +109,19 @@ TEST(Rng, ShufflePermutes)
     EXPECT_EQ(sorted, original);
 }
 
+TEST(Rng, MixSeedIsDeterministicAndSaltSensitive)
+{
+    EXPECT_EQ(Rng::mixSeed(1, 2), Rng::mixSeed(1, 2));
+    EXPECT_NE(Rng::mixSeed(1, 2), Rng::mixSeed(1, 3));
+    EXPECT_NE(Rng::mixSeed(1, 2), Rng::mixSeed(2, 2));
+    // Sum-based mixing must not collapse (seed, salt) pairs with equal
+    // sums into the same stream seed via the string path.
+    EXPECT_NE(Rng::mixSeed(1, std::string("ab")),
+              Rng::mixSeed(1, std::string("ba")));
+    EXPECT_EQ(Rng::mixSeed(42, std::string("Griffin")),
+              Rng::mixSeed(42, std::string("Griffin")));
+}
+
 TEST(Rng, ForkIsIndependentOfParentContinuation)
 {
     Rng parent(77);

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the runtime/ subsystem: work-stealing pool semantics,
+ * schedule-cache correctness, parallel-vs-serial determinism of the
+ * experiment runner, and result-sink serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "arch/presets.hh"
+#include "common/rng.hh"
+#include "runtime/result_sink.hh"
+#include "runtime/runner.hh"
+#include "runtime/schedule_cache.hh"
+#include "runtime/thread_pool.hh"
+#include "tensor/sparsity.hh"
+
+namespace griffin {
+namespace {
+
+// ---- thread pool ----------------------------------------------------
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4);
+    std::atomic<int> count{0};
+    std::vector<std::atomic<int>> per_job(100);
+    for (auto &p : per_job)
+        p = 0;
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count, &per_job, i] {
+            ++per_job[static_cast<std::size_t>(i)];
+            ++count;
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+    for (const auto &p : per_job)
+        EXPECT_EQ(p.load(), 1);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+        EXPECT_EQ(pool.pendingJobs(), 0u);
+    }
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingJobs)
+{
+    // Destroy the pool while most jobs are still queued: shutdown must
+    // finish every submitted job, not drop the backlog.
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+                ++count;
+            });
+        // No wait(): the destructor races the backlog.
+    }
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, StealsAcrossWorkers)
+{
+    // One worker's deque gets every long job (round-robin with exactly
+    // one job per spin); with stealing, elapsed time is bounded well
+    // below serial execution.  Smoke-level: just require all to finish
+    // from a heavily imbalanced submit pattern.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&count] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            ++count;
+        });
+    pool.wait();
+    EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPoolDeathTest, ZeroThreadsIsFatal)
+{
+    EXPECT_EXIT(ThreadPool pool(0), testing::ExitedWithCode(1),
+                "at least 1 thread");
+}
+
+// ---- schedule cache -------------------------------------------------
+
+/** Structural equality of two compressed streams. */
+void
+expectSameSchedule(const BSchedule &x, const BSchedule &y)
+{
+    ASSERT_EQ(x.cycles(), y.cycles());
+    ASSERT_EQ(x.lanes(), y.lanes());
+    ASSERT_EQ(x.cols(), y.cols());
+    EXPECT_EQ(x.scheduledElems(), y.scheduledElems());
+    EXPECT_EQ(x.stats().cycles, y.stats().cycles);
+    EXPECT_EQ(x.stats().ops, y.stats().ops);
+    EXPECT_EQ(x.stats().stolenOps, y.stats().stolenOps);
+    for (std::int64_t cyc = 0; cyc < x.cycles(); ++cyc) {
+        for (int lane = 0; lane < x.lanes(); ++lane) {
+            for (int col = 0; col < x.cols(); ++col) {
+                ASSERT_EQ(x.flatK(cyc, lane, col),
+                          y.flatK(cyc, lane, col));
+                ASSERT_EQ(x.homeCol(cyc, lane, col),
+                          y.homeCol(cyc, lane, col));
+            }
+        }
+    }
+}
+
+TEST(ScheduleCache, CachedEqualsFreshlyComputed)
+{
+    Rng rng(7);
+    auto b = randomSparse(128, 16, 0.8, rng);
+    TileShape shape;
+    TileViewB vb(b, shape, 0);
+    const Borrow db{4, 0, 1};
+    Shuffler shuffler(true, shape.k0);
+
+    ScheduleCache cache;
+    auto cached = cache.obtain(vb, db, shuffler);
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+
+    const auto fresh = preprocessB(vb, db, shuffler, false);
+    expectSameSchedule(*cached, fresh);
+}
+
+TEST(ScheduleCache, HitsOnIdenticalContentMissesOnDifferent)
+{
+    Rng rng(11);
+    auto b1 = randomSparse(96, 16, 0.7, rng);
+    auto b2 = b1; // same content, different object
+    auto b3 = randomSparse(96, 16, 0.7, rng); // same shape, new draw
+    TileShape shape;
+    const Borrow db{2, 1, 0};
+    Shuffler shuffler(false, shape.k0);
+
+    ScheduleCache cache;
+    auto s1 = cache.obtain(TileViewB(b1, shape, 0), db, shuffler);
+    auto s2 = cache.obtain(TileViewB(b2, shape, 0), db, shuffler);
+    EXPECT_EQ(s1.get(), s2.get()) << "identical content must share";
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    cache.obtain(TileViewB(b3, shape, 0), db, shuffler);
+    EXPECT_EQ(cache.stats().misses, 2u);
+
+    // Same tile, different borrow window: a different schedule.
+    cache.obtain(TileViewB(b1, shape, 0), Borrow{4, 1, 0}, shuffler);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ScheduleCache, SharedEntriesSurviveClear)
+{
+    Rng rng(13);
+    auto b = randomSparse(64, 16, 0.6, rng);
+    TileShape shape;
+    Shuffler shuffler(false, shape.k0);
+    ScheduleCache cache;
+    auto held = cache.obtain(TileViewB(b, shape, 0), Borrow{2, 0, 0},
+                             shuffler);
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_GT(held->cycles(), 0); // still alive through shared ownership
+}
+
+TEST(ScheduleCache, ConcurrentObtainIsConsistent)
+{
+    Rng rng(17);
+    std::vector<MatrixI8> tiles;
+    for (int i = 0; i < 8; ++i) {
+        Rng tile_rng = rng.fork();
+        tiles.push_back(randomSparse(64, 16, 0.75, tile_rng));
+    }
+    TileShape shape;
+    const Borrow db{4, 0, 1};
+    Shuffler shuffler(true, shape.k0);
+
+    ScheduleCache cache;
+    std::vector<std::shared_ptr<const BSchedule>> seen(64);
+    {
+        ThreadPool pool(4);
+        for (std::size_t i = 0; i < seen.size(); ++i)
+            pool.submit([&, i] {
+                seen[i] = cache.obtain(
+                    TileViewB(tiles[i % tiles.size()], shape, 0), db,
+                    shuffler);
+            });
+        pool.wait();
+    }
+    // Every requester of one tile got a schedule equal to the serial
+    // computation (racing double-computes are allowed, but the content
+    // must match).
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        const auto fresh = preprocessB(
+            TileViewB(tiles[i % tiles.size()], shape, 0), db, shuffler,
+            false);
+        expectSameSchedule(*seen[i], fresh);
+    }
+    EXPECT_EQ(cache.stats().entries, tiles.size());
+}
+
+// ---- runner ---------------------------------------------------------
+
+SweepSpec
+smallSweep()
+{
+    SweepSpec spec;
+    spec.archs = {sparseBStar(), griffinArch()};
+    spec.networks = {alexNet(), bertBase()};
+    spec.categories = {DnnCategory::B, DnnCategory::AB};
+    RunOptions fast;
+    fast.sim.sampleFraction = 0.02;
+    fast.sim.minSampledTiles = 2;
+    fast.rowCap = 32;
+    spec.optionVariants = {fast};
+    return spec;
+}
+
+TEST(Runner, ExpansionMatchesSerialLoopOrder)
+{
+    auto spec = smallSweep();
+    auto jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), spec.jobCount());
+    ASSERT_EQ(jobs.size(), 8u);
+    EXPECT_EQ(jobs[0].archIndex, 0u);
+    EXPECT_EQ(jobs[0].networkIndex, 0u);
+    EXPECT_EQ(jobs[0].categoryIndex, 0u);
+    EXPECT_EQ(jobs[1].categoryIndex, 1u);
+    EXPECT_EQ(jobs[2].networkIndex, 1u);
+    EXPECT_EQ(jobs[4].archIndex, 1u);
+}
+
+TEST(Runner, ParallelIsBitIdenticalToSerial)
+{
+    auto spec = smallSweep();
+    const auto serial = runSweep(spec, 1);
+    const auto parallel = runSweep(spec, 4);
+    ASSERT_EQ(serial.results().size(), parallel.results().size());
+
+    // Numeric identity per job...
+    for (std::size_t i = 0; i < serial.results().size(); ++i) {
+        const auto &s = serial.results()[i];
+        const auto &p = parallel.results()[i];
+        EXPECT_EQ(s.network, p.network);
+        EXPECT_EQ(s.arch, p.arch);
+        EXPECT_EQ(s.totalCycles, p.totalCycles);
+        EXPECT_EQ(s.denseCycles, p.denseCycles);
+        EXPECT_EQ(s.speedup, p.speedup);
+        EXPECT_EQ(s.topsPerWatt, p.topsPerWatt);
+        ASSERT_EQ(s.layers.size(), p.layers.size());
+        for (std::size_t l = 0; l < s.layers.size(); ++l)
+            EXPECT_EQ(s.layers[l].totalCycles,
+                      p.layers[l].totalCycles);
+    }
+
+    // ...and byte identity of the serialized documents.
+    std::ostringstream ser, par;
+    writeJson(ser, serial.results());
+    writeJson(par, parallel.results());
+    EXPECT_EQ(ser.str(), par.str());
+}
+
+TEST(Runner, CacheDoesNotChangeResults)
+{
+    auto spec = smallSweep();
+    const auto sweep = runSweep(spec, 2);
+    // Re-run one job directly with no cache attached.
+    const auto &job = sweep.jobs()[3];
+    Accelerator acc(spec.archs[job.archIndex]);
+    const auto direct = acc.run(spec.networks[job.networkIndex],
+                                spec.categories[job.categoryIndex],
+                                job.options);
+    EXPECT_EQ(direct.totalCycles, sweep.results()[3].totalCycles);
+    EXPECT_EQ(direct.speedup, sweep.results()[3].speedup);
+}
+
+TEST(Runner, PerArchSeedsDecoupleTensors)
+{
+    auto spec = smallSweep();
+    spec.perArchSeeds = true;
+    auto jobs = expandSweep(spec);
+    EXPECT_NE(jobs[0].options.seed, jobs[4].options.seed)
+        << "different archs must draw different seeds";
+    EXPECT_EQ(jobs[0].options.seed, jobs[1].options.seed)
+        << "same arch keeps one seed across categories";
+}
+
+TEST(RunnerDeathTest, EmptySpecIsFatal)
+{
+    SweepSpec spec;
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+                "no architectures");
+}
+
+// ---- result sink ----------------------------------------------------
+
+TEST(ResultSink, JsonEscaping)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(ResultSink, JsonNumberRoundTripsAndIsShort)
+{
+    EXPECT_EQ(jsonNumber(1.0), "1");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+    EXPECT_EQ(jsonNumber(0.1), "0.1");
+    const double awkward = 1.0 / 3.0;
+    double back = 0.0;
+    std::sscanf(jsonNumber(awkward).c_str(), "%lf", &back);
+    EXPECT_EQ(back, awkward);
+}
+
+NetworkResult
+tinyResult()
+{
+    NetworkResult r;
+    r.network = "net";
+    r.arch = "arch";
+    r.category = DnnCategory::B;
+    r.denseCycles = 100;
+    r.totalCycles = 50;
+    r.speedup = 2.0;
+    LayerResult l;
+    l.name = "l1";
+    l.denseCycles = 100;
+    l.computeCycles = 50;
+    l.totalCycles = 50;
+    l.macs = 1000;
+    l.speedup = 2.0;
+    r.layers.push_back(l);
+    return r;
+}
+
+TEST(ResultSink, JsonDocumentShape)
+{
+    std::ostringstream os;
+    const std::vector<NetworkResult> results{tinyResult()};
+    writeJson(os, results);
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("\"network\": \"net\""), std::string::npos);
+    EXPECT_NE(doc.find("\"category\": \"DNN.B\""), std::string::npos);
+    EXPECT_NE(doc.find("\"layers\": ["), std::string::npos);
+    EXPECT_NE(doc.find("\"speedup\": 2"), std::string::npos);
+    EXPECT_EQ(doc.front(), '[');
+    EXPECT_EQ(doc[doc.size() - 2], ']');
+}
+
+TEST(ResultSink, CsvHasLayerAndTotalRows)
+{
+    std::ostringstream os;
+    writeCsv(os, {tinyResult()});
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("net,arch,DNN.B,l1,100,50,0,50,1000,2\n"),
+              std::string::npos);
+    EXPECT_NE(doc.find("net,arch,DNN.B,total,100,,,50,,2\n"),
+              std::string::npos);
+}
+
+TEST(ResultSink, TableJsonLineIsOneObjectPerLine)
+{
+    Table t("Title", {"a", "b"});
+    t.addRow({"x", "1"});
+    std::ostringstream os;
+    writeTableJsonLine(os, t);
+    EXPECT_EQ(os.str(), "{\"table\": \"Title\", \"columns\": [\"a\", "
+                        "\"b\"], \"rows\": [[\"x\", \"1\"]]}\n");
+}
+
+} // namespace
+} // namespace griffin
