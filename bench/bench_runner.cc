@@ -5,10 +5,16 @@
  *
  *   ./bench_runner --threads 8 --json sweep.json
  *   ./bench_runner --archs Griffin,SparTen.AB --cats b,ab --threads 4
+ *   ./bench_runner --layer-shard --cache-file sweep.grfc
  *
- * The merged results are bit-identical for any --threads value; the
- * paper-table benches remain the curated per-figure views, this one
- * regenerates the whole grid at once.
+ * The merged results are bit-identical for any --threads value — with
+ * or without --layer-shard, which splits every network job into
+ * per-layer sub-jobs for better pool utilisation.  --cache-file
+ * persists preprocessed B schedules between invocations (GRFC format,
+ * runtime/cache_store.hh), so repeated runs skip B-side preprocessing
+ * for every tile they have seen before.  The paper-table benches
+ * remain the curated per-figure views, this one regenerates the whole
+ * grid at once.
  */
 
 #include <iostream>
@@ -17,6 +23,7 @@
 #include "bench_util.hh"
 
 #include "arch/presets.hh"
+#include "runtime/cache_store.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
 #include "runtime/thread_pool.hh"
@@ -54,10 +61,22 @@ main(int argc, char **argv)
                   "comma-separated workload categories");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
                "worker threads (1 = serial)");
+    cli.addBool("layer-shard", false,
+                "split each network job into per-layer sub-jobs "
+                "(bit-identical results, finer pool granularity)");
+    cli.addString("cache-file", "",
+                  "persist preprocessed B schedules to this GRFC file "
+                  "(loaded before the sweep, saved after)");
+    cli.addInt("cache-budget-mb", 0,
+               "schedule-cache byte budget in MiB (0 = unbounded; "
+               "oldest entries evicted FIFO per shard)");
     bench::addRunFlags(cli);
     cli.addBool("csv", false, "emit per-layer CSV instead of the table");
     cli.addString("json", "", "write merged results to this path");
-    cli.parse(argc, argv);
+    const auto positional = cli.parse(argc, argv);
+    if (!positional.empty())
+        fatal("unexpected positional argument '", positional.front(),
+              "'\n", cli.usage());
 
     SweepSpec spec;
     for (const auto &name : splitList(cli.getString("archs")))
@@ -68,9 +87,23 @@ main(int argc, char **argv)
         spec.categories.push_back(categoryFromString(name));
 
     spec.optionVariants = {bench::readRunFlags(cli)};
+    spec.shardLayers = cli.getBool("layer-shard");
+
+    ScheduleCache cache;
+    const auto budget_mb = cli.getInt("cache-budget-mb");
+    if (budget_mb < 0)
+        fatal("--cache-budget-mb must be non-negative, got ", budget_mb);
+    if (budget_mb > 0)
+        cache.setByteBudget(static_cast<std::uint64_t>(budget_mb) << 20);
+    const auto cache_path = cli.getString("cache-file");
+    if (!cache_path.empty()) {
+        const auto loaded = loadCacheFile(cache_path, cache);
+        inform("schedule cache: loaded ", loaded, " entries from ",
+               cache_path);
+    }
 
     const int threads = static_cast<int>(cli.getInt("threads"));
-    const auto sweep = runSweep(spec, threads);
+    const auto sweep = runSweep(spec, threads, &cache);
 
     if (cli.getBool("csv")) {
         writeCsv(std::cout, sweep.results());
@@ -106,14 +139,27 @@ main(int argc, char **argv)
     const auto &cs = sweep.cacheStats();
     inform("schedule cache: ", cs.hits, " hits / ", cs.misses,
            " misses (", Table::num(100.0 * cs.hitRate(), 1),
-           "% hit rate, ", cs.entries, " entries)");
+           "% hit rate, ", cs.entries, " entries, ", cs.loadHits,
+           " load hits, ", cs.evictions, " evictions)");
 
+    // Flush the sweep's primary output before the cache save: a
+    // fatal() on an unwritable cache path must not discard the
+    // completed results.
     if (!cli.getString("json").empty()) {
         ResultSink sink(cli.getString("json"));
         sink.add(sweep.results());
         sink.flush();
         inform("wrote ", sweep.results().size(), " results to ",
                cli.getString("json"));
+    }
+
+    if (!cache_path.empty()) {
+        const auto stored = saveCacheFile(cache_path, cache);
+        inform("schedule cache: stored ", stored, " entries to ",
+               cache_path);
+        // Machine-readable counters on stdout: CI asserts the second
+        // run of a cached sweep reports load_hits > 0.
+        writeCacheStatsJsonLine(std::cout, cs);
     }
     return 0;
 }

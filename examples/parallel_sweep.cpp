@@ -1,19 +1,27 @@
 /**
  * @file
  * Parallel sweep via the runtime/ subsystem: shard a design-space
- * grid across a thread pool, share preprocessed weight schedules
- * between jobs, and serialize the merged results as JSON.
+ * grid across a thread pool — down to one sub-job per network layer —
+ * share preprocessed weight schedules between jobs and across process
+ * runs, and serialize the merged results as JSON.
  *
  *   ./parallel_sweep
+ *   ./parallel_sweep --layer-shard --cache-file sweep.grfc
  *
  * The printed JSON is bit-identical to a --threads 1 run of the same
- * grid: jobs carry their own seeds and results merge in submission
- * order, so parallelism never changes the numbers.
+ * grid, layer-sharded or not: every job (and every layer sub-job)
+ * carries an order-independent seed and results merge in submission
+ * order, so parallelism never changes the numbers.  A --cache-file is
+ * loaded before the sweep and saved after it; a second run then skips
+ * B-side preprocessing for every tile the first run packed
+ * (cache_store.hh).
  */
 
 #include <iostream>
 
 #include "arch/presets.hh"
+#include "common/cli.hh"
+#include "runtime/cache_store.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
 #include "runtime/thread_pool.hh"
@@ -21,15 +29,28 @@
 using namespace griffin;
 
 int
-main()
+main(int argc, char **argv)
 {
-    // A 2-arch x 2-network x 2-category grid: 8 jobs.  Real studies
-    // sweep hundreds of points; the spec scales by pushing more
-    // entries (or RunOptions variants) into the vectors.
+    Cli cli("Parallel sweep example: a small arch x network x category "
+            "grid on the work-stealing pool");
+    cli.addInt("threads", ThreadPool::hardwareThreads(),
+               "worker threads (1 = serial)");
+    cli.addBool("layer-shard", true,
+                "fan each network job out into per-layer sub-jobs");
+    cli.addString("cache-file", "",
+                  "persist preprocessed B schedules to this GRFC file");
+    cli.parse(argc, argv);
+
+    // A 2-arch x 2-network x 2-category grid: 8 jobs — and with layer
+    // sharding one sub-job per layer, so even this small grid keeps
+    // every worker busy.  Real studies sweep hundreds of points; the
+    // spec scales by pushing more entries (or RunOptions variants)
+    // into the vectors.
     SweepSpec spec;
     spec.archs = {griffinArch(), sparseBStar()};
     spec.networks = {resNet50(), bertBase()};
     spec.categories = {DnnCategory::B, DnnCategory::AB};
+    spec.shardLayers = cli.getBool("layer-shard");
 
     RunOptions fast;
     fast.sim.sampleFraction = 0.05;
@@ -37,18 +58,35 @@ main()
     fast.rowCap = 64;
     spec.optionVariants = {fast};
 
-    const int threads = ThreadPool::hardwareThreads();
-    std::cerr << "running " << spec.jobCount() << " jobs on " << threads
-              << " threads\n";
+    ScheduleCache cache;
+    const auto cache_path = cli.getString("cache-file");
+    if (!cache_path.empty()) {
+        const auto loaded = loadCacheFile(cache_path, cache);
+        std::cerr << "schedule cache: loaded " << loaded
+                  << " entries from " << cache_path << "\n";
+    }
 
-    const auto sweep = runSweep(spec, threads);
+    const int threads = static_cast<int>(cli.getInt("threads"));
+    std::cerr << "running " << spec.jobCount() << " jobs on " << threads
+              << " threads" << (spec.shardLayers ? " (layer-sharded)" : "")
+              << "\n";
+
+    const auto sweep = runSweep(spec, threads, &cache);
 
     // Jobs sharing a weight tensor reuse each other's preprocessed
     // B schedules: every Sparse.B column tile is packed once per
-    // distinct (tile content, borrow window, shuffle) triple.
+    // distinct (tile content, borrow window, shuffle) triple — and
+    // with a cache file, once per *lifetime* of the file.
     const auto &cs = sweep.cacheStats();
     std::cerr << "schedule cache: " << cs.hits << " hits, " << cs.misses
-              << " misses, " << cs.entries << " entries\n";
+              << " misses, " << cs.entries << " entries, "
+              << cs.loadHits << " load hits\n";
+
+    if (!cache_path.empty()) {
+        const auto stored = saveCacheFile(cache_path, cache);
+        std::cerr << "schedule cache: stored " << stored
+                  << " entries to " << cache_path << "\n";
+    }
 
     writeJson(std::cout, sweep.results());
     return 0;

@@ -8,6 +8,18 @@
 
 namespace griffin {
 
+namespace {
+
+/** Token a Kind::Bool flag accepts as a separate-argument value. */
+bool
+isBoolToken(const std::string &token)
+{
+    return token == "true" || token == "false" || token == "on" ||
+           token == "off" || token == "0" || token == "1";
+}
+
+} // namespace
+
 Cli::Cli(std::string program_description)
     : description_(std::move(program_description))
 {
@@ -86,7 +98,13 @@ Cli::parse(int argc, const char *const *argv)
         if (it == flags_.end())
             fatal("unknown flag --", arg, "\n", usage());
         if (it->second.kind == Kind::Bool) {
-            it->second.value = "true";
+            // A bare switch means true, but honour a separate-token
+            // boolean value ("--shuffle off") instead of silently
+            // setting the flag and demoting the value to a positional.
+            if (i + 1 < argc && isBoolToken(argv[i + 1]))
+                it->second.value = argv[++i];
+            else
+                it->second.value = "true";
         } else {
             if (i + 1 >= argc)
                 fatal("flag --", arg, " expects a value");
@@ -102,7 +120,9 @@ Cli::getInt(const std::string &name) const
     const auto &flag = find(name, Kind::Int);
     char *end = nullptr;
     const auto v = std::strtoll(flag.value.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0')
+    // end == start catches the empty value ("--iters="): strtoll
+    // consumes nothing but still leaves *end == '\0' there.
+    if (end == flag.value.c_str() || *end != '\0')
         fatal("flag --", name, " expects an integer, got '", flag.value,
               "'");
     return v;
@@ -114,7 +134,9 @@ Cli::getDouble(const std::string &name) const
     const auto &flag = find(name, Kind::Double);
     char *end = nullptr;
     const double v = std::strtod(flag.value.c_str(), &end);
-    if (end == nullptr || *end != '\0')
+    // end == start rejects the empty value, which strtod "parses" as
+    // 0.0 with *end == '\0'.
+    if (end == flag.value.c_str() || *end != '\0')
         fatal("flag --", name, " expects a number, got '", flag.value, "'");
     return v;
 }

@@ -3,8 +3,11 @@
  * Minimal command-line flag parser shared by examples and benches.
  *
  * Supports --name=value and --name value forms plus bare boolean
- * switches (--exact).  Unknown flags are a fatal() user error so typos
- * never silently fall back to defaults.
+ * switches (--exact).  A boolean flag also honours a separate-token
+ * value when the next argument is one of true/false/on/off/0/1
+ * (--shuffle off), rather than treating it as a positional.  Unknown
+ * flags and empty numeric values are fatal() user errors so typos
+ * never silently fall back to defaults or parse as zero.
  */
 
 #ifndef GRIFFIN_COMMON_CLI_HH

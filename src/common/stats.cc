@@ -39,7 +39,9 @@ stddev(const std::vector<double> &values)
     double ss = 0.0;
     for (double v : values)
         ss += (v - m) * (v - m);
-    return std::sqrt(ss / static_cast<double>(values.size()));
+    // Bessel's correction (N - 1): the callers pass small per-network
+    // samples, where the population divisor N biases the spread low.
+    return std::sqrt(ss / static_cast<double>(values.size() - 1));
 }
 
 void

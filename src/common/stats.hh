@@ -20,7 +20,12 @@ double geomean(const std::vector<double> &values);
 /** Arithmetic mean.  Empty input -> 0.0. */
 double mean(const std::vector<double> &values);
 
-/** Population standard deviation.  Fewer than 2 values -> 0.0. */
+/**
+ * Sample standard deviation (Bessel's N−1 divisor).  The inputs here
+ * are small per-network samples — a handful of benchmark speedups, not
+ * a full population — where the population (N) estimator is
+ * noticeably biased low.  Fewer than 2 values -> 0.0.
+ */
 double stddev(const std::vector<double> &values);
 
 /**

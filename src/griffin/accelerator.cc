@@ -49,78 +49,90 @@ layerDramBytes(const LayerSpec &layer, const RoutingConfig &routing,
 
 } // namespace
 
-NetworkResult
-Accelerator::run(const NetworkSpec &net, DnnCategory cat,
-                 const RunOptions &opt) const
+LayerResult
+Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
+                      DnnCategory cat, const RunOptions &opt) const
 {
     net.validate();
     if (opt.rowCap <= 0)
         fatal("rowCap must be positive, got ", opt.rowCap);
+    if (layerIndex >= net.layers.size())
+        fatal("layer index ", layerIndex, " out of range for ", net.name,
+              " (", net.layers.size(), " layers)");
+
+    const LayerSpec &layer = net.layers[layerIndex];
+    const TileShape &shape = config_.tile;
+
+    // The layer stream is derived from (seed, network name, layer
+    // index) alone — mixSeed, not std::hash, so it is order-independent
+    // (any layer can be simulated without simulating its predecessors)
+    // and stable across platforms.
+    Rng rng(Rng::mixSeed(Rng::mixSeed(opt.seed, net.name), layerIndex));
+    const double wsp = net.layerWeightSparsity(layer, cat);
+    const double asp = net.layerActSparsity(layer, cat);
+
+    // Simulate a statistically-equivalent row slice of one group.
+    const auto m_sim = std::min(
+        layer.m, roundUpTo(std::min(layer.m, opt.rowCap), shape.m0));
+    const auto row_tiles_full = (layer.m + shape.m0 - 1) / shape.m0;
+    const auto row_tiles_sim = (m_sim + shape.m0 - 1) / shape.m0;
+    const double row_scale = static_cast<double>(row_tiles_full) /
+                             static_cast<double>(row_tiles_sim);
+
+    auto a = clusteredSparse(static_cast<std::size_t>(m_sim),
+                             static_cast<std::size_t>(layer.k), asp,
+                             std::max(1.0, opt.actRunLength), rng);
+    auto b = laneBiasedSparse(static_cast<std::size_t>(layer.k),
+                              static_cast<std::size_t>(layer.n), wsp,
+                              opt.weightLaneBias, 4, rng);
+
+    SimOptions sim_opt = opt.sim;
+    sim_opt.seed = rng.fork().uniformInt(0, 1 << 30);
+    const bool mac_grid = config_.style == DatapathStyle::MacGrid;
+    const auto sim = mac_grid
+                         ? simulateSparTen(a, b, config_, cat, sim_opt)
+                         : simulateGemm(a, b, config_, cat, sim_opt);
+
+    LayerResult lr;
+    lr.name = layer.name;
+    lr.macs = layer.macs();
+    lr.denseCycles = layer.denseCycles(shape);
+    lr.computeCycles = static_cast<std::int64_t>(std::llround(
+        static_cast<double>(sim.computeCycles) * row_scale *
+        static_cast<double>(layer.groups) *
+        static_cast<double>(layer.repeat)));
+    const auto dram_bytes = layerDramBytes(
+        layer, config_.effectiveRouting(cat), shape, wsp, mac_grid);
+    lr.dramCycles = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(dram_bytes) /
+                  config_.mem.dramBytesPerCycle()));
+    lr.totalCycles = opt.enforceDramBound
+                         ? std::max(lr.computeCycles, lr.dramCycles)
+                         : lr.computeCycles;
+    lr.speedup = lr.totalCycles > 0
+                     ? static_cast<double>(lr.denseCycles) /
+                           static_cast<double>(lr.totalCycles)
+                     : 1.0;
+    return lr;
+}
+
+NetworkResult
+Accelerator::reduceLayers(const NetworkSpec &net, DnnCategory cat,
+                          std::vector<LayerResult> layers) const
+{
+    if (layers.size() != net.layers.size())
+        fatal("reduceLayers got ", layers.size(), " layer results for ",
+              net.name, " (", net.layers.size(), " layers)");
 
     NetworkResult result;
     result.network = net.name;
     result.arch = config_.name;
     result.category = cat;
-
-    const TileShape &shape = config_.tile;
-    Rng net_rng(opt.seed ^ std::hash<std::string>{}(net.name));
-
-    for (const auto &layer : net.layers) {
-        Rng rng = net_rng.fork();
-        const double wsp = net.layerWeightSparsity(layer, cat);
-        const double asp = net.layerActSparsity(layer, cat);
-
-        // Simulate a statistically-equivalent row slice of one group.
-        const auto m_sim = std::min(
-            layer.m, roundUpTo(std::min(layer.m, opt.rowCap), shape.m0));
-        const auto row_tiles_full =
-            (layer.m + shape.m0 - 1) / shape.m0;
-        const auto row_tiles_sim = (m_sim + shape.m0 - 1) / shape.m0;
-        const double row_scale =
-            static_cast<double>(row_tiles_full) /
-            static_cast<double>(row_tiles_sim);
-
-        auto a = clusteredSparse(static_cast<std::size_t>(m_sim),
-                                 static_cast<std::size_t>(layer.k), asp,
-                                 std::max(1.0, opt.actRunLength), rng);
-        auto b = laneBiasedSparse(static_cast<std::size_t>(layer.k),
-                                  static_cast<std::size_t>(layer.n), wsp,
-                                  opt.weightLaneBias, 4, rng);
-
-        SimOptions sim_opt = opt.sim;
-        sim_opt.seed = rng.fork().uniformInt(0, 1 << 30);
-        const bool mac_grid = config_.style == DatapathStyle::MacGrid;
-        const auto sim =
-            mac_grid
-                ? simulateSparTen(a, b, config_, cat, sim_opt)
-                : simulateGemm(a, b, config_, cat, sim_opt);
-
-        LayerResult lr;
-        lr.name = layer.name;
-        lr.macs = layer.macs();
-        lr.denseCycles = layer.denseCycles(shape);
-        lr.computeCycles = static_cast<std::int64_t>(std::llround(
-            static_cast<double>(sim.computeCycles) * row_scale *
-            static_cast<double>(layer.groups) *
-            static_cast<double>(layer.repeat)));
-        const auto dram_bytes = layerDramBytes(
-            layer, config_.effectiveRouting(cat), shape, wsp, mac_grid);
-        lr.dramCycles = static_cast<std::int64_t>(
-            std::ceil(static_cast<double>(dram_bytes) /
-                      config_.mem.dramBytesPerCycle()));
-        lr.totalCycles = opt.enforceDramBound
-                             ? std::max(lr.computeCycles, lr.dramCycles)
-                             : lr.computeCycles;
-        lr.speedup = lr.totalCycles > 0
-                         ? static_cast<double>(lr.denseCycles) /
-                               static_cast<double>(lr.totalCycles)
-                         : 1.0;
-
+    for (const auto &lr : layers) {
         result.denseCycles += lr.denseCycles;
         result.totalCycles += lr.totalCycles;
-        result.layers.push_back(std::move(lr));
     }
-
+    result.layers = std::move(layers);
     result.speedup = result.totalCycles > 0
                          ? static_cast<double>(result.denseCycles) /
                                static_cast<double>(result.totalCycles)
@@ -130,6 +142,20 @@ Accelerator::run(const NetworkSpec &net, DnnCategory cat,
     result.topsPerMm2 =
         effectiveTopsPerMm2(config_, cat, result.speedup);
     return result;
+}
+
+NetworkResult
+Accelerator::run(const NetworkSpec &net, DnnCategory cat,
+                 const RunOptions &opt) const
+{
+    // Validate here too: a zero-layer network never reaches runLayer's
+    // own check (the loop body never runs).
+    net.validate();
+    std::vector<LayerResult> layers;
+    layers.reserve(net.layers.size());
+    for (std::size_t l = 0; l < net.layers.size(); ++l)
+        layers.push_back(runLayer(net, l, cat, opt));
+    return reduceLayers(net, cat, std::move(layers));
 }
 
 std::vector<NetworkResult>

@@ -22,6 +22,7 @@
 #ifndef GRIFFIN_GRIFFIN_ACCELERATOR_HH
 #define GRIFFIN_GRIFFIN_ACCELERATOR_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,27 @@ class Accelerator
     /** Run one network in a workload category. */
     NetworkResult run(const NetworkSpec &net, DnnCategory cat,
                       const RunOptions &opt = {}) const;
+
+    /**
+     * Simulate one layer of a network.  Every layer's randomness is
+     * derived as mixSeed(mixSeed(opt.seed, net.name), layerIndex) —
+     * independent of which layers ran before it — so a network result
+     * assembled from per-layer calls in *any* order (or from any
+     * thread) is bit-identical to run().  This is the entry point the
+     * runtime/ layer-sharded sweeps fan out over.
+     */
+    LayerResult runLayer(const NetworkSpec &net, std::size_t layerIndex,
+                         DnnCategory cat,
+                         const RunOptions &opt = {}) const;
+
+    /**
+     * Deterministic reduce step: assemble per-layer outcomes (in layer
+     * order, one per net.layers entry) into the NetworkResult run()
+     * would have produced.  run(net, cat, opt) is exactly
+     * reduceLayers(net, cat, {runLayer(net, 0..L-1, cat, opt)}).
+     */
+    NetworkResult reduceLayers(const NetworkSpec &net, DnnCategory cat,
+                               std::vector<LayerResult> layers) const;
 
     /**
      * Run the whole benchmark suite in one category and also return

@@ -1,0 +1,99 @@
+#include "runtime/cache_store.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "common/binio.hh"
+#include "common/logging.hh"
+
+namespace griffin {
+
+namespace {
+
+constexpr char cacheMagic[4] = {'G', 'R', 'F', 'C'};
+
+} // namespace
+
+std::size_t
+loadCacheFile(const std::string &path, ScheduleCache &cache)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return 0; // no file yet: a normal first run
+
+    char magic[4] = {};
+    if (!is.read(magic, 4) ||
+        !std::equal(magic, magic + 4, cacheMagic)) {
+        warn("cache file '", path, "' has no GRFC magic; ignoring it");
+        return 0;
+    }
+    char version = 0;
+    if (!is.get(version).good() ||
+        static_cast<unsigned char>(version) != cacheFileVersion) {
+        warn("cache file '", path, "' is format version ",
+             static_cast<int>(static_cast<unsigned char>(version)),
+             ", expected ", static_cast<int>(cacheFileVersion),
+             "; ignoring it");
+        return 0;
+    }
+    std::uint64_t count = 0;
+    if (!getU64(is, count)) {
+        warn("cache file '", path, "' is truncated; ignoring it");
+        return 0;
+    }
+
+    std::size_t inserted = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ScheduleCache::Key key;
+        BSchedule schedule;
+        if (!getU64(is, key.lo) || !getU64(is, key.hi) ||
+            !BSchedule::deserialize(is, schedule)) {
+            warn("cache file '", path, "' is corrupt after ", inserted,
+                 " of ", count, " entries; keeping the clean prefix");
+            return inserted;
+        }
+        if (cache.insertLoaded(key, std::move(schedule)))
+            ++inserted;
+    }
+    return inserted;
+}
+
+std::size_t
+saveCacheFile(const std::string &path, const ScheduleCache &cache)
+{
+    // Snapshot and sort by key so equal cache contents always produce
+    // a byte-identical file, whatever order the shards iterate.
+    std::vector<std::pair<ScheduleCache::Key,
+                          std::shared_ptr<const BSchedule>>>
+        entries;
+    cache.forEachEntry(
+        [&entries](const ScheduleCache::Key &key,
+                   const std::shared_ptr<const BSchedule> &s) {
+            entries.emplace_back(key, s);
+        });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.hi != b.first.hi
+                             ? a.first.hi < b.first.hi
+                             : a.first.lo < b.first.lo;
+              });
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        fatal("cannot open cache file '", path, "' for writing");
+    os.write(cacheMagic, 4);
+    os.put(static_cast<char>(cacheFileVersion));
+    putU64(os, static_cast<std::uint64_t>(entries.size()));
+    for (const auto &[key, schedule] : entries) {
+        putU64(os, key.lo);
+        putU64(os, key.hi);
+        schedule->serialize(os);
+    }
+    if (!os)
+        fatal("write to cache file '", path, "' failed");
+    return entries.size();
+}
+
+} // namespace griffin

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Disk persistence for the schedule cache.
+ *
+ * A sweep's B-side preprocessing is a pure function of tile content,
+ * borrow window, and shuffle config (schedule_cache.hh), so the
+ * computed schedules are valid across process lifetimes.  This store
+ * serializes a ScheduleCache's resident entries, keyed by their
+ * 128-bit content hash, to a versioned binary file; loading it before
+ * the next sweep makes every previously-seen tile a cache hit and
+ * skips its preprocessing entirely (Stats::loadHits counts exactly
+ * those).
+ *
+ * File format (all scalars fixed-width little-endian):
+ *
+ *   magic   "GRFC"                      4 bytes
+ *   version 0x01                        1 byte
+ *   count   u64                         number of entries
+ *   entry*  key.lo u64, key.hi u64, BSchedule::serialize() payload
+ *
+ * Entries are written sorted by key, so saving the same cache contents
+ * always produces a byte-identical file.
+ *
+ * Invalidation rules: content keys already encode every schedule
+ * input, so a stale *entry* is impossible — a changed tile, window, or
+ * shuffle config simply hashes to a new key and misses.  The format
+ * version is the only whole-file invalidator: it must be bumped
+ * whenever BSchedule's serialized layout or the key derivation
+ * (contentKey / Rng::mixSeed) changes, and a version or magic mismatch
+ * discards the file with a warn() rather than failing the run.
+ * Corrupt or truncated files are likewise discarded, never trusted
+ * partially beyond the entries that fully parsed.
+ */
+
+#ifndef GRIFFIN_RUNTIME_CACHE_STORE_HH
+#define GRIFFIN_RUNTIME_CACHE_STORE_HH
+
+#include <cstddef>
+#include <string>
+
+#include "runtime/schedule_cache.hh"
+
+namespace griffin {
+
+/** Current cache-file format version (see invalidation rules above). */
+constexpr unsigned char cacheFileVersion = 0x01;
+
+/**
+ * Restore entries from `path` into `cache` (marked disk-loaded for
+ * Stats).  A missing file is a normal first run and returns 0; a
+ * mismatched or corrupt file warn()s and returns however many entries
+ * parsed cleanly before the damage.  Returns the number of entries
+ * inserted.
+ */
+std::size_t loadCacheFile(const std::string &path, ScheduleCache &cache);
+
+/**
+ * Write every resident entry of `cache` to `path`, replacing the file.
+ * fatal() on an unwritable path.  Returns the number of entries
+ * written.
+ */
+std::size_t saveCacheFile(const std::string &path,
+                          const ScheduleCache &cache);
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_CACHE_STORE_HH

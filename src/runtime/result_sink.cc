@@ -155,6 +155,21 @@ writeTableJsonLine(std::ostream &os, const Table &table)
     os << "]}\n";
 }
 
+void
+writeCacheStatsJsonLine(std::ostream &os,
+                        const ScheduleCache::Stats &stats)
+{
+    os << "{\"cache_stats\": {"
+       << "\"hits\": " << stats.hits << ", "
+       << "\"misses\": " << stats.misses << ", "
+       << "\"hit_rate\": " << jsonNumber(stats.hitRate()) << ", "
+       << "\"entries\": " << stats.entries << ", "
+       << "\"resident_bytes\": " << stats.residentBytes << ", "
+       << "\"evictions\": " << stats.evictions << ", "
+       << "\"loaded_entries\": " << stats.loadedEntries << ", "
+       << "\"load_hits\": " << stats.loadHits << "}}\n";
+}
+
 ResultSink::ResultSink(std::string path) : path_(std::move(path))
 {
     if (path_.empty())

@@ -23,6 +23,7 @@
 
 #include "common/table.hh"
 #include "griffin/accelerator.hh"
+#include "runtime/schedule_cache.hh"
 
 namespace griffin {
 
@@ -53,6 +54,15 @@ void writeCsv(std::ostream &os, const std::vector<NetworkResult> &results);
 
 /** One Table as a single-line JSON object (for JSON Lines streams). */
 void writeTableJsonLine(std::ostream &os, const Table &table);
+
+/**
+ * Schedule-cache counters as a single-line JSON object
+ * ({"cache_stats": {...}}), load/store accounting included — the
+ * machine-readable form of the hit-rate status line the sweep drivers
+ * print.
+ */
+void writeCacheStatsJsonLine(std::ostream &os,
+                             const ScheduleCache::Stats &stats);
 
 /**
  * File-backed sink: collects results and writes one document on

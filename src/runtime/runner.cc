@@ -77,10 +77,45 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
     for (const auto &arch : spec.archs)
         accelerators.emplace_back(arch);
 
-    // Each job writes only its own slot: no result lock needed, and
-    // the merge is the identity — submission order is result order.
+    // Each (sub-)job writes only its own slot: no result lock needed,
+    // and the merge is the identity — submission order is result order.
     std::vector<NetworkResult> results(jobs.size());
-    {
+    if (spec.shardLayers) {
+        // Layer granularity: one sub-job per (job, layer) pair, all
+        // independent (runLayer derives its stream from the layer index
+        // alone), reduced per job in layer order afterwards.
+        std::vector<std::vector<LayerResult>> layer_results(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            layer_results[i].resize(
+                spec.networks[jobs[i].networkIndex].layers.size());
+        {
+            ThreadPool pool(threads);
+            for (std::size_t i = 0; i < jobs.size(); ++i) {
+                const auto layer_count = layer_results[i].size();
+                for (std::size_t l = 0; l < layer_count; ++l) {
+                    pool.submit([&spec, &jobs, &accelerators,
+                                 &layer_results, cache, i, l] {
+                        const SweepJob &job = jobs[i];
+                        RunOptions opt = job.options;
+                        opt.sim.scheduleCache = cache;
+                        layer_results[i][l] =
+                            accelerators[job.archIndex].runLayer(
+                                spec.networks[job.networkIndex], l,
+                                spec.categories[job.categoryIndex],
+                                opt);
+                    });
+                }
+            }
+            pool.wait();
+        }
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            results[i] = accelerators[job.archIndex].reduceLayers(
+                spec.networks[job.networkIndex],
+                spec.categories[job.categoryIndex],
+                std::move(layer_results[i]));
+        }
+    } else {
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             pool.submit([&spec, &jobs, &accelerators, &results, cache,

@@ -21,7 +21,11 @@
  * by submission order — so the merged output is bit-identical no
  * matter how many threads ran it or how work-stealing interleaved the
  * jobs.  Accelerator::run is const and shares no mutable state, which
- * is what makes the fan-out safe.
+ * is what makes the fan-out safe.  With SweepSpec::shardLayers the
+ * fan-out goes one level deeper — one sub-job per network layer via
+ * Accelerator::runLayer, whose streams depend only on (seed, network,
+ * layer index) — and the per-job reduce reassembles NetworkResult in
+ * layer order, preserving the same bit-identity guarantee.
  *
  * A ScheduleCache shared across the sweep memoizes B-side
  * preprocessing between jobs that stream the same weight tiles
@@ -75,6 +79,17 @@ struct SweepSpec
      * methodology).
      */
     bool perArchSeeds = false;
+
+    /**
+     * When true, every job fans out further into one sub-job per
+     * network layer (Accelerator::runLayer), so even a single-network
+     * sweep saturates the pool.  Each layer's randomness is derived
+     * from (seed, network, layer index) alone and the per-job reduce
+     * (Accelerator::reduceLayers) runs in layer order, so the merged
+     * output stays bit-identical to serial Accelerator::run for any
+     * thread count.
+     */
+    bool shardLayers = false;
 
     /** Expanded job count (archs * networks * categories * options). */
     std::size_t jobCount() const;

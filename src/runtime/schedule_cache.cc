@@ -64,6 +64,55 @@ ScheduleCache::shardFor(const Key &key)
     return *shards_[key.hi % shards_.size()];
 }
 
+const ScheduleCache::Shard &
+ScheduleCache::shardFor(const Key &key) const
+{
+    return *shards_[key.hi % shards_.size()];
+}
+
+void
+ScheduleCache::evictOver(Shard &shard, std::uint64_t shard_budget)
+{
+    if (shard_budget == 0)
+        return;
+    while (shard.bytes > shard_budget && !shard.fifo.empty()) {
+        const Key victim = shard.fifo.front();
+        shard.fifo.pop_front();
+        auto it = shard.entries.find(victim);
+        if (it == shard.entries.end())
+            continue; // already dropped by clear()
+        shard.bytes -= it->second.bytes;
+        shard.entries.erase(it);
+        ++shard.evictions;
+    }
+}
+
+std::shared_ptr<const BSchedule>
+ScheduleCache::insertIntoShard(Shard &shard, const Key &key,
+                               std::shared_ptr<const BSchedule> schedule,
+                               bool from_disk, bool &inserted)
+{
+    const auto bytes =
+        static_cast<std::uint64_t>(schedule->approxBytes());
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Entry entry{std::move(schedule), bytes, from_disk};
+    auto [it, fresh] = shard.entries.emplace(key, std::move(entry));
+    inserted = fresh;
+    if (fresh) {
+        shard.fifo.push_back(key);
+        shard.bytes += bytes;
+        if (from_disk)
+            ++shard.loaded;
+        evictOver(shard, shardBudget());
+        // The freshly inserted entry itself may have been the FIFO
+        // victim of an over-tight budget; the caller still gets its
+        // schedule (ownership is shared), only residency changes.
+    }
+    auto found = shard.entries.find(key);
+    return found != shard.entries.end() ? found->second.schedule
+                                        : nullptr;
+}
+
 std::shared_ptr<const BSchedule>
 ScheduleCache::obtain(const TileViewB &b, const Borrow &db,
                       const Shuffler &shuffler)
@@ -75,7 +124,9 @@ ScheduleCache::obtain(const TileViewB &b, const Borrow &db,
         auto it = shard.entries.find(key);
         if (it != shard.entries.end()) {
             ++shard.hits;
-            return it->second;
+            if (it->second.fromDisk)
+                ++shard.loadHits;
+            return it->second.schedule;
         }
         ++shard.misses;
     }
@@ -85,10 +136,47 @@ ScheduleCache::obtain(const TileViewB &b, const Borrow &db,
     auto fresh = std::make_shared<const BSchedule>(
         preprocessB(b, db, shuffler, false));
 
-    std::lock_guard<std::mutex> lock(shard.mu);
-    auto [it, inserted] = shard.entries.emplace(key, std::move(fresh));
-    static_cast<void>(inserted);
-    return it->second;
+    bool inserted = false;
+    auto resident =
+        insertIntoShard(shard, key, fresh, false, inserted);
+    return resident != nullptr ? resident : fresh;
+}
+
+bool
+ScheduleCache::insertLoaded(const Key &key, BSchedule schedule)
+{
+    Shard &shard = shardFor(key);
+    bool inserted = false;
+    insertIntoShard(shard, key,
+                    std::make_shared<const BSchedule>(
+                        std::move(schedule)),
+                    true, inserted);
+    return inserted;
+}
+
+void
+ScheduleCache::forEachEntry(
+    const std::function<void(
+        const Key &, const std::shared_ptr<const BSchedule> &)> &fn)
+    const
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        for (const auto &[key, entry] : shard->entries)
+            fn(key, entry.schedule);
+    }
+}
+
+void
+ScheduleCache::setByteBudget(std::uint64_t bytes)
+{
+    byteBudget_.store(bytes);
+    if (bytes == 0)
+        return;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        evictOver(*shard, shardBudget());
+    }
 }
 
 ScheduleCache::Stats
@@ -100,6 +188,10 @@ ScheduleCache::stats() const
         s.hits += shard->hits;
         s.misses += shard->misses;
         s.entries += shard->entries.size();
+        s.residentBytes += shard->bytes;
+        s.evictions += shard->evictions;
+        s.loadedEntries += shard->loaded;
+        s.loadHits += shard->loadHits;
     }
     return s;
 }
@@ -110,6 +202,8 @@ ScheduleCache::clear()
     for (auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mu);
         shard->entries.clear();
+        shard->fifo.clear();
+        shard->bytes = 0;
     }
 }
 

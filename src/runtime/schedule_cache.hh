@@ -18,6 +18,17 @@
  * serialise the pool) and the first finisher wins — preprocessB() is
  * deterministic, so concurrent double-computes insert equal values.
  *
+ * Capacity: an optional byte budget (setByteBudget) bounds residency;
+ * each shard evicts its oldest entries FIFO once it exceeds its slice
+ * of the budget.  Eviction only drops the cache's reference — callers
+ * holding a shared_ptr keep their schedule — and never changes any
+ * result, only the hit rate.
+ *
+ * Persistence: cache_store.hh serializes entries to a versioned binary
+ * file between runs.  Entries restored from disk are tracked
+ * separately (Stats::loadedEntries / loadHits) so a sweep can report
+ * how much preprocessing the file actually saved.
+ *
  * Keys are 128 bits of splitmix-mixed content hash; collisions are
  * treated as impossible (the sweep grids this serves are ~1e4 tiles,
  * collision odds ~1e-30).
@@ -26,7 +37,11 @@
 #ifndef GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
 #define GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -39,12 +54,32 @@ namespace griffin {
 class ScheduleCache
 {
   public:
-    /** Aggregate counters (monotone; read with stats()). */
+    /** 128-bit content key of one cached schedule. */
+    struct Key
+    {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return lo == o.lo && hi == o.hi;
+        }
+    };
+
+    /** Aggregate counters (monotone except entries/residentBytes). */
     struct Stats
     {
         std::uint64_t hits = 0;
-        std::uint64_t misses = 0;   ///< includes concurrent recomputes
-        std::uint64_t entries = 0;  ///< resident schedules
+        std::uint64_t misses = 0;  ///< includes concurrent recomputes
+        std::uint64_t entries = 0; ///< resident schedules
+        std::uint64_t residentBytes = 0; ///< approx footprint of entries
+        std::uint64_t evictions = 0; ///< entries dropped by byte budget
+        /** Entries restored from a cache file (cache_store.hh). */
+        std::uint64_t loadedEntries = 0;
+        /** Hits served by a disk-loaded entry: preprocessing skipped
+         *  entirely thanks to a previous run. */
+        std::uint64_t loadHits = 0;
 
         double
         hitRate() const
@@ -77,19 +112,37 @@ class ScheduleCache
     /** Drop every entry (stat counters survive). */
     void clear();
 
+    /**
+     * Cap resident schedule bytes (0 = unbounded, the default).  Each
+     * of the N shards evicts FIFO — oldest insertion first — once it
+     * holds more than budget/N bytes.  Applies immediately to current
+     * residents and to every later insert.
+     */
+    void setByteBudget(std::uint64_t bytes);
+
+    /**
+     * Insert one schedule under an externally computed key, marking it
+     * disk-loaded for Stats purposes.  Used by cache_store.hh when
+     * restoring a cache file; an already-present key is left alone
+     * (the resident entry is identical by construction).  Returns
+     * whether the entry was inserted.
+     */
+    bool insertLoaded(const Key &key, BSchedule schedule);
+
+    /**
+     * Visit every resident entry (shard by shard, under that shard's
+     * lock — the callback must not reenter the cache).  Iteration
+     * order is unspecified; the cache store sorts by key for a
+     * deterministic file layout.  The callback receives the shared
+     * owner, so a snapshot taken here stays valid across later
+     * evictions.
+     */
+    void forEachEntry(
+        const std::function<void(
+            const Key &, const std::shared_ptr<const BSchedule> &)> &fn)
+        const;
+
   private:
-    struct Key
-    {
-        std::uint64_t lo = 0;
-        std::uint64_t hi = 0;
-
-        bool
-        operator==(const Key &o) const
-        {
-            return lo == o.lo && hi == o.hi;
-        }
-    };
-
     struct KeyHash
     {
         std::size_t
@@ -99,21 +152,52 @@ class ScheduleCache
         }
     };
 
+    struct Entry
+    {
+        std::shared_ptr<const BSchedule> schedule;
+        std::uint64_t bytes = 0;
+        bool fromDisk = false;
+    };
+
     struct Shard
     {
         mutable std::mutex mu;
-        std::unordered_map<Key, std::shared_ptr<const BSchedule>, KeyHash>
-            entries;
+        std::unordered_map<Key, Entry, KeyHash> entries;
+        std::deque<Key> fifo; ///< insertion order, for eviction
+        std::uint64_t bytes = 0;
         std::uint64_t hits = 0;
         std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t loaded = 0;
+        std::uint64_t loadHits = 0;
     };
 
     static Key contentKey(const TileViewB &b, const Borrow &db,
                           const Shuffler &shuffler);
 
     Shard &shardFor(const Key &key);
+    const Shard &shardFor(const Key &key) const;
+
+    /** Insert under the shard lock, then evict down to the budget. */
+    std::shared_ptr<const BSchedule>
+    insertIntoShard(Shard &shard, const Key &key,
+                    std::shared_ptr<const BSchedule> schedule,
+                    bool from_disk, bool &inserted);
+
+    /** Caller holds shard.mu. */
+    void evictOver(Shard &shard, std::uint64_t shard_budget);
+
+    std::uint64_t
+    shardBudget() const
+    {
+        const auto budget = byteBudget_.load();
+        return budget == 0 ? 0
+                           : std::max<std::uint64_t>(
+                                 1, budget / shards_.size());
+    }
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> byteBudget_{0};
 };
 
 } // namespace griffin

@@ -1,0 +1,58 @@
+# CTest script: run bench_runner twice with the same --cache-file and
+# assert (a) the second run's --json results document is byte-identical
+# to the first (cache persistence must never change results) and
+# (b) the second run reports load_hits > 0 (the cache file actually
+# skipped B-side preprocessing).
+#
+# Invoked as:
+#   cmake -DBENCH_RUNNER=<path> -DWORK_DIR=<dir> -P cache_roundtrip.cmake
+
+if(NOT BENCH_RUNNER OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DBENCH_RUNNER=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common_args
+    --archs Sparse.B* --networks alexnet --cats b
+    --threads 2 --layer-shard
+    --sample 0.02 --rowcap 32
+    --cache-file "${WORK_DIR}/sweep.grfc")
+
+execute_process(
+    COMMAND "${BENCH_RUNNER}" ${common_args} --json "${WORK_DIR}/run1.json"
+    OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "first bench_runner run failed (${rc1}):\n${err1}")
+endif()
+
+execute_process(
+    COMMAND "${BENCH_RUNNER}" ${common_args} --json "${WORK_DIR}/run2.json"
+    OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "second bench_runner run failed (${rc2}):\n${err2}")
+endif()
+
+# (a) byte-identical results documents.
+file(READ "${WORK_DIR}/run1.json" doc1)
+file(READ "${WORK_DIR}/run2.json" doc2)
+if(NOT doc1 STREQUAL doc2)
+    message(FATAL_ERROR "cached re-run changed the results JSON")
+endif()
+string(LENGTH "${doc1}" doc1_len)
+if(doc1_len EQUAL 0)
+    message(FATAL_ERROR "results JSON is empty")
+endif()
+
+# (b) the first run must not have load hits; the second must.
+if(out1 MATCHES "\"load_hits\": [1-9]")
+    message(FATAL_ERROR "first (cold) run reported load hits:\n${out1}")
+endif()
+if(NOT out2 MATCHES "\"load_hits\": [1-9]")
+    message(FATAL_ERROR
+            "second run reported no load hits — the cache file did not "
+            "serve any preprocessing:\n${out2}")
+endif()
+
+message(STATUS "cache round-trip OK: identical results, warm load hits")

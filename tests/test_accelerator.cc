@@ -135,6 +135,48 @@ TEST(Accelerator, RunSuiteCoversAllSixNetworks)
     EXPECT_GT(geomeanSpeedup(results), 1.2);
 }
 
+TEST(Accelerator, RunLayerPlusReduceEqualsRun)
+{
+    // run() is definitionally the reduce of its per-layer calls; the
+    // layer-sharded runtime sweeps rely on this identity.
+    auto opt = fastOptions();
+    Accelerator acc(griffinArch());
+    const auto net = networkByName("alexnet");
+    std::vector<LayerResult> layers;
+    for (std::size_t l = 0; l < net.layers.size(); ++l)
+        layers.push_back(acc.runLayer(net, l, DnnCategory::AB, opt));
+    const auto reduced =
+        acc.reduceLayers(net, DnnCategory::AB, std::move(layers));
+    const auto direct = acc.run(net, DnnCategory::AB, opt);
+    EXPECT_EQ(reduced.denseCycles, direct.denseCycles);
+    EXPECT_EQ(reduced.totalCycles, direct.totalCycles);
+    EXPECT_EQ(reduced.speedup, direct.speedup);
+    EXPECT_EQ(reduced.topsPerWatt, direct.topsPerWatt);
+    ASSERT_EQ(reduced.layers.size(), direct.layers.size());
+    for (std::size_t l = 0; l < reduced.layers.size(); ++l) {
+        EXPECT_EQ(reduced.layers[l].totalCycles,
+                  direct.layers[l].totalCycles);
+        EXPECT_EQ(reduced.layers[l].speedup, direct.layers[l].speedup);
+    }
+}
+
+TEST(AcceleratorDeathTest, RunLayerIndexOutOfRangeIsFatal)
+{
+    Accelerator acc(denseBaseline());
+    const auto net = networkByName("alexnet");
+    EXPECT_EXIT(acc.runLayer(net, net.layers.size(),
+                             DnnCategory::Dense, fastOptions()),
+                testing::ExitedWithCode(1), "out of range");
+}
+
+TEST(AcceleratorDeathTest, ReduceLayerCountMismatchIsFatal)
+{
+    Accelerator acc(denseBaseline());
+    const auto net = networkByName("alexnet");
+    EXPECT_EXIT(acc.reduceLayers(net, DnnCategory::Dense, {}),
+                testing::ExitedWithCode(1), "layer results");
+}
+
 TEST(Accelerator, DeterministicAcrossRuns)
 {
     auto opt = fastOptions();

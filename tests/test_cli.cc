@@ -71,6 +71,53 @@ TEST(Cli, BoolAcceptsOnOffSynonyms)
     EXPECT_TRUE(cli.getBool("exact"));
 }
 
+TEST(Cli, BoolConsumesSeparateTokenValue)
+{
+    // "--exact off" must read as exact=false, not exact=true with a
+    // stray "off" positional.
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--exact", "off"};
+    const auto pos = cli.parse(3, argv);
+    EXPECT_FALSE(cli.getBool("exact"));
+    EXPECT_TRUE(pos.empty());
+}
+
+TEST(Cli, BoolSeparateTokenCoversAllSynonyms)
+{
+    for (const char *token : {"true", "on", "1"}) {
+        auto cli = makeCli();
+        const char *argv[] = {"prog", "--exact", token};
+        cli.parse(3, argv);
+        EXPECT_TRUE(cli.getBool("exact")) << token;
+    }
+    for (const char *token : {"false", "off", "0"}) {
+        auto cli = makeCli();
+        const char *argv[] = {"prog", "--exact", token};
+        cli.parse(3, argv);
+        EXPECT_FALSE(cli.getBool("exact")) << token;
+    }
+}
+
+TEST(Cli, BareBoolBeforeNonBoolTokenStaysTrue)
+{
+    // A following token that is not a boolean literal is a positional,
+    // and the bare switch still means true.
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--exact", "beta"};
+    const auto pos = cli.parse(3, argv);
+    EXPECT_TRUE(cli.getBool("exact"));
+    ASSERT_EQ(pos.size(), 1u);
+    EXPECT_EQ(pos[0], "beta");
+}
+
+TEST(Cli, BareBoolAtEndOfLineIsTrue)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--exact"};
+    cli.parse(2, argv);
+    EXPECT_TRUE(cli.getBool("exact"));
+}
+
 TEST(CliDeathTest, UnknownFlagIsFatal)
 {
     auto cli = makeCli();
@@ -86,6 +133,35 @@ TEST(CliDeathTest, NonNumericIntIsFatal)
     cli.parse(2, argv);
     EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(1),
                 "expects an integer");
+}
+
+TEST(CliDeathTest, EmptyIntValueIsFatal)
+{
+    // strtoll("") consumes nothing yet leaves *end == '\0', so an
+    // empty value used to parse as 0.
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--iters="};
+    cli.parse(2, argv);
+    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliDeathTest, EmptyDoubleValueIsFatal)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--sparsity="};
+    cli.parse(2, argv);
+    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(1),
+                "expects a number");
+}
+
+TEST(CliDeathTest, TrailingGarbageDoubleIsFatal)
+{
+    auto cli = makeCli();
+    const char *argv[] = {"prog", "--sparsity=0.5x"};
+    cli.parse(2, argv);
+    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(1),
+                "expects a number");
 }
 
 TEST(CliDeathTest, MissingValueIsFatal)

@@ -9,11 +9,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
 #include "arch/presets.hh"
 #include "common/rng.hh"
+#include "runtime/cache_store.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
 #include "runtime/schedule_cache.hh"
@@ -187,6 +190,185 @@ TEST(ScheduleCache, SharedEntriesSurviveClear)
     EXPECT_GT(held->cycles(), 0); // still alive through shared ownership
 }
 
+TEST(ScheduleCache, ByteBudgetEvictsFifo)
+{
+    Rng rng(19);
+    std::vector<MatrixI8> tiles;
+    for (int i = 0; i < 6; ++i) {
+        Rng tile_rng = rng.fork();
+        tiles.push_back(randomSparse(64, 16, 0.7, tile_rng));
+    }
+    TileShape shape;
+    const Borrow db{2, 0, 0};
+    Shuffler shuffler(false, shape.k0);
+
+    // One shard so the FIFO covers every entry, budget sized to hold
+    // roughly two schedules.
+    ScheduleCache cache(1);
+    auto first = cache.obtain(TileViewB(tiles[0], shape, 0), db,
+                              shuffler);
+    const auto entry_bytes = first->approxBytes();
+    cache.setByteBudget(2 * entry_bytes + entry_bytes / 2);
+
+    for (std::size_t i = 1; i < tiles.size(); ++i)
+        cache.obtain(TileViewB(tiles[i], shape, 0), db, shuffler);
+
+    const auto s = cache.stats();
+    EXPECT_EQ(s.misses, tiles.size());
+    EXPECT_GT(s.evictions, 0u);
+    EXPECT_LT(s.entries, tiles.size());
+    EXPECT_LE(s.residentBytes, 2 * entry_bytes + entry_bytes / 2);
+
+    // The FIFO dropped the oldest tiles: re-requesting tile 0 is a
+    // miss again, and its recomputed schedule matches a fresh pack.
+    auto again = cache.obtain(TileViewB(tiles[0], shape, 0), db,
+                              shuffler);
+    EXPECT_EQ(cache.stats().misses, tiles.size() + 1);
+    expectSameSchedule(
+        *again,
+        preprocessB(TileViewB(tiles[0], shape, 0), db, shuffler, false));
+
+    // Evicted entries held by callers stay alive (shared ownership).
+    EXPECT_GT(first->cycles(), 0);
+}
+
+TEST(ScheduleCache, ZeroBudgetIsUnbounded)
+{
+    Rng rng(23);
+    ScheduleCache cache(1);
+    TileShape shape;
+    Shuffler shuffler(false, shape.k0);
+    for (int i = 0; i < 4; ++i) {
+        Rng tile_rng = rng.fork();
+        auto tile = randomSparse(48, 16, 0.6, tile_rng);
+        cache.obtain(TileViewB(tile, shape, 0), Borrow{2, 0, 0},
+                     shuffler);
+    }
+    EXPECT_EQ(cache.stats().entries, 4u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+// ---- cache persistence ----------------------------------------------
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+TEST(CacheStore, SaveLoadRoundTripReproducesSchedules)
+{
+    Rng rng(29);
+    std::vector<MatrixI8> tiles;
+    for (int i = 0; i < 5; ++i) {
+        Rng tile_rng = rng.fork();
+        tiles.push_back(randomSparse(96, 16, 0.75, tile_rng));
+    }
+    TileShape shape;
+    const Borrow db{4, 0, 1};
+    Shuffler shuffler(true, shape.k0);
+
+    ScheduleCache warm;
+    for (const auto &tile : tiles)
+        warm.obtain(TileViewB(tile, shape, 0), db, shuffler);
+    ASSERT_EQ(warm.stats().entries, tiles.size());
+
+    const auto path = tempPath("griffin_cache_roundtrip.grfc");
+    EXPECT_EQ(saveCacheFile(path, warm), tiles.size());
+
+    // A fresh cache restored from disk serves every tile without a
+    // single preprocessB call, bit-identically to a fresh pack.
+    ScheduleCache cold;
+    EXPECT_EQ(loadCacheFile(path, cold), tiles.size());
+    EXPECT_EQ(cold.stats().loadedEntries, tiles.size());
+    for (const auto &tile : tiles) {
+        auto restored = cold.obtain(TileViewB(tile, shape, 0), db,
+                                    shuffler);
+        expectSameSchedule(*restored,
+                           preprocessB(TileViewB(tile, shape, 0), db,
+                                       shuffler, false));
+    }
+    EXPECT_EQ(cold.stats().hits, tiles.size());
+    EXPECT_EQ(cold.stats().loadHits, tiles.size());
+    EXPECT_EQ(cold.stats().misses, 0u);
+
+    // Re-saving the restored cache reproduces the file byte for byte
+    // (entries are written sorted by key).
+    const auto path2 = tempPath("griffin_cache_roundtrip2.grfc");
+    EXPECT_EQ(saveCacheFile(path2, cold), tiles.size());
+    std::ifstream f1(path, std::ios::binary);
+    std::ifstream f2(path2, std::ios::binary);
+    std::stringstream b1, b2;
+    b1 << f1.rdbuf();
+    b2 << f2.rdbuf();
+    EXPECT_GT(b1.str().size(), 0u);
+    EXPECT_EQ(b1.str(), b2.str());
+    std::remove(path.c_str());
+    std::remove(path2.c_str());
+}
+
+TEST(CacheStore, MissingFileIsANormalFirstRun)
+{
+    ScheduleCache cache;
+    EXPECT_EQ(loadCacheFile(tempPath("griffin_cache_nonexistent.grfc"),
+                            cache),
+              0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(CacheStore, BadMagicAndVersionAreIgnored)
+{
+    const auto path = tempPath("griffin_cache_bad.grfc");
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "JUNKJUNKJUNK";
+    }
+    ScheduleCache cache;
+    EXPECT_EQ(loadCacheFile(path, cache), 0u);
+
+    {
+        // Right magic, wrong version byte: whole-file invalidation.
+        std::ofstream os(path, std::ios::binary);
+        os << "GRFC" << '\x7f' << "rest";
+    }
+    EXPECT_EQ(loadCacheFile(path, cache), 0u);
+    EXPECT_EQ(cache.stats().entries, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(CacheStore, TruncatedFileKeepsCleanPrefix)
+{
+    Rng rng(31);
+    TileShape shape;
+    Shuffler shuffler(false, shape.k0);
+    ScheduleCache warm;
+    for (int i = 0; i < 3; ++i) {
+        Rng tile_rng = rng.fork();
+        auto tile = randomSparse(64, 16, 0.7, tile_rng);
+        warm.obtain(TileViewB(tile, shape, 0), Borrow{2, 0, 0},
+                    shuffler);
+    }
+    const auto path = tempPath("griffin_cache_trunc.grfc");
+    saveCacheFile(path, warm);
+
+    // Chop the last bytes off the final entry.
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream whole;
+    whole << in.rdbuf();
+    in.close();
+    const auto bytes = whole.str();
+    {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        os.write(bytes.data(),
+                 static_cast<std::streamsize>(bytes.size() - 16));
+    }
+    ScheduleCache cold;
+    const auto loaded = loadCacheFile(path, cold);
+    EXPECT_LT(loaded, 3u);
+    EXPECT_EQ(cold.stats().entries, loaded);
+    std::remove(path.c_str());
+}
+
 TEST(ScheduleCache, ConcurrentObtainIsConsistent)
 {
     Rng rng(17);
@@ -282,6 +464,75 @@ TEST(Runner, ParallelIsBitIdenticalToSerial)
     writeJson(ser, serial.results());
     writeJson(par, parallel.results());
     EXPECT_EQ(ser.str(), par.str());
+}
+
+TEST(Runner, LayerShardedIsBitIdenticalToSerialAcceleratorRun)
+{
+    // The acceptance bar for layer granularity: layer-sharded sweeps on
+    // 1, 2, and 8 threads all reproduce the serial Accelerator::run
+    // byte for byte.
+    auto spec = smallSweep();
+    spec.shardLayers = true;
+
+    // Ground truth: the serial quadruple loop through run().
+    std::vector<NetworkResult> serial;
+    for (const auto &opt : spec.optionVariants)
+        for (const auto &arch : spec.archs) {
+            Accelerator acc(arch);
+            for (const auto &net : spec.networks)
+                for (const auto cat : spec.categories)
+                    serial.push_back(acc.run(net, cat, opt));
+        }
+    std::ostringstream serial_doc;
+    writeJson(serial_doc, serial);
+
+    for (const int threads : {1, 2, 8}) {
+        const auto sweep = runSweep(spec, threads);
+        ASSERT_EQ(sweep.results().size(), serial.size()) << threads;
+        std::ostringstream doc;
+        writeJson(doc, sweep.results());
+        EXPECT_EQ(doc.str(), serial_doc.str())
+            << "layer-sharded sweep diverged on " << threads
+            << " threads";
+    }
+}
+
+TEST(Runner, LayerShardingMatchesNetworkGranularity)
+{
+    auto spec = smallSweep();
+    const auto whole = runSweep(spec, 4);
+    spec.shardLayers = true;
+    const auto sharded = runSweep(spec, 4);
+    std::ostringstream a, b;
+    writeJson(a, whole.results());
+    writeJson(b, sharded.results());
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Runner, RunLayerIsOrderIndependent)
+{
+    // The per-layer entry point must not depend on which layers ran
+    // before it: layer L simulated cold equals layer L simulated after
+    // every other layer.
+    auto spec = smallSweep();
+    const auto &net = spec.networks[0];
+    const auto &opt = spec.optionVariants[0];
+    Accelerator acc(spec.archs[0]);
+
+    const auto last_first = acc.runLayer(
+        net, net.layers.size() - 1, DnnCategory::B, opt);
+    std::vector<LayerResult> in_order;
+    for (std::size_t l = 0; l < net.layers.size(); ++l)
+        in_order.push_back(acc.runLayer(net, l, DnnCategory::B, opt));
+    EXPECT_EQ(last_first.totalCycles, in_order.back().totalCycles);
+    EXPECT_EQ(last_first.computeCycles, in_order.back().computeCycles);
+
+    const auto reduced =
+        acc.reduceLayers(net, DnnCategory::B, std::move(in_order));
+    const auto direct = acc.run(net, DnnCategory::B, opt);
+    EXPECT_EQ(reduced.totalCycles, direct.totalCycles);
+    EXPECT_EQ(reduced.speedup, direct.speedup);
+    EXPECT_EQ(reduced.topsPerWatt, direct.topsPerWatt);
 }
 
 TEST(Runner, CacheDoesNotChangeResults)

@@ -44,9 +44,17 @@ TEST(Stats, MeanAndStddev)
 {
     EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
     EXPECT_DOUBLE_EQ(mean({}), 0.0);
-    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
-                1e-12);
+    // Sample (N−1) estimator: sum of squared deviations is 32 over 8
+    // values, so s = sqrt(32/7), not the population sqrt(32/8) = 2.
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                std::sqrt(32.0 / 7.0), 1e-12);
     EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, StddevOfTwoValuesMatchesHandComputation)
+{
+    // (1, 3): mean 2, squared deviations 1 + 1, sample divisor 1.
+    EXPECT_NEAR(stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
 }
 
 TEST(Stats, RunningStatTracksMinMaxMeanCount)
