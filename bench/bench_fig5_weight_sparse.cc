@@ -3,11 +3,22 @@
  * Regenerates paper Fig. 5: the weight-only (Sparse.B) design-space
  * sweep — normalized speedup on the DNN.B suite plus effective
  * power/area efficiency on DNN.B (y axis) and DNN.dense (x axis).
+ *
+ * The design points are one `arch` axis of a GridSpec (routing-spec
+ * names, both shuffle settings, plus the paper's comparison
+ * architectures), run through the parallel sweep runner — so
+ * `--threads N` regenerates the figure N-wide with bit-identical
+ * numbers — and aggregated per architecture with SweepResult::slice.
  */
+
+#include <string>
+#include <vector>
 
 #include "arch/presets.hh"
 #include "bench_util.hh"
 #include "power/cost_model.hh"
+#include "runtime/grid.hh"
+#include "runtime/runner.hh"
 
 using namespace griffin;
 
@@ -17,41 +28,41 @@ main(int argc, char **argv)
     auto args = bench::parseArgs(
         argc, argv,
         "Fig. 5: Sparse.B design space (speedup and efficiency)",
-        /*default_sample=*/0.02, /*default_rowcap=*/32);
+        /*default_sample=*/0.02, /*default_rowcap=*/32,
+        /*add_threads=*/true);
 
-    // The configurations the paper's bars display (db1 in {2,4,6}).
+    // The configurations the paper's bars display (db1 in {2,4,6}),
+    // each with the shuffler off and on, then the comparison rows.
     const int points[][3] = {
         {2, 0, 0}, {2, 1, 0}, {2, 2, 0}, {2, 0, 1}, {2, 1, 1},
         {2, 0, 2}, {4, 0, 0}, {4, 0, 1}, {4, 0, 2}, {6, 0, 0},
         {6, 0, 1},
     };
+    std::vector<std::string> archs;
+    for (const auto &p : points)
+        for (const char *shuffle : {"off", "on"})
+            archs.push_back("B(" + std::to_string(p[0]) + "," +
+                            std::to_string(p[1]) + "," +
+                            std::to_string(p[2]) + "," + shuffle + ")");
+    archs.push_back("TCL.B");
+    archs.push_back("Sparse.B*");
+
+    GridSpec grid;
+    grid.axis("arch", archs).axis("category", {"b"});
+
+    SweepSpec base;
+    base.networks = benchmarkSuite();
+    base.optionVariants = {args.run};
+    const auto spec = grid.toSweepSpec(base);
+    const auto sweep = runSweep(spec, args.threads);
 
     Table t("Fig. 5 — Sparse.B sweep (suite geomean)",
             {"config", "speedup", "TOPS/W @DNN.B", "TOPS/mm2 @DNN.B",
              "TOPS/W @dense", "TOPS/mm2 @dense"});
-    for (const auto &p : points) {
-        for (bool shuffle : {false, true}) {
-            ArchConfig arch = denseBaseline();
-            arch.routing =
-                RoutingConfig::sparseB(p[0], p[1], p[2], shuffle);
-            arch.name = arch.routing.str();
-            const double s =
-                bench::suiteSpeedup(arch, DnnCategory::B, args.run);
-            t.addRow({arch.name, Table::num(s),
-                      Table::num(effectiveTopsPerWatt(
-                          arch, DnnCategory::B, s)),
-                      Table::num(effectiveTopsPerMm2(
-                          arch, DnnCategory::B, s)),
-                      Table::num(effectiveTopsPerWatt(
-                          arch, DnnCategory::Dense, 1.0)),
-                      Table::num(effectiveTopsPerMm2(
-                          arch, DnnCategory::Dense, 1.0))});
-        }
-    }
-    // The paper's comparison rows.
-    for (const auto &arch : {tclB(), sparseBStar()}) {
-        const double s =
-            bench::suiteSpeedup(arch, DnnCategory::B, args.run);
+    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+        const auto &arch = spec.archs[a];
+        const double s = geomeanSpeedup(sweep.slice(
+            [&](const SweepJob &job) { return job.archIndex == a; }));
         t.addRow({arch.name, Table::num(s),
                   Table::num(effectiveTopsPerWatt(arch, DnnCategory::B,
                                                   s)),

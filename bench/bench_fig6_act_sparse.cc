@@ -3,11 +3,19 @@
  * Regenerates paper Fig. 6: the activation-only (Sparse.A) design
  * sweep — speedup on the DNN.A suite plus effective efficiency on
  * DNN.A (y) and DNN.dense (x).
+ *
+ * Like Fig. 5, the design points are an `arch` axis of a GridSpec run
+ * through the parallel sweep runner and aggregated per architecture.
  */
+
+#include <string>
+#include <vector>
 
 #include "arch/presets.hh"
 #include "bench_util.hh"
 #include "power/cost_model.hh"
+#include "runtime/grid.hh"
+#include "runtime/runner.hh"
 
 using namespace griffin;
 
@@ -17,35 +25,46 @@ main(int argc, char **argv)
     auto args = bench::parseArgs(
         argc, argv,
         "Fig. 6: Sparse.A design space (speedup and efficiency)",
-        /*default_sample=*/0.02, /*default_rowcap=*/32);
+        /*default_sample=*/0.02, /*default_rowcap=*/32,
+        /*add_threads=*/true);
 
     const int points[][3] = {
         {1, 0, 0}, {1, 1, 0}, {2, 0, 0}, {2, 1, 0}, {3, 0, 0},
         {3, 1, 0}, {2, 0, 1}, {2, 1, 1}, {2, 1, 2}, {4, 0, 0},
         {4, 0, 1},
     };
+    std::vector<std::string> archs;
+    for (const auto &p : points)
+        for (const char *shuffle : {"off", "on"})
+            archs.push_back("A(" + std::to_string(p[0]) + "," +
+                            std::to_string(p[1]) + "," +
+                            std::to_string(p[2]) + "," + shuffle + ")");
+
+    GridSpec grid;
+    grid.axis("arch", archs).axis("category", {"a"});
+
+    SweepSpec base;
+    base.networks = benchmarkSuite();
+    base.optionVariants = {args.run};
+    const auto spec = grid.toSweepSpec(base);
+    const auto sweep = runSweep(spec, args.threads);
 
     Table t("Fig. 6 — Sparse.A sweep (suite geomean)",
             {"config", "speedup", "TOPS/W @DNN.A", "TOPS/mm2 @DNN.A",
              "TOPS/W @dense", "TOPS/mm2 @dense"});
-    for (const auto &p : points) {
-        for (bool shuffle : {false, true}) {
-            ArchConfig arch = denseBaseline();
-            arch.routing =
-                RoutingConfig::sparseA(p[0], p[1], p[2], shuffle);
-            arch.name = arch.routing.str();
-            const double s =
-                bench::suiteSpeedup(arch, DnnCategory::A, args.run);
-            t.addRow({arch.name, Table::num(s),
-                      Table::num(effectiveTopsPerWatt(
-                          arch, DnnCategory::A, s)),
-                      Table::num(effectiveTopsPerMm2(
-                          arch, DnnCategory::A, s)),
-                      Table::num(effectiveTopsPerWatt(
-                          arch, DnnCategory::Dense, 1.0)),
-                      Table::num(effectiveTopsPerMm2(
-                          arch, DnnCategory::Dense, 1.0))});
-        }
+    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+        const auto &arch = spec.archs[a];
+        const double s = geomeanSpeedup(sweep.slice(
+            [&](const SweepJob &job) { return job.archIndex == a; }));
+        t.addRow({arch.name, Table::num(s),
+                  Table::num(effectiveTopsPerWatt(arch, DnnCategory::A,
+                                                  s)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::A,
+                                                 s)),
+                  Table::num(effectiveTopsPerWatt(
+                      arch, DnnCategory::Dense, 1.0)),
+                  Table::num(effectiveTopsPerMm2(
+                      arch, DnnCategory::Dense, 1.0))});
     }
     bench::show(t, args);
     return 0;

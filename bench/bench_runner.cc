@@ -1,11 +1,21 @@
 /**
  * @file
- * Parallel sweep driver over the (architecture x network x category)
- * grid — the runtime/ subsystem's command-line face.
+ * Parallel sweep driver over the (architecture x network x category x
+ * RunOptions) grid — the runtime/ subsystem's command-line face.
  *
  *   ./bench_runner --threads 8 --json sweep.json
  *   ./bench_runner --archs Griffin,SparTen.AB --cats b,ab --threads 4
+ *   ./bench_runner --grid "weight_lane_bias=0:1:0.25,seed=1..4"
+ *   ./bench_runner --grid "arch=B(2,0,0,off),B(4,0,1,on),category=b"
  *   ./bench_runner --layer-shard --cache-file sweep.grfc
+ *
+ * --grid adds named RunOptions axes (weight_lane_bias,
+ * act_run_length, sample_fraction, row_cap, seed, enforce_dram_bound)
+ * to the sweep, expanded as a cartesian product in axis order; its
+ * arch/network/category axes override --archs/--networks/--cats.
+ * Every JSON/CSV row carries the resolved options and grid
+ * coordinates, so rows from different variants are distinguishable in
+ * the file alone.
  *
  * The merged results are bit-identical for any --threads value — with
  * or without --layer-shard, which splits every network job into
@@ -18,47 +28,40 @@
  */
 
 #include <iostream>
-#include <sstream>
 
 #include "bench_util.hh"
 
 #include "arch/presets.hh"
+#include "common/strings.hh"
 #include "runtime/cache_store.hh"
+#include "runtime/grid.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
 #include "runtime/thread_pool.hh"
 
 using namespace griffin;
 
-namespace {
-
-std::vector<std::string>
-splitList(const std::string &csv)
-{
-    std::vector<std::string> out;
-    std::istringstream is(csv);
-    std::string item;
-    while (std::getline(is, item, ','))
-        if (!item.empty())
-            out.push_back(item);
-    return out;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     Cli cli("Parallel experiment runner: sweep architectures x "
-            "networks x categories on a thread pool");
+            "networks x categories x RunOptions on a thread pool");
     cli.addString("archs", "Griffin,Sparse.B*,Sparse.A*,Sparse.AB*",
-                  "comma-separated preset names (arch/presets.hh)");
+                  "comma-separated architecture names (presets or "
+                  "routing specs like \"B(4,0,1,on)\")");
     cli.addString("networks",
                   "alexnet,googlenet,resnet50,inceptionv3,mobilenetv2,"
                   "bert",
                   "comma-separated benchmark networks");
     cli.addString("cats", "dense,a,b,ab",
                   "comma-separated workload categories");
+    cli.addString("grid", "",
+                  "named-axis grid spec, e.g. "
+                  "\"weight_lane_bias=0:1:0.25,seed=1..4\"; axes: "
+                  "arch, network, category, weight_lane_bias, "
+                  "act_run_length, sample_fraction, row_cap, seed, "
+                  "enforce_dram_bound (identity axes override "
+                  "--archs/--networks/--cats)");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
                "worker threads (1 = serial)");
     cli.addBool("layer-shard", false,
@@ -79,14 +82,16 @@ main(int argc, char **argv)
               "'\n", cli.usage());
 
     SweepSpec spec;
-    for (const auto &name : splitList(cli.getString("archs")))
-        spec.archs.push_back(presetByName(name));
+    for (const auto &name : splitTopLevel(cli.getString("archs")))
+        spec.archs.push_back(archByName(name));
     for (const auto &name : splitList(cli.getString("networks")))
         spec.networks.push_back(networkByName(name));
     for (const auto &name : splitList(cli.getString("cats")))
         spec.categories.push_back(categoryFromString(name));
-
     spec.optionVariants = {bench::readRunFlags(cli)};
+
+    if (!cli.getString("grid").empty())
+        spec = GridSpec::parse(cli.getString("grid")).toSweepSpec(spec);
     spec.shardLayers = cli.getBool("layer-shard");
 
     ScheduleCache cache;
@@ -105,31 +110,56 @@ main(int argc, char **argv)
     const int threads = static_cast<int>(cli.getInt("threads"));
     const auto sweep = runSweep(spec, threads, &cache);
 
+    const bool multi_variant = spec.optionVariants.size() > 1;
     if (cli.getBool("csv")) {
-        writeCsv(std::cout, sweep.results());
+        writeCsv(std::cout, sweep);
     } else {
+        std::vector<std::string> headers{"network", "arch", "category",
+                                         "speedup", "TOPS/W"};
+        if (multi_variant)
+            headers.insert(headers.begin() + 3, "grid point");
         Table t("Sweep results (" + std::to_string(threads) +
                     " threads)",
-                {"network", "arch", "category", "speedup", "TOPS/W"});
-        for (const auto &r : sweep.results())
-            t.addRow({r.network, r.arch, toString(r.category),
-                      Table::num(r.speedup), Table::num(r.topsPerWatt)});
+                headers);
+        for (std::size_t i = 0; i < sweep.results().size(); ++i) {
+            const auto &r = sweep.results()[i];
+            std::vector<std::string> row{r.network, r.arch,
+                                         toString(r.category)};
+            if (multi_variant)
+                row.push_back(coordsLabel(sweep.jobs()[i].coords));
+            row.push_back(Table::num(r.speedup));
+            row.push_back(Table::num(r.topsPerWatt));
+            t.addRow(row);
+        }
         t.print(std::cout);
         std::cout << '\n';
 
+        std::vector<std::string> gheaders{"arch", "category", "geomean"};
+        if (multi_variant)
+            gheaders.insert(gheaders.begin() + 2, "grid point");
         Table g("Geomean speedup per architecture and category",
-                {"arch", "category", "geomean"});
-        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
-            for (std::size_t c = 0; c < spec.categories.size(); ++c) {
-                std::vector<NetworkResult> slice;
-                for (std::size_t i = 0; i < sweep.jobs().size(); ++i) {
-                    const auto &job = sweep.jobs()[i];
-                    if (job.archIndex == a && job.categoryIndex == c)
-                        slice.push_back(sweep.results()[i]);
+                gheaders);
+        for (std::size_t o = 0; o < spec.optionVariants.size(); ++o) {
+            for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+                for (std::size_t c = 0; c < spec.categories.size();
+                     ++c) {
+                    const auto slice =
+                        sweep.slice([&](const SweepJob &job) {
+                            return job.optionsIndex == o &&
+                                   job.archIndex == a &&
+                                   job.categoryIndex == c;
+                        });
+                    std::vector<std::string> row{
+                        spec.archs[a].name,
+                        toString(spec.categories[c])};
+                    if (multi_variant)
+                        row.push_back(coordsLabel(
+                            spec.optionCoords.empty()
+                                ? std::vector<AxisCoordinate>{}
+                                : spec.optionCoords[o]));
+                    row.push_back(Table::num(geomeanSpeedup(slice)));
+                    g.addRow(row);
                 }
-                g.addRow({spec.archs[a].name,
-                          toString(spec.categories[c]),
-                          Table::num(geomeanSpeedup(slice))});
             }
         }
         g.print(std::cout);
@@ -147,7 +177,7 @@ main(int argc, char **argv)
     // completed results.
     if (!cli.getString("json").empty()) {
         ResultSink sink(cli.getString("json"));
-        sink.add(sweep.results());
+        sink.add(sweep);
         sink.flush();
         inform("wrote ", sweep.results().size(), " results to ",
                cli.getString("json"));

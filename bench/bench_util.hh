@@ -21,6 +21,7 @@
 #include "common/table.hh"
 #include "griffin/accelerator.hh"
 #include "runtime/result_sink.hh"
+#include "runtime/thread_pool.hh"
 
 namespace griffin {
 namespace bench {
@@ -30,6 +31,10 @@ struct BenchArgs
 {
     RunOptions run;
     bool csv = false;
+    /** Worker threads for benches that sweep through runSweep (1 for
+     *  the ones that run serially); results are thread-count
+     *  independent either way. */
+    int threads = 1;
     /**
      * When set, every table show()n is written to this path as one
      * JSON Lines record ({"table", "columns", "rows"}), so perf
@@ -75,10 +80,14 @@ readRunFlags(const Cli &cli)
 inline BenchArgs
 parseArgs(int argc, const char *const *argv,
           const std::string &description, double default_sample = 0.04,
-          std::int64_t default_rowcap = 48)
+          std::int64_t default_rowcap = 48, bool add_threads = false)
 {
     Cli cli(description);
     addRunFlags(cli, default_sample, default_rowcap);
+    if (add_threads)
+        cli.addInt("threads", ThreadPool::hardwareThreads(),
+                   "worker threads (1 = serial; results are "
+                   "bit-identical for any value)");
     cli.addBool("csv", false, "emit CSV instead of boxed tables");
     cli.addString("json", "",
                   "write each table to this path as JSON Lines "
@@ -87,6 +96,8 @@ parseArgs(int argc, const char *const *argv,
 
     BenchArgs args;
     args.run = readRunFlags(cli);
+    if (add_threads)
+        args.threads = static_cast<int>(cli.getInt("threads"));
     args.csv = cli.getBool("csv");
     args.jsonPath = cli.getString("json");
     return args;

@@ -1,11 +1,14 @@
 /**
  * @file
- * Parallel sweep via the runtime/ subsystem: shard a design-space
- * grid across a thread pool — down to one sub-job per network layer —
- * share preprocessed weight schedules between jobs and across process
- * runs, and serialize the merged results as JSON.
+ * Parallel sweep via the runtime/ subsystem, declared as a named-axis
+ * grid: build a GridSpec with the builder API (or pass --grid), shard
+ * the expanded jobs across a thread pool — down to one sub-job per
+ * network layer — share preprocessed weight schedules between jobs
+ * and across process runs, and serialize the merged results as JSON
+ * rows that carry their own grid coordinates.
  *
  *   ./parallel_sweep
+ *   ./parallel_sweep --grid "weight_lane_bias=0:1:0.25,seed=1..2"
  *   ./parallel_sweep --layer-shard --cache-file sweep.grfc
  *
  * The printed JSON is bit-identical to a --threads 1 run of the same
@@ -22,6 +25,7 @@
 #include "arch/presets.hh"
 #include "common/cli.hh"
 #include "runtime/cache_store.hh"
+#include "runtime/grid.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
 #include "runtime/thread_pool.hh"
@@ -31,32 +35,49 @@ using namespace griffin;
 int
 main(int argc, char **argv)
 {
-    Cli cli("Parallel sweep example: a small arch x network x category "
-            "grid on the work-stealing pool");
+    Cli cli("Parallel sweep example: a named-axis grid on the "
+            "work-stealing pool");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
                "worker threads (1 = serial)");
     cli.addBool("layer-shard", true,
                 "fan each network job out into per-layer sub-jobs");
+    cli.addString("grid", "",
+                  "replace the built-in grid with a parsed spec, e.g. "
+                  "\"arch=Griffin,network=resnet50,weight_lane_bias="
+                  "0:1:0.5\"");
     cli.addString("cache-file", "",
                   "persist preprocessed B schedules to this GRFC file");
     cli.parse(argc, argv);
 
-    // A 2-arch x 2-network x 2-category grid: 8 jobs — and with layer
-    // sharding one sub-job per layer, so even this small grid keeps
-    // every worker busy.  Real studies sweep hundreds of points; the
-    // spec scales by pushing more entries (or RunOptions variants)
-    // into the vectors.
-    SweepSpec spec;
-    spec.archs = {griffinArch(), sparseBStar()};
-    spec.networks = {resNet50(), bertBase()};
-    spec.categories = {DnnCategory::B, DnnCategory::AB};
-    spec.shardLayers = cli.getBool("layer-shard");
+    // The sweep is a GridSpec: named axes, each a value list, expanded
+    // as a cartesian product in declaration order.  A 2-arch x
+    // 2-network x 2-category x 2-lane-bias grid is 16 jobs — and with
+    // layer sharding one sub-job per layer, so even this small grid
+    // keeps every worker busy.  Real studies push more values onto
+    // the axes (ranges like "0:1:0.25" and "1..8" expand inline).
+    GridSpec grid;
+    if (!cli.getString("grid").empty())
+        grid = GridSpec::parse(cli.getString("grid"));
+    else
+        grid.axis("arch", {"Griffin", "Sparse.B*"})
+            .axis("network", {"resnet50", "bert"})
+            .axis("category", {"b", "ab"})
+            .axis("weight_lane_bias", {0.25, 0.75});
 
+    // The base spec supplies whatever the grid leaves unswept: default
+    // identity axes and the RunOptions fields every variant inherits.
+    SweepSpec base;
+    base.archs = {griffinArch(), sparseBStar()};
+    base.networks = {resNet50(), bertBase()};
+    base.categories = {DnnCategory::B, DnnCategory::AB};
     RunOptions fast;
     fast.sim.sampleFraction = 0.05;
     fast.sim.minSampledTiles = 4;
     fast.rowCap = 64;
-    spec.optionVariants = {fast};
+    base.optionVariants = {fast};
+
+    SweepSpec spec = grid.toSweepSpec(base);
+    spec.shardLayers = cli.getBool("layer-shard");
 
     ScheduleCache cache;
     const auto cache_path = cli.getString("cache-file");
@@ -88,6 +109,9 @@ main(int argc, char **argv)
                   << " entries to " << cache_path << "\n";
     }
 
-    writeJson(std::cout, sweep.results());
+    // Every row carries its resolved options and grid coordinates
+    // ("coords"), so a two-variant sweep stays distinguishable in the
+    // output alone.
+    writeJson(std::cout, sweep);
     return 0;
 }

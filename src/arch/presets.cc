@@ -1,6 +1,7 @@
 #include "arch/presets.hh"
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace griffin {
 
@@ -167,16 +168,124 @@ tableSevenPresets()
             sparseABStar(),  griffinArch(), tdashAB(), sparTenAB()};
 }
 
+namespace {
+
+std::string
+knownPresetsList()
+{
+    std::string known;
+    for (const auto &cfg : allPresets())
+        known += " '" + cfg.name + "'";
+    return known;
+}
+
+} // namespace
+
 ArchConfig
 presetByName(const std::string &name)
 {
     for (auto &cfg : allPresets())
         if (cfg.name == name)
             return cfg;
-    std::string known;
-    for (const auto &cfg : allPresets())
-        known += " '" + cfg.name + "'";
-    fatal("unknown architecture preset '", name, "'; known:", known);
+    fatal("unknown architecture preset '", name,
+          "'; known:", knownPresetsList());
+}
+
+namespace {
+
+int
+routingDistance(const std::string &token, const std::string &spec)
+{
+    const auto t = trim(token);
+    std::size_t pos = 0;
+    int v = 0;
+    bool any = false;
+    for (; pos < t.size() && t[pos] >= '0' && t[pos] <= '9'; ++pos) {
+        v = v * 10 + (t[pos] - '0');
+        any = true;
+    }
+    if (!any || pos != t.size())
+        fatal("bad routing distance '", token, "' in arch spec '", spec,
+              "'");
+    return v;
+}
+
+bool
+routingShuffle(const std::string &token, const std::string &spec)
+{
+    const auto t = trim(token);
+    if (t == "on")
+        return true;
+    if (t == "off")
+        return false;
+    fatal("bad shuffle flag '", token, "' in arch spec '", spec,
+          "' (want on/off)");
+}
+
+[[noreturn]] void
+unknownArch(const std::string &name)
+{
+    fatal("unknown architecture '", name,
+          "': not a preset and not a routing spec "
+          "(Dense | A(d1,d2,d3,on|off) | B(d1,d2,d3,on|off) | "
+          "AB(a1,a2,a3,b1,b2,b3,on|off)[otf]); known presets:",
+          knownPresetsList());
+}
+
+} // namespace
+
+ArchConfig
+archByName(const std::string &name)
+{
+    for (auto &cfg : allPresets())
+        if (cfg.name == name)
+            return cfg;
+
+    auto cfg = denseBaseline();
+    std::string spec = trim(name);
+    if (spec == "Dense") {
+        cfg.name = "Dense";
+        return cfg;
+    }
+
+    bool preprocess_b = true;
+    if (spec.size() > 5 &&
+        spec.compare(spec.size() - 5, 5, "[otf]") == 0) {
+        preprocess_b = false;
+        spec = spec.substr(0, spec.size() - 5);
+    }
+    const auto open = spec.find('(');
+    if (open == std::string::npos || spec.back() != ')')
+        unknownArch(name);
+    const auto mode = spec.substr(0, open);
+    const auto fields =
+        splitList(spec.substr(open + 1, spec.size() - open - 2), ',');
+    if (mode == "A" && fields.size() == 4 && preprocess_b) {
+        cfg.routing = RoutingConfig::sparseA(
+            routingDistance(fields[0], name),
+            routingDistance(fields[1], name),
+            routingDistance(fields[2], name),
+            routingShuffle(fields[3], name));
+    } else if (mode == "B" && fields.size() == 4 && preprocess_b) {
+        cfg.routing = RoutingConfig::sparseB(
+            routingDistance(fields[0], name),
+            routingDistance(fields[1], name),
+            routingDistance(fields[2], name),
+            routingShuffle(fields[3], name));
+    } else if (mode == "AB" && fields.size() == 7) {
+        cfg.routing = RoutingConfig::sparseAB(
+            routingDistance(fields[0], name),
+            routingDistance(fields[1], name),
+            routingDistance(fields[2], name),
+            routingDistance(fields[3], name),
+            routingDistance(fields[4], name),
+            routingDistance(fields[5], name),
+            routingShuffle(fields[6], name), preprocess_b);
+    } else {
+        unknownArch(name);
+    }
+    cfg.name = cfg.routing.str();
+    return cfg;
 }
 
 } // namespace griffin

@@ -69,6 +69,17 @@ std::vector<ArchConfig> tableSevenPresets();
 /** Look up by name ("Griffin", "Sparse.B*", ...); fatal() if absent. */
 ArchConfig presetByName(const std::string &name);
 
+/**
+ * Preset lookup extended with routing-spec names: "Dense",
+ * "B(4,0,1,on)", "A(2,1,0,off)", "AB(2,0,0,2,0,1,on)" (with an
+ * optional "[otf]" suffix for on-the-fly dual matching) build
+ * denseBaseline() hardware with that routing, named by the canonical
+ * RoutingConfig::str() form.  This is what lets a sweep's `arch` axis
+ * take arbitrary design points, not just the named presets.  fatal()
+ * with the known presets and the spec grammar when neither matches.
+ */
+ArchConfig archByName(const std::string &name);
+
 } // namespace griffin
 
 #endif // GRIFFIN_ARCH_PRESETS_HH

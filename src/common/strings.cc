@@ -1,0 +1,123 @@
+#include "common/strings.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <system_error>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+std::vector<std::string>
+splitList(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    for (char c : text) {
+        if (c == sep) {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty())
+        out.push_back(item);
+    return out;
+}
+
+std::vector<std::string>
+splitTopLevel(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string item;
+    int depth = 0;
+    for (char c : text) {
+        if (c == '(' || c == '[') {
+            ++depth;
+        } else if (c == ')' || c == ']') {
+            if (depth > 0)
+                --depth;
+        }
+        if (c == sep && depth == 0) {
+            if (!item.empty())
+                out.push_back(item);
+            item.clear();
+        } else {
+            item += c;
+        }
+    }
+    if (!item.empty())
+        out.push_back(item);
+    return out;
+}
+
+std::string
+trim(const std::string &s)
+{
+    const char *ws = " \t\r\n";
+    const auto first = s.find_first_not_of(ws);
+    if (first == std::string::npos)
+        return "";
+    const auto last = s.find_last_not_of(ws);
+    return s.substr(first, last - first + 1);
+}
+
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Single-row Levenshtein; the strings here are flag/axis names, so
+    // quadratic time on tiny inputs is fine.
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst =
+                diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+std::string
+nearestName(const std::string &name,
+            const std::vector<std::string> &candidates)
+{
+    // A candidate containing the name as a substring (or vice versa)
+    // beats any mere edit-distance neighbour: "lane_bias" should
+    // suggest "weight_lane_bias", not whatever 7-edit name happens to
+    // come first.
+    std::string best;
+    bool best_contains = false;
+    std::size_t best_dist = 0;
+    for (const auto &cand : candidates) {
+        const bool contains =
+            !name.empty() && (cand.find(name) != std::string::npos ||
+                              name.find(cand) != std::string::npos);
+        const auto d = editDistance(name, cand);
+        if (best.empty() || (contains && !best_contains) ||
+            (contains == best_contains && d < best_dist)) {
+            best = cand;
+            best_contains = contains;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+std::string
+formatShortestDouble(double v)
+{
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    GRIFFIN_ASSERT(res.ec == std::errc{}, "double formatting failed");
+    return std::string(buf, res.ptr);
+}
+
+} // namespace griffin

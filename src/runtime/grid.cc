@@ -1,0 +1,374 @@
+#include "runtime/grid.hh"
+
+#include <charconv>
+#include <cmath>
+#include <system_error>
+
+#include "arch/category.hh"
+#include "arch/presets.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+
+namespace {
+
+/** How an axis's value tokens are typed and applied. */
+enum class AxisKind
+{
+    Arch,     ///< replaces SweepSpec::archs (archByName)
+    Network,  ///< replaces SweepSpec::networks (networkByName)
+    Category, ///< replaces SweepSpec::categories (categoryFromString)
+    Double,   ///< RunOptions double field
+    Int,      ///< RunOptions integer field
+    Bool      ///< RunOptions bool field
+};
+
+struct AxisDesc
+{
+    const char *name;
+    AxisKind kind;
+    /** Write one parsed value into a RunOptions (numeric/bool axes). */
+    void (*apply)(RunOptions &, const std::string &);
+};
+
+double
+parseDoubleToken(const std::string &token)
+{
+    double v = 0.0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (res.ec != std::errc{} || res.ptr != token.data() + token.size())
+        fatal("grid value '", token, "' is not a number");
+    return v;
+}
+
+std::int64_t
+parseIntToken(const std::string &token)
+{
+    std::int64_t v = 0;
+    const auto res =
+        std::from_chars(token.data(), token.data() + token.size(), v);
+    if (res.ec != std::errc{} || res.ptr != token.data() + token.size())
+        fatal("grid value '", token, "' is not an integer");
+    return v;
+}
+
+bool
+parseBoolToken(const std::string &token)
+{
+    if (token == "true" || token == "on" || token == "1")
+        return true;
+    if (token == "false" || token == "off" || token == "0")
+        return false;
+    fatal("grid value '", token,
+          "' is not a boolean (true/false/on/off/1/0)");
+}
+
+const AxisDesc kAxes[] = {
+    {"arch", AxisKind::Arch, nullptr},
+    {"network", AxisKind::Network, nullptr},
+    {"category", AxisKind::Category, nullptr},
+    {"weight_lane_bias", AxisKind::Double,
+     [](RunOptions &o, const std::string &v) {
+         o.weightLaneBias = parseDoubleToken(v);
+     }},
+    {"act_run_length", AxisKind::Double,
+     [](RunOptions &o, const std::string &v) {
+         o.actRunLength = parseDoubleToken(v);
+     }},
+    {"sample_fraction", AxisKind::Double,
+     [](RunOptions &o, const std::string &v) {
+         o.sim.sampleFraction = parseDoubleToken(v);
+     }},
+    {"row_cap", AxisKind::Int,
+     [](RunOptions &o, const std::string &v) {
+         o.rowCap = parseIntToken(v);
+     }},
+    {"seed", AxisKind::Int,
+     [](RunOptions &o, const std::string &v) {
+         o.seed = static_cast<std::uint64_t>(parseIntToken(v));
+     }},
+    {"enforce_dram_bound", AxisKind::Bool,
+     [](RunOptions &o, const std::string &v) {
+         o.enforceDramBound = parseBoolToken(v);
+     }},
+};
+
+const AxisDesc &
+findAxis(const std::string &name)
+{
+    for (const auto &desc : kAxes)
+        if (name == desc.name)
+            return desc;
+    const auto names = GridSpec::axisNames();
+    std::string valid;
+    for (const auto &n : names)
+        valid += (valid.empty() ? "" : ", ") + n;
+    fatal("unknown grid axis '", name, "'; did you mean '",
+          nearestName(name, names), "'? (valid axes: ", valid, ")");
+}
+
+bool
+isNumeric(AxisKind kind)
+{
+    return kind == AxisKind::Double || kind == AxisKind::Int;
+}
+
+/**
+ * Expand one value token of a numeric axis: "a..b" inclusive integer
+ * range, "lo:hi:step" inclusive stepped range, or a single literal.
+ */
+std::vector<std::string>
+expandNumericToken(const AxisDesc &desc, const std::string &token)
+{
+    const auto dots = token.find("..");
+    if (dots != std::string::npos) {
+        if (desc.kind != AxisKind::Int)
+            fatal("malformed range '", token, "' on axis '", desc.name,
+                  "': '..' ranges are integer-only; use "
+                  "<lo>:<hi>:<step> on a real-valued axis");
+        const auto lo_s = token.substr(0, dots);
+        const auto hi_s = token.substr(dots + 2);
+        if (lo_s.empty() || hi_s.empty())
+            fatal("malformed range '", token, "' on axis '", desc.name,
+                  "': expected <lo>..<hi>");
+        const auto lo = parseIntToken(lo_s);
+        const auto hi = parseIntToken(hi_s);
+        if (lo > hi)
+            fatal("malformed range '", token, "' on axis '", desc.name,
+                  "': lower bound exceeds upper bound");
+        std::vector<std::string> out;
+        for (std::int64_t v = lo; v <= hi; ++v)
+            out.push_back(std::to_string(v));
+        return out;
+    }
+    if (token.find(':') != std::string::npos) {
+        const auto parts = splitList(token, ':');
+        if (parts.size() != 3)
+            fatal("malformed range '", token, "' on axis '", desc.name,
+                  "': expected <lo>:<hi>:<step>");
+        std::vector<std::string> out;
+        if (desc.kind == AxisKind::Int) {
+            const auto lo = parseIntToken(parts[0]);
+            const auto hi = parseIntToken(parts[1]);
+            const auto step = parseIntToken(parts[2]);
+            if (step <= 0 || lo > hi)
+                fatal("malformed range '", token, "' on axis '",
+                      desc.name,
+                      "': need step > 0 and lo <= hi");
+            for (std::int64_t v = lo; v <= hi; v += step)
+                out.push_back(std::to_string(v));
+        } else {
+            const auto lo = parseDoubleToken(parts[0]);
+            const auto hi = parseDoubleToken(parts[1]);
+            const auto step = parseDoubleToken(parts[2]);
+            if (!(step > 0.0) || lo > hi)
+                fatal("malformed range '", token, "' on axis '",
+                      desc.name,
+                      "': need step > 0 and lo <= hi");
+            // Integer stepping (lo + i*step) avoids accumulation
+            // drift; the epsilon keeps hi inclusive when (hi-lo) is a
+            // near-exact multiple of step (0:1:0.25 ends at 1).
+            const auto count = static_cast<std::int64_t>(
+                std::floor((hi - lo) / step + 1e-9));
+            for (std::int64_t i = 0; i <= count; ++i)
+                out.push_back(
+                    formatShortestDouble(lo + static_cast<double>(i) *
+                                                  step));
+        }
+        return out;
+    }
+    // Literal: validate the parse now so a typo names its token.
+    if (desc.kind == AxisKind::Int)
+        parseIntToken(token);
+    else
+        parseDoubleToken(token);
+    return {token};
+}
+
+/** Validate (and canonicalize, for bools) one non-numeric token. */
+std::string
+checkLiteralToken(const AxisDesc &desc, const std::string &token)
+{
+    switch (desc.kind) {
+      case AxisKind::Arch:
+        archByName(token); // fatal() with known names when unknown
+        return token;
+      case AxisKind::Network:
+        networkByName(token);
+        return token;
+      case AxisKind::Category:
+        categoryFromString(token);
+        return token;
+      case AxisKind::Bool:
+        return parseBoolToken(token) ? "true" : "false";
+      default:
+        panic("literal check on numeric axis ", desc.name);
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+GridSpec::axisNames()
+{
+    std::vector<std::string> names;
+    for (const auto &desc : kAxes)
+        names.push_back(desc.name);
+    return names;
+}
+
+bool
+GridSpec::has(const std::string &name) const
+{
+    for (const auto &ax : axes_)
+        if (ax.name == name)
+            return true;
+    return false;
+}
+
+std::size_t
+GridSpec::pointCount() const
+{
+    std::size_t n = 1;
+    for (const auto &ax : axes_)
+        n *= ax.values.size();
+    return n;
+}
+
+GridSpec &
+GridSpec::axis(const std::string &name, std::vector<std::string> values)
+{
+    const AxisDesc &desc = findAxis(name);
+    if (has(name))
+        fatal("grid axis '", name, "' declared twice");
+    ParamAxis ax;
+    ax.name = name;
+    for (const auto &token : values) {
+        const auto t = trim(token);
+        if (t.empty())
+            continue;
+        if (isNumeric(desc.kind)) {
+            for (auto &v : expandNumericToken(desc, t))
+                ax.values.push_back(std::move(v));
+        } else {
+            ax.values.push_back(checkLiteralToken(desc, t));
+        }
+    }
+    if (ax.values.empty())
+        fatal("grid axis '", name, "' has no values");
+    axes_.push_back(std::move(ax));
+    return *this;
+}
+
+GridSpec &
+GridSpec::axis(const std::string &name,
+               std::initializer_list<double> values)
+{
+    std::vector<std::string> tokens;
+    for (double v : values)
+        tokens.push_back(formatShortestDouble(v));
+    return axis(name, std::move(tokens));
+}
+
+GridSpec
+GridSpec::parse(const std::string &text)
+{
+    if (trim(text).empty())
+        fatal("empty grid spec");
+    GridSpec grid;
+    std::string current_axis;
+    std::vector<std::string> current_values;
+    auto flush = [&] {
+        if (!current_axis.empty())
+            grid.axis(current_axis, std::move(current_values));
+        current_values.clear();
+    };
+    for (const auto &piece : splitTopLevel(text, ',')) {
+        const auto item = trim(piece);
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq != std::string::npos) {
+            flush();
+            current_axis = trim(item.substr(0, eq));
+            if (current_axis.empty())
+                fatal("grid spec item '", item, "' has no axis name");
+            const auto value = trim(item.substr(eq + 1));
+            if (!value.empty())
+                current_values.push_back(value);
+        } else {
+            if (current_axis.empty())
+                fatal("grid spec value '", item,
+                      "' appears before any 'axis=value' item");
+            current_values.push_back(item);
+        }
+    }
+    flush();
+    return grid;
+}
+
+SweepSpec
+GridSpec::toSweepSpec(const SweepSpec &base) const
+{
+    if (base.optionVariants.size() != 1)
+        fatal("grid expansion needs exactly one base RunOptions "
+              "variant, got ",
+              base.optionVariants.size());
+    SweepSpec spec = base;
+    spec.optionCoords.clear();
+
+    // Cartesian product of the RunOptions axes in declaration order:
+    // the first axis varies slowest, so expandSweep()'s (options,
+    // arch, network, category) nesting visits the grid exactly as a
+    // serial nested loop over the declared axes would.
+    std::vector<RunOptions> variants = base.optionVariants;
+    std::vector<std::vector<AxisCoordinate>> coords{{}};
+    for (const auto &ax : axes_) {
+        const AxisDesc &desc = findAxis(ax.name);
+        switch (desc.kind) {
+          case AxisKind::Arch:
+            spec.archs.clear();
+            for (const auto &v : ax.values)
+                spec.archs.push_back(archByName(v));
+            break;
+          case AxisKind::Network:
+            spec.networks.clear();
+            for (const auto &v : ax.values)
+                spec.networks.push_back(networkByName(v));
+            break;
+          case AxisKind::Category:
+            spec.categories.clear();
+            for (const auto &v : ax.values)
+                spec.categories.push_back(categoryFromString(v));
+            break;
+          default: {
+            std::vector<RunOptions> next_variants;
+            std::vector<std::vector<AxisCoordinate>> next_coords;
+            next_variants.reserve(variants.size() * ax.values.size());
+            next_coords.reserve(variants.size() * ax.values.size());
+            for (std::size_t i = 0; i < variants.size(); ++i) {
+                for (const auto &v : ax.values) {
+                    RunOptions opt = variants[i];
+                    desc.apply(opt, v);
+                    next_variants.push_back(opt);
+                    auto c = coords[i];
+                    c.push_back({ax.name, v});
+                    next_coords.push_back(std::move(c));
+                }
+            }
+            variants = std::move(next_variants);
+            coords = std::move(next_coords);
+            break;
+          }
+        }
+    }
+    spec.optionVariants = std::move(variants);
+    spec.optionCoords = std::move(coords);
+    spec.validate();
+    return spec;
+}
+
+} // namespace griffin

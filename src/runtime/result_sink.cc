@@ -1,11 +1,11 @@
 #include "runtime/result_sink.hh"
 
-#include <charconv>
 #include <cstdio>
 #include <fstream>
-#include <system_error>
+#include <iterator>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace griffin {
 
@@ -15,6 +15,34 @@ std::string
 indentStr(int level)
 {
     return std::string(static_cast<std::size_t>(level) * 2, ' ');
+}
+
+/** The "options" JSON object: every RunOptions field a grid axis can
+ *  address, fixed key order. */
+void
+writeOptionsObject(std::ostream &os, const RunOptions &opt)
+{
+    os << "{\"seed\": " << opt.seed << ", \"row_cap\": " << opt.rowCap
+       << ", \"weight_lane_bias\": " << jsonNumber(opt.weightLaneBias)
+       << ", \"act_run_length\": " << jsonNumber(opt.actRunLength)
+       << ", \"sample_fraction\": "
+       << jsonNumber(opt.sim.sampleFraction)
+       << ", \"enforce_dram_bound\": "
+       << (opt.enforceDramBound ? "true" : "false") << "}";
+}
+
+void
+writeCoordsObject(std::ostream &os,
+                  const std::vector<AxisCoordinate> &coords)
+{
+    os << "{";
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        os << '"' << jsonEscape(coords[i].axis) << "\": \""
+           << jsonEscape(coords[i].value) << '"';
+    }
+    os << "}";
 }
 
 } // namespace
@@ -57,17 +85,18 @@ jsonEscape(const std::string &s)
 std::string
 jsonNumber(double v)
 {
-    // std::to_chars emits the shortest round-tripping decimal form and
-    // ignores the process locale — printf's %g would honour a comma
-    // LC_NUMERIC separator and emit invalid JSON.
-    char buf[64];
-    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-    GRIFFIN_ASSERT(res.ec == std::errc{}, "double formatting failed");
-    return std::string(buf, res.ptr);
+    // Shortest round-tripping decimal form, locale-independent —
+    // printf's %g would honour a comma LC_NUMERIC separator and emit
+    // invalid JSON.
+    return formatShortestDouble(v);
 }
 
+namespace {
+
+/** One result as a JSON object; `row` adds options/coords fields. */
 void
-writeJson(std::ostream &os, const NetworkResult &result, int indent)
+writeJsonRow(std::ostream &os, const NetworkResult &result,
+             const ResultRow *row, int indent)
 {
     const std::string in0 = indentStr(indent);
     const std::string in1 = indentStr(indent + 1);
@@ -75,8 +104,18 @@ writeJson(std::ostream &os, const NetworkResult &result, int indent)
     os << in0 << "{\n"
        << in1 << "\"network\": \"" << jsonEscape(result.network) << "\",\n"
        << in1 << "\"arch\": \"" << jsonEscape(result.arch) << "\",\n"
-       << in1 << "\"category\": \"" << toString(result.category) << "\",\n"
-       << in1 << "\"dense_cycles\": " << result.denseCycles << ",\n"
+       << in1 << "\"category\": \"" << toString(result.category) << "\",\n";
+    if (row != nullptr && row->annotated) {
+        os << in1 << "\"options\": ";
+        writeOptionsObject(os, row->options);
+        os << ",\n";
+        if (!row->coords.empty()) {
+            os << in1 << "\"coords\": ";
+            writeCoordsObject(os, row->coords);
+            os << ",\n";
+        }
+    }
+    os << in1 << "\"dense_cycles\": " << result.denseCycles << ",\n"
        << in1 << "\"total_cycles\": " << result.totalCycles << ",\n"
        << in1 << "\"speedup\": " << jsonNumber(result.speedup) << ",\n"
        << in1 << "\"tops_per_watt\": " << jsonNumber(result.topsPerWatt)
@@ -100,6 +139,14 @@ writeJson(std::ostream &os, const NetworkResult &result, int indent)
     os << "]\n" << in0 << "}";
 }
 
+} // namespace
+
+void
+writeJson(std::ostream &os, const NetworkResult &result, int indent)
+{
+    writeJsonRow(os, result, nullptr, indent);
+}
+
 void
 writeJson(std::ostream &os, const std::vector<NetworkResult> &results)
 {
@@ -111,6 +158,43 @@ writeJson(std::ostream &os, const std::vector<NetworkResult> &results)
     if (!results.empty())
         os << "\n";
     os << "]\n";
+}
+
+std::vector<ResultRow>
+sweepRows(const SweepResult &sweep)
+{
+    GRIFFIN_ASSERT(sweep.jobs().size() == sweep.results().size(),
+                   "sweep jobs/results length mismatch");
+    std::vector<ResultRow> rows;
+    rows.reserve(sweep.results().size());
+    for (std::size_t i = 0; i < sweep.results().size(); ++i) {
+        ResultRow row;
+        row.result = sweep.results()[i];
+        row.annotated = true;
+        row.options = sweep.jobs()[i].options;
+        row.coords = sweep.jobs()[i].coords;
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<ResultRow> &rows)
+{
+    os << "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        os << (i == 0 ? "\n" : ",\n");
+        writeJsonRow(os, rows[i].result, &rows[i], 1);
+    }
+    if (!rows.empty())
+        os << "\n";
+    os << "]\n";
+}
+
+void
+writeJson(std::ostream &os, const SweepResult &sweep)
+{
+    writeJson(os, sweepRows(sweep));
 }
 
 void
@@ -130,6 +214,54 @@ writeCsv(std::ostream &os, const std::vector<NetworkResult> &results)
            << ",total," << r.denseCycles << ",,," << r.totalCycles
            << ",," << jsonNumber(r.speedup) << '\n';
     }
+}
+
+namespace {
+
+/** The per-row options cells ("seed,...,enforce_dram_bound"), empty
+ *  cells when the row is unannotated. */
+std::string
+optionsCsvCells(const ResultRow &row)
+{
+    if (!row.annotated)
+        return ",,,,,";
+    const auto &opt = row.options;
+    return std::to_string(opt.seed) + ',' + std::to_string(opt.rowCap) +
+           ',' + jsonNumber(opt.weightLaneBias) + ',' +
+           jsonNumber(opt.actRunLength) + ',' +
+           jsonNumber(opt.sim.sampleFraction) + ',' +
+           (opt.enforceDramBound ? "true" : "false");
+}
+
+} // namespace
+
+void
+writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
+{
+    os << "network,arch,category,seed,row_cap,weight_lane_bias,"
+          "act_run_length,sample_fraction,enforce_dram_bound,layer,"
+          "dense_cycles,compute_cycles,dram_cycles,total_cycles,macs,"
+          "speedup\n";
+    for (const auto &row : rows) {
+        const auto &r = row.result;
+        const auto prefix = r.network + ',' + r.arch + ',' +
+                            toString(r.category) + ',' +
+                            optionsCsvCells(row) + ',';
+        for (const auto &l : r.layers) {
+            os << prefix << l.name << ',' << l.denseCycles << ','
+               << l.computeCycles << ',' << l.dramCycles << ','
+               << l.totalCycles << ',' << l.macs << ','
+               << jsonNumber(l.speedup) << '\n';
+        }
+        os << prefix << "total," << r.denseCycles << ",,,"
+           << r.totalCycles << ",," << jsonNumber(r.speedup) << '\n';
+    }
+}
+
+void
+writeCsv(std::ostream &os, const SweepResult &sweep)
+{
+    writeCsv(os, sweepRows(sweep));
 }
 
 void
@@ -179,13 +311,24 @@ ResultSink::ResultSink(std::string path) : path_(std::move(path))
 void
 ResultSink::add(NetworkResult result)
 {
-    results_.push_back(std::move(result));
+    ResultRow row;
+    row.result = std::move(result);
+    rows_.push_back(std::move(row));
 }
 
 void
 ResultSink::add(const std::vector<NetworkResult> &results)
 {
-    results_.insert(results_.end(), results.begin(), results.end());
+    for (const auto &r : results)
+        add(r);
+}
+
+void
+ResultSink::add(const SweepResult &sweep)
+{
+    auto rows = sweepRows(sweep);
+    rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
+                 std::make_move_iterator(rows.end()));
 }
 
 void
@@ -196,10 +339,25 @@ ResultSink::flush() const
         fatal("cannot open result sink path '", path_, "'");
     const bool csv = path_.size() >= 4 &&
                      path_.compare(path_.size() - 4, 4, ".csv") == 0;
-    if (csv)
-        writeCsv(os, results_);
-    else
-        writeJson(os, results_);
+    // All-plain documents keep the stable legacy NetworkResult shape.
+    bool annotated = false;
+    for (const auto &row : rows_)
+        annotated = annotated || row.annotated;
+    std::vector<NetworkResult> plain;
+    if (!annotated)
+        for (const auto &row : rows_)
+            plain.push_back(row.result);
+    if (csv) {
+        if (annotated)
+            writeCsv(os, rows_);
+        else
+            writeCsv(os, plain);
+    } else {
+        if (annotated)
+            writeJson(os, rows_);
+        else
+            writeJson(os, plain);
+    }
     if (!os)
         fatal("write to result sink path '", path_, "' failed");
 }

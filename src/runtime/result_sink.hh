@@ -9,6 +9,11 @@
  * records (one object per table, append-friendly across a bench's
  * multiple tables).
  *
+ * Sweep output is written per ResultRow: the result plus the resolved
+ * RunOptions values and grid AxisCoordinates of the job that produced
+ * it, so rows from different RunOptions variants of one sweep are
+ * distinguishable in the file alone.
+ *
  * Output is byte-deterministic: fixed key order, no timestamps, and
  * shortest-round-trip double formatting, so a parallel sweep merged in
  * submission order serializes identically to its serial run.
@@ -23,6 +28,7 @@
 
 #include "common/table.hh"
 #include "griffin/accelerator.hh"
+#include "runtime/runner.hh"
 #include "runtime/schedule_cache.hh"
 
 namespace griffin {
@@ -52,6 +58,42 @@ void writeJson(std::ostream &os, const std::vector<NetworkResult> &results);
  */
 void writeCsv(std::ostream &os, const std::vector<NetworkResult> &results);
 
+/**
+ * One output row: a result plus, when `annotated`, the resolved
+ * RunOptions and the grid coordinates that produced it.
+ */
+struct ResultRow
+{
+    NetworkResult result;
+    bool annotated = false;
+    RunOptions options{};
+    std::vector<AxisCoordinate> coords;
+};
+
+/**
+ * A sweep as self-describing rows: results()[i] annotated with
+ * jobs()[i]'s resolved options and grid coordinates, in submission
+ * order.
+ */
+std::vector<ResultRow> sweepRows(const SweepResult &sweep);
+
+/**
+ * JSON array of annotated rows.  An annotated row carries an
+ * "options" object (every RunOptions field the grid can address) and,
+ * when the job has grid coordinates, a "coords" object mapping axis
+ * name to value token.  Unannotated rows keep the plain
+ * NetworkResult shape.
+ */
+void writeJson(std::ostream &os, const std::vector<ResultRow> &rows);
+void writeJson(std::ostream &os, const SweepResult &sweep);
+
+/**
+ * CSV of annotated rows: the plain layout plus one column per
+ * RunOptions field (empty cells on unannotated rows).
+ */
+void writeCsv(std::ostream &os, const std::vector<ResultRow> &rows);
+void writeCsv(std::ostream &os, const SweepResult &sweep);
+
 /** One Table as a single-line JSON object (for JSON Lines streams). */
 void writeTableJsonLine(std::ostream &os, const Table &table);
 
@@ -65,9 +107,10 @@ void writeCacheStatsJsonLine(std::ostream &os,
                              const ScheduleCache::Stats &stats);
 
 /**
- * File-backed sink: collects results and writes one document on
- * flush().  Format is chosen by the path suffix: ".csv" writes CSV,
- * anything else JSON.
+ * File-backed sink: collects rows and writes one document on flush().
+ * Format is chosen by the path suffix: ".csv" writes CSV, anything
+ * else JSON.  Rows added from a SweepResult are annotated with their
+ * job's options and coordinates; bare NetworkResults are not.
  */
 class ResultSink
 {
@@ -76,15 +119,16 @@ class ResultSink
 
     void add(NetworkResult result);
     void add(const std::vector<NetworkResult> &results);
+    void add(const SweepResult &sweep);
 
-    const std::vector<NetworkResult> &results() const { return results_; }
+    const std::vector<ResultRow> &rows() const { return rows_; }
 
     /** Write the collected document; fatal() on an unwritable path. */
     void flush() const;
 
   private:
     std::string path_;
-    std::vector<NetworkResult> results_;
+    std::vector<ResultRow> rows_;
 };
 
 } // namespace griffin

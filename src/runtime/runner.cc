@@ -8,6 +8,18 @@
 
 namespace griffin {
 
+std::string
+coordsLabel(const std::vector<AxisCoordinate> &coords)
+{
+    std::string out;
+    for (const auto &c : coords) {
+        if (!out.empty())
+            out += ' ';
+        out += c.axis + '=' + c.value;
+    }
+    return out;
+}
+
 std::size_t
 SweepSpec::jobCount() const
 {
@@ -26,6 +38,11 @@ SweepSpec::validate() const
         fatal("sweep spec has no categories");
     if (optionVariants.empty())
         fatal("sweep spec has no RunOptions variants");
+    if (!optionCoords.empty() &&
+        optionCoords.size() != optionVariants.size())
+        fatal("sweep spec has ", optionCoords.size(),
+              " axis-coordinate records for ", optionVariants.size(),
+              " RunOptions variants (must match, or be empty)");
     for (const auto &arch : archs)
         arch.validate();
     for (const auto &net : networks)
@@ -49,6 +66,8 @@ expandSweep(const SweepSpec &spec)
                     job.categoryIndex = c;
                     job.optionsIndex = o;
                     job.options = spec.optionVariants[o];
+                    if (!spec.optionCoords.empty())
+                        job.coords = spec.optionCoords[o];
                     if (spec.perArchSeeds)
                         job.options.seed = Rng::mixSeed(
                             job.options.seed, spec.archs[a].name);

@@ -46,6 +46,28 @@
 namespace griffin {
 
 /**
+ * One resolved (axis name, value token) pair of a grid-expanded
+ * RunOptions variant.  Jobs carry their full coordinate list so every
+ * serialized result row is self-describing (runtime/grid.hh builds
+ * them; hand-built SweepSpecs may leave them empty).
+ */
+struct AxisCoordinate
+{
+    std::string axis;
+    std::string value;
+
+    bool
+    operator==(const AxisCoordinate &o) const
+    {
+        return axis == o.axis && value == o.value;
+    }
+    bool operator!=(const AxisCoordinate &o) const { return !(*this == o); }
+};
+
+/** "axis=value axis=value" rendering for tables and logs. */
+std::string coordsLabel(const std::vector<AxisCoordinate> &coords);
+
+/**
  * One point of the sweep grid, fully determined before submission.
  * Indices refer to the SweepSpec vectors the job was expanded from.
  */
@@ -56,6 +78,9 @@ struct SweepJob
     std::size_t categoryIndex = 0;
     std::size_t optionsIndex = 0;
     RunOptions options; ///< resolved options, job seed included
+    /** Grid coordinates of this job's RunOptions variant (empty for
+     *  hand-built variant lists). */
+    std::vector<AxisCoordinate> coords;
 };
 
 /** The declarative grid. */
@@ -70,6 +95,14 @@ struct SweepSpec
      * a fatal() user error (there would be no jobs).
      */
     std::vector<RunOptions> optionVariants = {RunOptions{}};
+
+    /**
+     * Axis coordinates describing each RunOptions variant, parallel to
+     * optionVariants (GridSpec::toSweepSpec fills it).  Either empty —
+     * jobs then carry no coordinates — or exactly one entry per
+     * variant; any other size is a validate() error.
+     */
+    std::vector<std::vector<AxisCoordinate>> optionCoords;
 
     /**
      * When true, each job's seed is re-derived as
@@ -116,6 +149,22 @@ class SweepResult
     /** results()[i] is jobs()[i]'s outcome — same order, any thread
      *  count. */
     const std::vector<NetworkResult> &results() const { return results_; }
+
+    /**
+     * Results of the jobs matching a predicate on SweepJob, in
+     * submission order — the benches' aggregation views ("all networks
+     * of arch a in category c") without hand-maintained index math.
+     */
+    template <typename Pred>
+    std::vector<NetworkResult>
+    slice(Pred pred) const
+    {
+        std::vector<NetworkResult> out;
+        for (std::size_t i = 0; i < jobs_.size(); ++i)
+            if (pred(jobs_[i]))
+                out.push_back(results_[i]);
+        return out;
+    }
 
     const ScheduleCache::Stats &cacheStats() const { return cacheStats_; }
 

@@ -15,7 +15,7 @@ scheduleA(const TileViewA &a, const Borrow &da, const Shuffler &shuffler,
                    a.lanes());
     GRIFFIN_ASSERT(advance_cap > 0.0, "non-positive advance cap");
 
-    GridSpec grid;
+    SlotGrid grid;
     grid.steps = a.steps();
     grid.lanes = a.lanes();
     grid.rows = a.units();

@@ -17,7 +17,7 @@ preprocessB(const TileViewB &b, const Borrow &db, const Shuffler &shuffler,
                    "shuffler is ", shuffler.lanes(), " lanes wide, tile ",
                    b.lanes());
 
-    GridSpec grid;
+    SlotGrid grid;
     grid.steps = b.steps();
     grid.lanes = b.lanes();
     grid.rows = 1;

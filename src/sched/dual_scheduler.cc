@@ -230,7 +230,7 @@ scheduleOnTheFly(const TileViewA &a, const TileViewB &b,
     GRIFFIN_ASSERT(a.steps() == b.steps(),
                    "A tile has ", a.steps(), " steps, B tile ",
                    b.steps());
-    GridSpec grid;
+    SlotGrid grid;
     grid.steps = a.steps();
     grid.lanes = a.lanes();
     grid.rows = a.units();

@@ -24,7 +24,7 @@ namespace griffin {
  * cols = N0; single-sparse A schedules use rows = M0 and cols = 1;
  * dual schedules use the full M0 x N0 PE grid.
  */
-struct GridSpec
+struct SlotGrid
 {
     std::int64_t steps = 0; ///< temporal extent (k1 steps or
                             ///< compressed cycles for dual stage 2)
@@ -111,12 +111,12 @@ struct ScheduleResult
 class SlotQueues
 {
   public:
-    explicit SlotQueues(const GridSpec &grid)
+    explicit SlotQueues(const SlotGrid &grid)
         : grid_(grid), queues_(static_cast<std::size_t>(grid.slots()))
     {
     }
 
-    const GridSpec &grid() const { return grid_; }
+    const SlotGrid &grid() const { return grid_; }
 
     void
     push(std::int64_t step, int lane, int row, int col)
@@ -153,7 +153,7 @@ class SlotQueues
     }
 
   private:
-    GridSpec grid_;
+    SlotGrid grid_;
     std::vector<std::vector<std::int64_t>> queues_;
 };
 

@@ -25,7 +25,7 @@ runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
                   bool record,
                   const std::vector<std::int64_t> *step_costs)
 {
-    const GridSpec &grid = queues.grid();
+    const SlotGrid &grid = queues.grid();
     GRIFFIN_ASSERT(window.steps >= 1, "window of ", window.steps,
                    " steps");
     GRIFFIN_ASSERT(window.advanceCap > 0.0,

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the named-axis grid API (runtime/grid.hh): compact-syntax
+ * parsing, range expansion, builder chaining, deterministic expansion
+ * onto SweepSpec with axis-coordinate records, and the fatal()
+ * diagnostics for malformed specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/presets.hh"
+#include "runtime/grid.hh"
+#include "runtime/result_sink.hh"
+#include "runtime/runner.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+namespace {
+
+// ---- parsing --------------------------------------------------------
+
+TEST(GridParse, NumericRanges)
+{
+    const auto grid =
+        GridSpec::parse("weight_lane_bias=0:1:0.25,seed=1..4");
+    ASSERT_EQ(grid.axes().size(), 2u);
+    EXPECT_EQ(grid.axes()[0].name, "weight_lane_bias");
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"0", "0.25", "0.5", "0.75",
+                                        "1"}));
+    EXPECT_EQ(grid.axes()[1].name, "seed");
+    EXPECT_EQ(grid.axes()[1].values,
+              (std::vector<std::string>{"1", "2", "3", "4"}));
+    EXPECT_EQ(grid.pointCount(), 20u);
+}
+
+TEST(GridParse, SteppedIntegerRange)
+{
+    const auto grid = GridSpec::parse("row_cap=16:64:16");
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"16", "32", "48", "64"}));
+}
+
+TEST(GridParse, CommaListsExtendThePreviousAxis)
+{
+    // Items without '=' continue the previous axis's value list, so
+    // name lists need no special quoting.
+    const auto grid =
+        GridSpec::parse("arch=Griffin,Sparse.B*,category=b,ab");
+    ASSERT_EQ(grid.axes().size(), 2u);
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"Griffin", "Sparse.B*"}));
+    EXPECT_EQ(grid.axes()[1].values,
+              (std::vector<std::string>{"b", "ab"}));
+}
+
+TEST(GridParse, RoutingSpecArchValuesSurviveTheirCommas)
+{
+    const auto grid =
+        GridSpec::parse("arch=B(2,0,0,off),B(2,1,0,on),seed=7");
+    ASSERT_EQ(grid.axes().size(), 2u);
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"B(2,0,0,off)",
+                                        "B(2,1,0,on)"}));
+}
+
+TEST(GridParse, BoolTokensAreCanonicalized)
+{
+    const auto grid = GridSpec::parse("enforce_dram_bound=on,off");
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"true", "false"}));
+}
+
+TEST(GridParse, WhitespaceIsTrimmed)
+{
+    const auto grid = GridSpec::parse(" seed = 2..3 , row_cap = 8 ");
+    ASSERT_EQ(grid.axes().size(), 2u);
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"2", "3"}));
+    EXPECT_EQ(grid.axes()[1].values,
+              (std::vector<std::string>{"8"}));
+}
+
+TEST(GridParse, MixedRangeAndLiteralTokens)
+{
+    const auto grid = GridSpec::parse("seed=1..3,9");
+    EXPECT_EQ(grid.axes()[0].values,
+              (std::vector<std::string>{"1", "2", "3", "9"}));
+}
+
+// ---- builder --------------------------------------------------------
+
+TEST(GridBuilder, ChainsAndExpandsTokens)
+{
+    GridSpec grid;
+    grid.axis("arch", {"Griffin"})
+        .axis("weight_lane_bias", {0.25, 0.75})
+        .axis("seed", {"1..2"});
+    ASSERT_EQ(grid.axes().size(), 3u);
+    EXPECT_TRUE(grid.has("seed"));
+    EXPECT_FALSE(grid.has("row_cap"));
+    EXPECT_EQ(grid.axes()[1].values,
+              (std::vector<std::string>{"0.25", "0.75"}));
+    EXPECT_EQ(grid.axes()[2].values,
+              (std::vector<std::string>{"1", "2"}));
+    EXPECT_EQ(grid.pointCount(), 4u);
+}
+
+// ---- expansion onto SweepSpec ---------------------------------------
+
+SweepSpec
+tinyBase()
+{
+    SweepSpec base;
+    base.archs = {griffinArch()};
+    base.networks = {alexNet()};
+    base.categories = {DnnCategory::B};
+    RunOptions fast;
+    fast.sim.sampleFraction = 0.02;
+    fast.sim.minSampledTiles = 2;
+    fast.rowCap = 16;
+    base.optionVariants = {fast};
+    return base;
+}
+
+TEST(GridExpand, CartesianProductInDeclarationOrder)
+{
+    GridSpec grid;
+    grid.axis("weight_lane_bias", {0.25, 0.75}).axis("seed", {"1..2"});
+    const auto spec = grid.toSweepSpec(tinyBase());
+
+    // First declared axis varies slowest.
+    ASSERT_EQ(spec.optionVariants.size(), 4u);
+    EXPECT_DOUBLE_EQ(spec.optionVariants[0].weightLaneBias, 0.25);
+    EXPECT_EQ(spec.optionVariants[0].seed, 1u);
+    EXPECT_DOUBLE_EQ(spec.optionVariants[1].weightLaneBias, 0.25);
+    EXPECT_EQ(spec.optionVariants[1].seed, 2u);
+    EXPECT_DOUBLE_EQ(spec.optionVariants[2].weightLaneBias, 0.75);
+    EXPECT_EQ(spec.optionVariants[2].seed, 1u);
+    EXPECT_DOUBLE_EQ(spec.optionVariants[3].weightLaneBias, 0.75);
+    EXPECT_EQ(spec.optionVariants[3].seed, 2u);
+
+    // Every variant's coordinates are recorded in axis order.
+    ASSERT_EQ(spec.optionCoords.size(), 4u);
+    EXPECT_EQ(spec.optionCoords[0],
+              (std::vector<AxisCoordinate>{{"weight_lane_bias", "0.25"},
+                                           {"seed", "1"}}));
+    EXPECT_EQ(spec.optionCoords[3],
+              (std::vector<AxisCoordinate>{{"weight_lane_bias", "0.75"},
+                                           {"seed", "2"}}));
+
+    // Unswept base fields survive into every variant.
+    for (const auto &opt : spec.optionVariants) {
+        EXPECT_EQ(opt.rowCap, 16);
+        EXPECT_DOUBLE_EQ(opt.sim.sampleFraction, 0.02);
+    }
+}
+
+TEST(GridExpand, IdentityAxesOverrideTheBase)
+{
+    GridSpec grid;
+    grid.axis("arch", {"Sparse.B*", "B(2,0,0,off)"})
+        .axis("network", {"bert"})
+        .axis("category", {"dense", "ab"});
+    const auto spec = grid.toSweepSpec(tinyBase());
+    ASSERT_EQ(spec.archs.size(), 2u);
+    EXPECT_EQ(spec.archs[0].name, "Sparse.B*");
+    EXPECT_EQ(spec.archs[1].name, "B(2,0,0,off)");
+    ASSERT_EQ(spec.networks.size(), 1u);
+    EXPECT_EQ(spec.networks[0].name, "BERT");
+    EXPECT_EQ(spec.categories,
+              (std::vector<DnnCategory>{DnnCategory::Dense,
+                                        DnnCategory::AB}));
+    // No RunOptions axis: one variant, one (empty) coordinate record.
+    EXPECT_EQ(spec.optionVariants.size(), 1u);
+    ASSERT_EQ(spec.optionCoords.size(), 1u);
+    EXPECT_TRUE(spec.optionCoords[0].empty());
+}
+
+TEST(GridExpand, JobsCarryTheirCoordinates)
+{
+    GridSpec grid;
+    grid.axis("weight_lane_bias", {0.25, 0.75});
+    const auto spec = grid.toSweepSpec(tinyBase());
+    const auto jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].coords,
+              (std::vector<AxisCoordinate>{
+                  {"weight_lane_bias", "0.25"}}));
+    EXPECT_EQ(jobs[1].coords,
+              (std::vector<AxisCoordinate>{
+                  {"weight_lane_bias", "0.75"}}));
+    EXPECT_EQ(coordsLabel(jobs[1].coords), "weight_lane_bias=0.75");
+}
+
+// ---- end-to-end: distinct self-describing rows ----------------------
+
+TEST(GridSweep, TwoVariantSweepProducesDistinctRows)
+{
+    // Regression for the pre-grid API: rows from different
+    // optionVariants were indistinguishable in the serialized output.
+    GridSpec grid;
+    grid.axis("weight_lane_bias", {0.25, 0.75});
+    const auto spec = grid.toSweepSpec(tinyBase());
+    const auto sweep = runSweep(spec, 2);
+    ASSERT_EQ(sweep.results().size(), 2u);
+
+    std::ostringstream row0, row1;
+    const auto rows = sweepRows(sweep);
+    writeJson(row0, {rows[0]});
+    writeJson(row1, {rows[1]});
+    EXPECT_NE(row0.str(), row1.str())
+        << "rows from different variants must be distinguishable";
+    EXPECT_NE(row0.str().find("\"weight_lane_bias\": 0.25"),
+              std::string::npos);
+    EXPECT_NE(row1.str().find("\"weight_lane_bias\": 0.75"),
+              std::string::npos);
+    EXPECT_NE(row0.str().find(
+                  "\"coords\": {\"weight_lane_bias\": \"0.25\"}"),
+              std::string::npos);
+}
+
+TEST(GridSweep, AnnotatedJsonIsThreadCountInvariant)
+{
+    GridSpec grid;
+    grid.axis("weight_lane_bias", {0.25, 0.75}).axis("seed", {"1..2"});
+    const auto spec = grid.toSweepSpec(tinyBase());
+    std::ostringstream serial, parallel;
+    writeJson(serial, runSweep(spec, 1));
+    writeJson(parallel, runSweep(spec, 4));
+    EXPECT_EQ(serial.str(), parallel.str());
+}
+
+// ---- diagnostics ----------------------------------------------------
+
+TEST(GridDeathTest, UnknownAxisSuggestsNearestName)
+{
+    GridSpec grid;
+    EXPECT_EXIT(grid.axis("weight_lane_bis", {"0.5"}),
+                testing::ExitedWithCode(1),
+                "did you mean 'weight_lane_bias'");
+    EXPECT_EXIT(GridSpec::parse("sed=1..4"),
+                testing::ExitedWithCode(1), "did you mean 'seed'");
+}
+
+TEST(GridDeathTest, MalformedRangesReportTheToken)
+{
+    EXPECT_EXIT(GridSpec::parse("seed=8..1"),
+                testing::ExitedWithCode(1),
+                "malformed range '8..1' on axis 'seed'");
+    EXPECT_EXIT(GridSpec::parse("row_cap=1:64:0"),
+                testing::ExitedWithCode(1),
+                "malformed range '1:64:0'");
+    EXPECT_EXIT(GridSpec::parse("weight_lane_bias=0:1"),
+                testing::ExitedWithCode(1),
+                "expected <lo>:<hi>:<step>");
+    EXPECT_EXIT(GridSpec::parse("seed=1..x"),
+                testing::ExitedWithCode(1), "not an integer");
+    EXPECT_EXIT(GridSpec::parse("weight_lane_bias=0.5..1.5"),
+                testing::ExitedWithCode(1),
+                "'..' ranges are integer-only");
+}
+
+TEST(GridDeathTest, BadValuesReportTheToken)
+{
+    EXPECT_EXIT(GridSpec::parse("weight_lane_bias=fast"),
+                testing::ExitedWithCode(1),
+                "'fast' is not a number");
+    EXPECT_EXIT(GridSpec::parse("enforce_dram_bound=maybe"),
+                testing::ExitedWithCode(1),
+                "'maybe' is not a boolean");
+}
+
+TEST(GridDeathTest, StructuralErrorsAreFatal)
+{
+    EXPECT_EXIT(GridSpec::parse(""), testing::ExitedWithCode(1),
+                "empty grid spec");
+    EXPECT_EXIT(GridSpec::parse("0.5,seed=1"),
+                testing::ExitedWithCode(1),
+                "before any 'axis=value' item");
+    EXPECT_EXIT(GridSpec::parse("seed=1,seed=2"),
+                testing::ExitedWithCode(1), "declared twice");
+    EXPECT_EXIT(GridSpec::parse("seed="), testing::ExitedWithCode(1),
+                "has no values");
+
+    GridSpec grid;
+    grid.axis("seed", {"1..2"});
+    SweepSpec two_variants = tinyBase();
+    two_variants.optionVariants.push_back(
+        two_variants.optionVariants[0]);
+    EXPECT_EXIT(grid.toSweepSpec(two_variants),
+                testing::ExitedWithCode(1),
+                "exactly one base RunOptions");
+}
+
+} // namespace
+} // namespace griffin

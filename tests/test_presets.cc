@@ -48,6 +48,41 @@ TEST(PresetsDeathTest, UnknownNameIsFatal)
                 "unknown architecture preset");
 }
 
+TEST(Presets, ArchByNameParsesRoutingSpecs)
+{
+    // Routing-spec names build baseline hardware with that routing —
+    // the sweep grid's arch axis accepts arbitrary design points.
+    EXPECT_EQ(archByName("B(4,0,1,on)").routing, sparseBStar().routing);
+    EXPECT_EQ(archByName("B(4,0,1,on)").name, "B(4,0,1,on)");
+    EXPECT_EQ(archByName("A(2,1,0,off)").routing.str(), "A(2,1,0,off)");
+    EXPECT_EQ(archByName("AB(2,0,0,2,0,1,on)").routing,
+              sparseABStar().routing);
+    EXPECT_EQ(archByName("Dense").routing.mode, SparsityMode::Dense);
+
+    const auto otf = archByName("AB(3,1,0,3,1,0,off)[otf]");
+    EXPECT_FALSE(otf.routing.preprocessB);
+    EXPECT_EQ(otf.name, "AB(3,1,0,3,1,0,off)[otf]");
+}
+
+TEST(Presets, ArchByNamePrefersPresets)
+{
+    EXPECT_EQ(archByName("Griffin").name, "Griffin");
+    EXPECT_TRUE(archByName("Griffin").hybrid);
+    EXPECT_EQ(archByName("SparTen.AB").style, DatapathStyle::MacGrid);
+}
+
+TEST(PresetsDeathTest, ArchByNameRejectsMalformedSpecs)
+{
+    EXPECT_EXIT(archByName("B(4,0,1)"), testing::ExitedWithCode(1),
+                "unknown architecture");
+    EXPECT_EXIT(archByName("C(1,0,0,on)"), testing::ExitedWithCode(1),
+                "unknown architecture");
+    EXPECT_EXIT(archByName("B(4,0,x,on)"), testing::ExitedWithCode(1),
+                "bad routing distance");
+    EXPECT_EXIT(archByName("B(4,0,1,maybe)"),
+                testing::ExitedWithCode(1), "bad shuffle flag");
+}
+
 TEST(Presets, SparTenIsMacGridWithDeepBuffers)
 {
     auto cfg = sparTenAB();

@@ -436,6 +436,57 @@ TEST(Runner, ExpansionMatchesSerialLoopOrder)
     EXPECT_EQ(jobs[4].archIndex, 1u);
 }
 
+TEST(Runner, ExpansionOrderIsOptionsArchNetworkCategory)
+{
+    // The documented nesting order — (options, arch, network,
+    // category), options outermost — is load-bearing: GridSpec maps
+    // its RunOptions axes onto optionVariants assuming it, and the
+    // bit-identity tests compare against serial loops written in it.
+    auto spec = smallSweep();
+    spec.optionVariants.push_back(spec.optionVariants[0]);
+    spec.optionVariants[1].weightLaneBias = 0.9;
+    spec.optionCoords = {{}, {{"weight_lane_bias", "0.9"}}};
+    const auto jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), 16u);
+    std::size_t i = 0;
+    for (std::size_t o = 0; o < 2; ++o) {
+        for (std::size_t a = 0; a < 2; ++a) {
+            for (std::size_t n = 0; n < 2; ++n) {
+                for (std::size_t c = 0; c < 2; ++c, ++i) {
+                    EXPECT_EQ(jobs[i].optionsIndex, o) << "job " << i;
+                    EXPECT_EQ(jobs[i].archIndex, a) << "job " << i;
+                    EXPECT_EQ(jobs[i].networkIndex, n) << "job " << i;
+                    EXPECT_EQ(jobs[i].categoryIndex, c) << "job " << i;
+                    EXPECT_EQ(jobs[i].coords, spec.optionCoords[o])
+                        << "job " << i;
+                }
+            }
+        }
+    }
+}
+
+TEST(Runner, PerArchSeedDerivationIsPinned)
+{
+    // Pin the documented derivation — mixSeed(variant seed, arch name)
+    // — so a runner or grid refactor cannot silently change which
+    // tensors each architecture draws.
+    auto spec = smallSweep();
+    spec.perArchSeeds = true;
+    const auto base_seed = spec.optionVariants[0].seed;
+    for (const auto &job : expandSweep(spec))
+        EXPECT_EQ(job.options.seed,
+                  Rng::mixSeed(base_seed,
+                               spec.archs[job.archIndex].name));
+}
+
+TEST(RunnerDeathTest, MismatchedOptionCoordsAreFatal)
+{
+    auto spec = smallSweep();
+    spec.optionCoords = {{}, {}};
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+                "axis-coordinate records");
+}
+
 TEST(Runner, ParallelIsBitIdenticalToSerial)
 {
     auto spec = smallSweep();
@@ -632,6 +683,69 @@ TEST(ResultSink, CsvHasLayerAndTotalRows)
               std::string::npos);
     EXPECT_NE(doc.find("net,arch,DNN.B,total,100,,,50,,2\n"),
               std::string::npos);
+}
+
+SweepResult
+tinyAnnotatedSweep()
+{
+    // A hand-assembled two-variant sweep (no simulation): enough to
+    // exercise the annotated row serialization.
+    SweepSpec spec;
+    spec.archs = {sparseBStar()};
+    spec.networks = {alexNet()};
+    spec.categories = {DnnCategory::B};
+    RunOptions lo, hi;
+    lo.weightLaneBias = 0.25;
+    hi.weightLaneBias = 0.75;
+    spec.optionVariants = {lo, hi};
+    spec.optionCoords = {{{"weight_lane_bias", "0.25"}},
+                         {{"weight_lane_bias", "0.75"}}};
+    auto jobs = expandSweep(spec);
+    return SweepResult(std::move(jobs), {tinyResult(), tinyResult()},
+                       ScheduleCache::Stats{});
+}
+
+TEST(ResultSink, SweepJsonRowsCarryOptionsAndCoords)
+{
+    std::ostringstream os;
+    writeJson(os, tinyAnnotatedSweep());
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("\"options\": {\"seed\": 1, \"row_cap\": 256, "
+                       "\"weight_lane_bias\": 0.25, "
+                       "\"act_run_length\": 2, "
+                       "\"sample_fraction\": 1, "
+                       "\"enforce_dram_bound\": false}"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"coords\": {\"weight_lane_bias\": \"0.25\"}"),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"coords\": {\"weight_lane_bias\": \"0.75\"}"),
+              std::string::npos);
+}
+
+TEST(ResultSink, SweepCsvRowsCarryOptionsColumns)
+{
+    std::ostringstream os;
+    writeCsv(os, tinyAnnotatedSweep());
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("network,arch,category,seed,row_cap,"
+                       "weight_lane_bias,act_run_length,"
+                       "sample_fraction,enforce_dram_bound,layer,"),
+              std::string::npos);
+    EXPECT_NE(doc.find("net,arch,DNN.B,1,256,0.25,2,1,false,total,"),
+              std::string::npos);
+    EXPECT_NE(doc.find("net,arch,DNN.B,1,256,0.75,2,1,false,total,"),
+              std::string::npos);
+}
+
+TEST(ResultSink, PlainRowsKeepTheLegacyShape)
+{
+    // Unannotated documents must not grow options/coords fields: the
+    // NetworkResult overloads are the stable legacy format.
+    std::ostringstream os;
+    writeJson(os, std::vector<NetworkResult>{tinyResult()});
+    EXPECT_EQ(os.str().find("\"options\""), std::string::npos);
+    EXPECT_EQ(os.str().find("\"coords\""), std::string::npos);
 }
 
 TEST(ResultSink, TableJsonLineIsOneObjectPerLine)

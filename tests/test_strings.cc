@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the shared string helpers (common/strings.hh): list
+ * splitting (flat and paren-aware), trimming, edit distance, and
+ * shortest-round-trip double formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/strings.hh"
+
+namespace griffin {
+namespace {
+
+TEST(Strings, SplitListSplitsOnSeparator)
+{
+    EXPECT_EQ(splitList("a,b,c"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(splitList("one"), (std::vector<std::string>{"one"}));
+    EXPECT_EQ(splitList("1:2:3", ':'),
+              (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(Strings, SplitListDropsEmptyItems)
+{
+    // Trailing commas and doubled separators are user typos, not
+    // empty entries.
+    EXPECT_EQ(splitList("a,,b,"), (std::vector<std::string>{"a", "b"}));
+    EXPECT_EQ(splitList(",a"), (std::vector<std::string>{"a"}));
+    EXPECT_TRUE(splitList("").empty());
+    EXPECT_TRUE(splitList(",,,").empty());
+}
+
+TEST(Strings, SplitTopLevelRespectsParens)
+{
+    EXPECT_EQ(splitTopLevel("B(2,0,0,off),B(2,1,0,on)"),
+              (std::vector<std::string>{"B(2,0,0,off)", "B(2,1,0,on)"}));
+    EXPECT_EQ(splitTopLevel("a(b(c,d),e),f"),
+              (std::vector<std::string>{"a(b(c,d),e)", "f"}));
+    EXPECT_EQ(splitTopLevel("x[1,2],y"),
+              (std::vector<std::string>{"x[1,2]", "y"}));
+    // Without any nesting it behaves exactly like splitList.
+    EXPECT_EQ(splitTopLevel("a,,b,"),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Strings, SplitTopLevelToleratesUnbalancedClosers)
+{
+    // A stray closer never makes the depth negative (which would glue
+    // the rest of the string together).
+    EXPECT_EQ(splitTopLevel(")a,b"),
+              (std::vector<std::string>{")a", "b"}));
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim("\t x\r\n"), "x");
+    EXPECT_EQ(trim("none"), "none");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, EditDistance)
+{
+    EXPECT_EQ(editDistance("", ""), 0u);
+    EXPECT_EQ(editDistance("", "abc"), 3u);
+    EXPECT_EQ(editDistance("abc", ""), 3u);
+    EXPECT_EQ(editDistance("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistance("seed", "seed"), 0u);
+    EXPECT_EQ(editDistance("sede", "seed"), 2u);
+}
+
+TEST(Strings, NearestName)
+{
+    const std::vector<std::string> axes{"arch", "network", "seed",
+                                        "weight_lane_bias"};
+    EXPECT_EQ(nearestName("weight_lane_bis", axes), "weight_lane_bias");
+    EXPECT_EQ(nearestName("sed", axes), "seed");
+    // Substring containment beats a closer edit-distance neighbour.
+    EXPECT_EQ(nearestName("lane_bias", axes), "weight_lane_bias");
+    EXPECT_EQ(nearestName("anything", {}), "");
+}
+
+TEST(Strings, FormatShortestDoubleRoundTrips)
+{
+    EXPECT_EQ(formatShortestDouble(1.0), "1");
+    EXPECT_EQ(formatShortestDouble(0.25), "0.25");
+    EXPECT_EQ(formatShortestDouble(-2.5), "-2.5");
+    const double awkward = 1.0 / 3.0;
+    double back = 0.0;
+    std::sscanf(formatShortestDouble(awkward).c_str(), "%lf", &back);
+    EXPECT_EQ(back, awkward);
+}
+
+} // namespace
+} // namespace griffin

@@ -14,7 +14,7 @@ namespace {
 
 /** Dense queues: every slot has an element at every step. */
 SlotQueues
-denseQueues(const GridSpec &grid)
+denseQueues(const SlotGrid &grid)
 {
     SlotQueues q(grid);
     for (std::int64_t s = 0; s < grid.steps; ++s)
@@ -40,7 +40,7 @@ window(int steps, int lane = 0, int row = 0, int col = 0)
 
 TEST(WindowScheduler, DenseTakesOneCyclePerStep)
 {
-    GridSpec grid{10, 4, 1, 2};
+    SlotGrid grid{10, 4, 1, 2};
     auto result = runWindowSchedule(denseQueues(grid), window(1), false);
     EXPECT_EQ(result.stats.cycles, 10);
     EXPECT_EQ(result.stats.ops, 10 * 4 * 2);
@@ -51,7 +51,7 @@ TEST(WindowScheduler, DenseTakesOneCyclePerStep)
 TEST(WindowScheduler, DenseGainsNothingFromDeepWindow)
 {
     // With every slot loaded at every step, no window depth helps.
-    GridSpec grid{10, 4, 1, 1};
+    SlotGrid grid{10, 4, 1, 1};
     auto result =
         runWindowSchedule(denseQueues(grid), window(5, 2), false);
     EXPECT_EQ(result.stats.cycles, 10);
@@ -59,7 +59,7 @@ TEST(WindowScheduler, DenseGainsNothingFromDeepWindow)
 
 TEST(WindowScheduler, EmptyQueuesFinishInstantly)
 {
-    GridSpec grid{10, 4, 1, 1};
+    SlotGrid grid{10, 4, 1, 1};
     SlotQueues q(grid);
     auto result = runWindowSchedule(q, window(2), false);
     EXPECT_EQ(result.stats.cycles, 0);
@@ -70,7 +70,7 @@ TEST(WindowScheduler, TimeBorrowCompressesSingleLane)
 {
     // One lane, elements at even steps only (50% sparse): window of 2
     // lets each cycle take one element while the window slides 2.
-    GridSpec grid{20, 1, 1, 1};
+    SlotGrid grid{20, 1, 1, 1};
     SlotQueues q(grid);
     for (std::int64_t s = 0; s < 20; s += 2)
         q.push(s, 0, 0, 0);
@@ -85,7 +85,7 @@ TEST(WindowScheduler, IdealSpeedupIsWindowDepth)
 {
     // A fully empty stretch can be skipped at most W steps per cycle
     // (paper observation VI-A(1): max speedup = 1 + d1).
-    GridSpec grid{100, 1, 1, 1};
+    SlotGrid grid{100, 1, 1, 1};
     SlotQueues q(grid);
     q.push(99, 0, 0, 0); // single element at the end
     for (int w = 1; w <= 5; ++w) {
@@ -103,7 +103,7 @@ TEST(WindowScheduler, LaneStealingBalancesLoad)
     // Lane 1 has 10 elements, lane 0 none.  Without lookaside the
     // window drags behind lane 1; with laneDist = 1 the idle lane 0
     // can steal forward (source = consumer + Δ).
-    GridSpec grid{10, 2, 1, 1};
+    SlotGrid grid{10, 2, 1, 1};
     SlotQueues q(grid);
     for (std::int64_t s = 0; s < 10; ++s)
         q.push(s, 1, 0, 0);
@@ -120,7 +120,7 @@ TEST(WindowScheduler, StealingIsForwardOnly)
     // wrong way?  No: distances are forward (Δ >= 0), so lane 0 *can*
     // steal from lane 1 (source = consumer + Δ).  The loaded lane
     // must be *ahead* of the idle one.
-    GridSpec grid{10, 2, 1, 1};
+    SlotGrid grid{10, 2, 1, 1};
     SlotQueues q(grid);
     for (std::int64_t s = 0; s < 10; ++s)
         q.push(s, 1, 0, 0); // all work in lane 1
@@ -141,7 +141,7 @@ TEST(WindowScheduler, RowAndColumnStealing)
 {
     // Borrowing is forward-only, so work parked in (row 1, col 1) is
     // reachable by consumers at lower coordinates.
-    GridSpec grid{8, 1, 2, 2};
+    SlotGrid grid{8, 1, 2, 2};
     SlotQueues q2(grid);
     for (std::int64_t s = 0; s < 8; ++s)
         q2.push(s, 0, 1, 1);
@@ -161,7 +161,7 @@ TEST(WindowScheduler, BandwidthCapThrottlesSkipping)
 {
     // 100 empty steps before the lone element; window 10 but only 1
     // step/cycle of bandwidth -> ~100 cycles to stream past.
-    GridSpec grid{101, 1, 1, 1};
+    SlotGrid grid{101, 1, 1, 1};
     SlotQueues q(grid);
     q.push(100, 0, 0, 0);
     auto w = window(10);
@@ -175,7 +175,7 @@ TEST(WindowScheduler, BandwidthCapThrottlesSkipping)
 
 TEST(WindowScheduler, FractionalBandwidthAccumulates)
 {
-    GridSpec grid{11, 1, 1, 1};
+    SlotGrid grid{11, 1, 1, 1};
     SlotQueues q(grid);
     q.push(10, 0, 0, 0);
     auto w = window(2);
@@ -192,7 +192,7 @@ TEST(WindowScheduler, StepCostsChargeRawBandwidth)
     // Two "compressed" steps, the second costing 5 raw steps.  With
     // 1 raw step/cycle bandwidth the scheduler must idle ~4 cycles
     // before consuming the second element.
-    GridSpec grid{2, 1, 1, 1};
+    SlotGrid grid{2, 1, 1, 1};
     SlotQueues q(grid);
     q.push(0, 0, 0, 0);
     q.push(1, 0, 0, 0);
@@ -208,7 +208,7 @@ TEST(WindowScheduler, StepCostsChargeRawBandwidth)
 
 TEST(WindowScheduler, RecordsOpsExactlyWhenAsked)
 {
-    GridSpec grid{4, 2, 1, 1};
+    SlotGrid grid{4, 2, 1, 1};
     auto q = denseQueues(grid);
     auto without = runWindowSchedule(q, window(2, 1), false);
     EXPECT_TRUE(without.ops.empty());
@@ -220,7 +220,7 @@ TEST(WindowScheduler, RecordsOpsExactlyWhenAsked)
 
 TEST(WindowScheduler, OwnPlusStolenEqualsTotal)
 {
-    GridSpec grid{30, 4, 2, 2};
+    SlotGrid grid{30, 4, 2, 2};
     SlotQueues q(grid);
     // Staggered load: lane l gets elements where (s + l) % 3 == 0.
     for (std::int64_t s = 0; s < 30; ++s)
@@ -237,7 +237,7 @@ TEST(WindowScheduler, OwnPlusStolenEqualsTotal)
 
 TEST(WindowSchedulerDeathTest, InvalidParametersPanic)
 {
-    GridSpec grid{4, 1, 1, 1};
+    SlotGrid grid{4, 1, 1, 1};
     SlotQueues q(grid);
     q.push(0, 0, 0, 0);
     BorrowWindow w;
@@ -254,7 +254,7 @@ TEST(WindowSchedulerDeathTest, InvalidParametersPanic)
 
 TEST(WindowSchedulerDeathTest, QueuePushValidation)
 {
-    GridSpec grid{4, 2, 1, 1};
+    SlotGrid grid{4, 2, 1, 1};
     SlotQueues q(grid);
     EXPECT_DEATH(q.push(4, 0, 0, 0), "outside grid");
     EXPECT_DEATH(q.push(0, 2, 0, 0), "outside grid");
