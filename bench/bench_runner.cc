@@ -22,18 +22,24 @@
  * per-layer sub-jobs for better pool utilisation.  --cache-file
  * persists preprocessed B schedules between invocations (GRFC format,
  * runtime/cache_store.hh), so repeated runs skip B-side preprocessing
- * for every tile they have seen before.  The paper-table benches
- * remain the curated per-figure views, this one regenerates the whole
- * grid at once.
+ * for every tile they have seen before.  --grid-shard i/n runs one
+ * contiguous slice of the job list (fleet mode: n processes sharing a
+ * cache file cover the grid disjointly; tables are suppressed and the
+ * shards' --json .jsonl files concatenate byte-identically to the
+ * unsharded run).  The registered paper experiments (griffin_bench)
+ * remain the curated per-figure views, this one regenerates arbitrary
+ * grids.
  */
 
 #include <iostream>
 
-#include "bench_util.hh"
-
 #include "arch/presets.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/strings.hh"
+#include "common/table.hh"
 #include "runtime/cache_store.hh"
+#include "runtime/experiment.hh"
 #include "runtime/grid.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
@@ -73,7 +79,10 @@ main(int argc, char **argv)
     cli.addInt("cache-budget-mb", 0,
                "schedule-cache byte budget in MiB (0 = unbounded; "
                "oldest entries evicted FIFO per shard)");
-    bench::addRunFlags(cli);
+    cli.addString("grid-shard", "",
+                  "run shard i of n (\"i/n\"): contiguous slice of the "
+                  "job list; suppresses tables, results via --json");
+    addFidelityFlags(cli);
     cli.addBool("csv", false, "emit per-layer CSV instead of the table");
     cli.addString("json", "", "write merged results to this path");
     const auto positional = cli.parse(argc, argv);
@@ -88,11 +97,20 @@ main(int argc, char **argv)
         spec.networks.push_back(networkByName(name));
     for (const auto &name : splitList(cli.getString("cats")))
         spec.categories.push_back(categoryFromString(name));
-    spec.optionVariants = {bench::readRunFlags(cli)};
+    spec.optionVariants = {resolveFidelity(cli, /*default_sample=*/0.04,
+                                           /*default_rowcap=*/48)};
 
     if (!cli.getString("grid").empty())
         spec = GridSpec::parse(cli.getString("grid")).toSweepSpec(spec);
     spec.shardLayers = cli.getBool("layer-shard");
+    parseShardSpec(cli.getString("grid-shard"), spec.shardIndex,
+                   spec.shardCount);
+    // A shard suppresses tables, so without --json the sweep's results
+    // would be computed and discarded — fail before the work.
+    if (spec.shardCount > 1 && cli.getString("json").empty())
+        fatal("--grid-shard suppresses tables; pass --json <path> "
+              "(.jsonl, so shard files concatenate to the unsharded "
+              "document)");
 
     ScheduleCache cache;
     const auto budget_mb = cli.getInt("cache-budget-mb");
@@ -111,7 +129,12 @@ main(int argc, char **argv)
     const auto sweep = runSweep(spec, threads, &cache);
 
     const bool multi_variant = spec.optionVariants.size() > 1;
-    if (cli.getBool("csv")) {
+    if (spec.shardCount > 1) {
+        // A shard holds one slice of the grid; per-slice tables and
+        // geomeans would silently aggregate a partial suite, so fleet
+        // runs emit result rows only (--json, ideally .jsonl so the
+        // shards concatenate byte-identically to the unsharded run).
+    } else if (cli.getBool("csv")) {
         writeCsv(std::cout, sweep);
     } else {
         std::vector<std::string> headers{"network", "arch", "category",

@@ -2,24 +2,23 @@
  * @file
  * Ablation: the analytical model against the cycle-level simulator
  * (the paper's methodology statement: "an analytical model, verified
- * by a simulator").
+ * by a simulator").  Render-only — the comparison runs on one i.i.d.
+ * GEMM per design point, not the network suite.
  */
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "common/rng.hh"
 #include "model/analytic.hh"
+#include "runtime/experiment.hh"
 #include "sim/gemm_sim.hh"
 #include "tensor/sparsity.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &ctx)
 {
-    auto args = bench::parseArgs(
-        argc, argv, "Ablation: analytical model vs simulator");
-
     struct Point
     {
         RoutingConfig cfg;
@@ -56,7 +55,7 @@ main(int argc, char **argv)
             "operands, 64x768x32 GEMM)",
             {"config", "A/B sparsity", "analytic", "simulated",
              "ratio"});
-    Rng rng(args.run.seed);
+    Rng rng(ctx.run.seed);
     const TileShape shape{};
     for (const auto &p : points) {
         auto a = randomSparse(64, 768, p.asp, rng);
@@ -73,6 +72,12 @@ main(int argc, char **argv)
                   Table::num(model), Table::num(sim.speedup()),
                   Table::num(model / sim.speedup(), 2)});
     }
-    bench::show(t, args);
-    return 0;
+    return {t};
 }
+
+const bool registered = registerExperiment(
+    {"ablation_analytic", "Ablation: analytical model vs simulator",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: SRAM bandwidth provisioning (paper Section V: "to exploit
+ * the full sparsity speedup, SRAM BW should be equal or more than the
+ * normalized speedup times the baseline bandwidth").
+ *
+ * Sweeps the window-advance cap of Sparse.AB* and Sparse.B* from
+ * baseline (1x) to the full window depth.  bwScale is not a grid axis
+ * (it is architecture state, not a RunOptions field), so the plan
+ * enumerates pre-scaled architecture variants and pairs each family
+ * with its own category via SweepSpec::jobFilter.
+ */
+
+#include "arch/presets.hh"
+#include "runtime/experiment.hh"
+
+namespace griffin {
+namespace {
+
+const double kBwScales[] = {1.0, 1.5, 2.0, 3.0, 5.0, 9.0};
+
+ExperimentPlan
+setup(const RunOptions &)
+{
+    ExperimentPlan plan;
+    for (double bw : kBwScales) {
+        auto b_star = sparseBStar();
+        b_star.bwScale = bw;
+        b_star.name += "@bw" + Table::num(bw, 1);
+        auto ab_star = sparseABStar();
+        ab_star.bwScale = bw;
+        ab_star.name += "@bw" + Table::num(bw, 1);
+        plan.base.archs.push_back(std::move(b_star));
+        plan.base.archs.push_back(std::move(ab_star));
+    }
+    plan.base.networks = benchmarkSuite();
+    plan.base.categories = {DnnCategory::B, DnnCategory::AB};
+    // Even arch indices are the Sparse.B* variants (category B, index
+    // 0), odd ones Sparse.AB* (category AB, index 1).
+    plan.base.jobFilter = [](const SweepJob &job) {
+        return job.archIndex % 2 == job.categoryIndex;
+    };
+    // The jobFilter and render both key on the pre-scaled arch order.
+    plan.lockedAxes = {"arch", "category"};
+    return plan;
+}
+
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
+    Table t("SRAM bandwidth ablation — suite speedup vs provisioned "
+            "A-step bandwidth",
+            {"bw scale", "Sparse.B* @DNN.B", "Sparse.AB* @DNN.AB"});
+    for (std::size_t i = 0; i < std::size(kBwScales); ++i) {
+        t.addRow({Table::num(kBwScales[i], 1) + "x",
+                  Table::num(ctx.suiteGeomean(2 * i, 0)),
+                  Table::num(ctx.suiteGeomean(2 * i + 1, 1))});
+    }
+    return {t};
+}
+
+const bool registered = registerExperiment(
+    {"ablation_bandwidth", "Ablation: SRAM bandwidth scaling",
+     /*defaultSample=*/0.05, /*defaultRowCap=*/48, setup, render});
+
+} // namespace
+} // namespace griffin

@@ -4,47 +4,53 @@
  *
  * (a) shuffle on/off across lane-imbalance depths — the mechanism of
  *     paper observation VI-A(3) (shuffle gains come from structured,
- *     not i.i.d., sparsity);
+ *     not i.i.d., sparsity).  The lane bias is a real grid axis
+ *     (`weight_lane_bias`) crossed with a two-value `arch` axis, so
+ *     this is the one migrated bench whose rows carry multi-variant
+ *     coordinates.
  * (b) crossbar granularity: the paper's K0/4 local 4x4 crossbars vs a
- *     full K0 x K0 crossbar ("this localization does not impact the
- *     load balancing").
+ *     full K0 x K0 crossbar — a deterministic packing comparison,
+ *     rendered directly.
  */
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "common/rng.hh"
+#include "runtime/experiment.hh"
 #include "sched/b_preprocess.hh"
 #include "tensor/sparsity.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+ExperimentPlan
+setup(const RunOptions &)
 {
-    auto args = bench::parseArgs(
-        argc, argv, "Ablation: shuffle benefit vs mask structure",
-        /*default_sample=*/0.05, /*default_rowcap=*/48);
+    ExperimentPlan plan;
+    plan.grid
+        .axis("weight_lane_bias", {0.0, 0.3, 0.5, 0.8})
+        .axis("arch", {"B(6,0,0,off)", "B(6,0,0,on)"})
+        .axis("category", {"b"});
+    plan.base.networks = benchmarkSuite();
+    // The off/on columns index the arch axis and the title names the
+    // B suite; the lane-bias axis itself is freely overridable.
+    plan.lockedAxes = {"arch", "category"};
+    return plan;
+}
 
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
     Table t("Shuffle ablation — B(6,0,0) suite speedup vs lane bias",
             {"weight lane bias", "shuffle off", "shuffle on", "gain"});
-    for (double bias : {0.0, 0.3, 0.5, 0.8}) {
-        auto opt = args.run;
-        opt.weightLaneBias = bias;
-        ArchConfig off = denseBaseline();
-        off.routing = RoutingConfig::sparseB(6, 0, 0, false);
-        off.name = "B(6,0,0,off)";
-        ArchConfig on = off;
-        on.routing = RoutingConfig::sparseB(6, 0, 0, true);
-        on.name = "B(6,0,0,on)";
-        const double s_off =
-            bench::suiteSpeedup(off, DnnCategory::B, opt);
-        const double s_on =
-            bench::suiteSpeedup(on, DnnCategory::B, opt);
+    for (std::size_t o = 0; o < ctx.spec->optionVariants.size(); ++o) {
+        const double bias =
+            ctx.spec->optionVariants[o].weightLaneBias;
+        const double s_off = ctx.variantGeomean(o, 0, 0);
+        const double s_on = ctx.variantGeomean(o, 1, 0);
         t.addRow({Table::num(bias, 1), Table::num(s_off),
                   Table::num(s_on),
                   Table::num(100.0 * (s_on / s_off - 1.0), 1) + "%"});
     }
-    bench::show(t, args);
 
     // Crossbar granularity on one biased tile set: schedule length of
     // the B packing under local 4x4 rotation vs a full-width crossbar.
@@ -69,6 +75,12 @@ main(int argc, char **argv)
                                         stream.cycles()),
                                 2) + "x"});
     }
-    bench::show(xbar, args);
-    return 0;
+    return {t, xbar};
 }
+
+const bool registered = registerExperiment(
+    {"ablation_shuffle", "Ablation: shuffle benefit vs mask structure",
+     /*defaultSample=*/0.05, /*defaultRowCap=*/48, setup, render});
+
+} // namespace
+} // namespace griffin

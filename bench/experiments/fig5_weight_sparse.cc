@@ -1,36 +1,28 @@
 /**
  * @file
- * Regenerates paper Fig. 5: the weight-only (Sparse.B) design-space
- * sweep — normalized speedup on the DNN.B suite plus effective
- * power/area efficiency on DNN.B (y axis) and DNN.dense (x axis).
+ * Paper Fig. 5: the weight-only (Sparse.B) design-space sweep —
+ * normalized speedup on the DNN.B suite plus effective power/area
+ * efficiency on DNN.B (y axis) and DNN.dense (x axis).
  *
  * The design points are one `arch` axis of a GridSpec (routing-spec
  * names, both shuffle settings, plus the paper's comparison
- * architectures), run through the parallel sweep runner — so
- * `--threads N` regenerates the figure N-wide with bit-identical
- * numbers — and aggregated per architecture with SweepResult::slice.
+ * architectures), aggregated per architecture with the context's
+ * geomean reducer.
  */
 
 #include <string>
 #include <vector>
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "power/cost_model.hh"
-#include "runtime/grid.hh"
-#include "runtime/runner.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<std::string>
+designPoints()
 {
-    auto args = bench::parseArgs(
-        argc, argv,
-        "Fig. 5: Sparse.B design space (speedup and efficiency)",
-        /*default_sample=*/0.02, /*default_rowcap=*/32,
-        /*add_threads=*/true);
-
     // The configurations the paper's bars display (db1 in {2,4,6}),
     // each with the shuffler off and on, then the comparison rows.
     const int points[][3] = {
@@ -46,23 +38,30 @@ main(int argc, char **argv)
                             std::to_string(p[2]) + "," + shuffle + ")");
     archs.push_back("TCL.B");
     archs.push_back("Sparse.B*");
+    return archs;
+}
 
-    GridSpec grid;
-    grid.axis("arch", archs).axis("category", {"b"});
+ExperimentPlan
+setup(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.grid.axis("arch", designPoints()).axis("category", {"b"});
+    plan.base.networks = benchmarkSuite();
+    // The efficiency columns are labeled @DNN.B / @dense regardless of
+    // what ran, so the category axis may not be overridden.
+    plan.lockedAxes = {"category"};
+    return plan;
+}
 
-    SweepSpec base;
-    base.networks = benchmarkSuite();
-    base.optionVariants = {args.run};
-    const auto spec = grid.toSweepSpec(base);
-    const auto sweep = runSweep(spec, args.threads);
-
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
     Table t("Fig. 5 — Sparse.B sweep (suite geomean)",
             {"config", "speedup", "TOPS/W @DNN.B", "TOPS/mm2 @DNN.B",
              "TOPS/W @dense", "TOPS/mm2 @dense"});
-    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
-        const auto &arch = spec.archs[a];
-        const double s = geomeanSpeedup(sweep.slice(
-            [&](const SweepJob &job) { return job.archIndex == a; }));
+    for (std::size_t a = 0; a < ctx.spec->archs.size(); ++a) {
+        const auto &arch = ctx.spec->archs[a];
+        const double s = ctx.archGeomean(a);
         t.addRow({arch.name, Table::num(s),
                   Table::num(effectiveTopsPerWatt(arch, DnnCategory::B,
                                                   s)),
@@ -73,6 +72,12 @@ main(int argc, char **argv)
                   Table::num(effectiveTopsPerMm2(
                       arch, DnnCategory::Dense, 1.0))});
     }
-    bench::show(t, args);
-    return 0;
+    return {t};
 }
+
+const bool registered = registerExperiment(
+    {"fig5", "Fig. 5: Sparse.B design space (speedup and efficiency)",
+     /*defaultSample=*/0.02, /*defaultRowCap=*/32, setup, render});
+
+} // namespace
+} // namespace griffin

@@ -1,33 +1,23 @@
 /**
  * @file
- * Regenerates paper Fig. 6: the activation-only (Sparse.A) design
- * sweep — speedup on the DNN.A suite plus effective efficiency on
- * DNN.A (y) and DNN.dense (x).
- *
- * Like Fig. 5, the design points are an `arch` axis of a GridSpec run
- * through the parallel sweep runner and aggregated per architecture.
+ * Paper Fig. 6: the activation-only (Sparse.A) design sweep — speedup
+ * on the DNN.A suite plus effective efficiency on DNN.A (y) and
+ * DNN.dense (x).  Like Fig. 5, the design points are one `arch` axis.
  */
 
 #include <string>
 #include <vector>
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "power/cost_model.hh"
-#include "runtime/grid.hh"
-#include "runtime/runner.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<std::string>
+designPoints()
 {
-    auto args = bench::parseArgs(
-        argc, argv,
-        "Fig. 6: Sparse.A design space (speedup and efficiency)",
-        /*default_sample=*/0.02, /*default_rowcap=*/32,
-        /*add_threads=*/true);
-
     const int points[][3] = {
         {1, 0, 0}, {1, 1, 0}, {2, 0, 0}, {2, 1, 0}, {3, 0, 0},
         {3, 1, 0}, {2, 0, 1}, {2, 1, 1}, {2, 1, 2}, {4, 0, 0},
@@ -39,23 +29,29 @@ main(int argc, char **argv)
             archs.push_back("A(" + std::to_string(p[0]) + "," +
                             std::to_string(p[1]) + "," +
                             std::to_string(p[2]) + "," + shuffle + ")");
+    return archs;
+}
 
-    GridSpec grid;
-    grid.axis("arch", archs).axis("category", {"a"});
+ExperimentPlan
+setup(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.grid.axis("arch", designPoints()).axis("category", {"a"});
+    plan.base.networks = benchmarkSuite();
+    // Efficiency columns are labeled @DNN.A / @dense.
+    plan.lockedAxes = {"category"};
+    return plan;
+}
 
-    SweepSpec base;
-    base.networks = benchmarkSuite();
-    base.optionVariants = {args.run};
-    const auto spec = grid.toSweepSpec(base);
-    const auto sweep = runSweep(spec, args.threads);
-
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
     Table t("Fig. 6 — Sparse.A sweep (suite geomean)",
             {"config", "speedup", "TOPS/W @DNN.A", "TOPS/mm2 @DNN.A",
              "TOPS/W @dense", "TOPS/mm2 @dense"});
-    for (std::size_t a = 0; a < spec.archs.size(); ++a) {
-        const auto &arch = spec.archs[a];
-        const double s = geomeanSpeedup(sweep.slice(
-            [&](const SweepJob &job) { return job.archIndex == a; }));
+    for (std::size_t a = 0; a < ctx.spec->archs.size(); ++a) {
+        const auto &arch = ctx.spec->archs[a];
+        const double s = ctx.archGeomean(a);
         t.addRow({arch.name, Table::num(s),
                   Table::num(effectiveTopsPerWatt(arch, DnnCategory::A,
                                                   s)),
@@ -66,6 +62,12 @@ main(int argc, char **argv)
                   Table::num(effectiveTopsPerMm2(
                       arch, DnnCategory::Dense, 1.0))});
     }
-    bench::show(t, args);
-    return 0;
+    return {t};
 }
+
+const bool registered = registerExperiment(
+    {"fig6", "Fig. 6: Sparse.A design space (speedup and efficiency)",
+     /*defaultSample=*/0.02, /*defaultRowCap=*/32, setup, render});
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Paper Fig. 7: the dual-sparse (Sparse.AB) design sweep — speedup on
+ * the DNN.AB suite plus effective efficiency on DNN.AB (y) and DNN.A
+ * (x).  One `arch` axis of routing-spec design points crossed with a
+ * two-value `category` axis; the render reduces each (arch, category)
+ * slice to its suite geomean.
+ */
+
+#include <string>
+#include <vector>
+
+#include "arch/presets.hh"
+#include "arch/routing.hh"
+#include "power/cost_model.hh"
+#include "runtime/experiment.hh"
+
+namespace griffin {
+namespace {
+
+std::vector<std::string>
+designPoints()
+{
+    // Best-performing points under the AMUX <= 16 limit; da3 excluded
+    // per observation VI-C(3).
+    const int points[][6] = {
+        {0, 0, 0, 4, 0, 1}, {0, 0, 0, 4, 0, 2}, {1, 0, 0, 3, 0, 1},
+        {1, 0, 0, 3, 1, 0}, {2, 0, 0, 2, 0, 0}, {2, 0, 0, 2, 0, 1},
+        {2, 0, 0, 2, 0, 2}, {2, 0, 0, 3, 0, 1}, {2, 0, 0, 4, 0, 1},
+        {2, 0, 0, 4, 0, 2},
+    };
+    std::vector<std::string> archs;
+    for (const auto &p : points)
+        for (bool shuffle : {false, true})
+            archs.push_back(RoutingConfig::sparseAB(p[0], p[1], p[2],
+                                                    p[3], p[4], p[5],
+                                                    shuffle)
+                                .str());
+    // The paper's dual-sparse comparison point.
+    archs.push_back(tdashAB().name);
+    return archs;
+}
+
+ExperimentPlan
+setup(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.grid.axis("arch", designPoints())
+        .axis("category", {"ab", "a"});
+    plan.base.networks = benchmarkSuite();
+    // render indexes the category axis as {0: AB, 1: A}.
+    plan.lockedAxes = {"category"};
+    return plan;
+}
+
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
+    Table t("Fig. 7 — Sparse.AB sweep (suite geomean)",
+            {"config", "speedup @DNN.AB", "TOPS/W @DNN.AB",
+             "TOPS/mm2 @DNN.AB", "speedup @DNN.A", "TOPS/W @DNN.A",
+             "TOPS/mm2 @DNN.A"});
+    for (std::size_t a = 0; a < ctx.spec->archs.size(); ++a) {
+        const auto &arch = ctx.spec->archs[a];
+        const double s_ab = ctx.suiteGeomean(a, 0);
+        const double s_a = ctx.suiteGeomean(a, 1);
+        t.addRow({arch.name, Table::num(s_ab),
+                  Table::num(effectiveTopsPerWatt(arch,
+                                                  DnnCategory::AB,
+                                                  s_ab)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::AB,
+                                                 s_ab)),
+                  Table::num(s_a),
+                  Table::num(effectiveTopsPerWatt(arch, DnnCategory::A,
+                                                  s_a)),
+                  Table::num(effectiveTopsPerMm2(arch, DnnCategory::A,
+                                                 s_a))});
+    }
+    return {t};
+}
+
+const bool registered = registerExperiment(
+    {"fig7", "Fig. 7: Sparse.AB design space (speedup and efficiency)",
+     /*defaultSample=*/0.02, /*defaultRowCap=*/32, setup, render});
+
+} // namespace
+} // namespace griffin

@@ -1,45 +1,66 @@
 /**
  * @file
- * Regenerates paper Fig. 8: power efficiency vs area efficiency of all
+ * Paper Fig. 8: power efficiency vs area efficiency of all
  * architectures across the four DNN categories, plus the headline
  * Griffin-vs-SparTen ratios of the abstract (1.2/3.0/3.1/1.4x power).
+ *
+ * The sweep covers (Table VII presets x {a, b, ab}); DNN.dense needs
+ * no simulation (speedup is 1.0 by definition) and is filled in at
+ * render time.
  */
 
 #include <map>
+#include <utility>
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "power/cost_model.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+ExperimentPlan
+setup(const RunOptions &)
 {
-    auto args = bench::parseArgs(
-        argc, argv,
-        "Fig. 8: overall efficiency, all architectures x categories",
-        /*default_sample=*/0.02, /*default_rowcap=*/32);
+    ExperimentPlan plan;
+    plan.base.archs = tableSevenPresets();
+    plan.base.networks = benchmarkSuite();
+    plan.base.categories = {DnnCategory::A, DnnCategory::B,
+                            DnnCategory::AB};
+    // The headline/tax tables look up fixed preset names and all four
+    // categories; neither axis may be overridden.
+    plan.lockedAxes = {"arch", "category"};
+    return plan;
+}
 
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
+    const auto &spec = *ctx.spec;
+    std::vector<Table> tables;
     std::map<std::pair<std::string, DnnCategory>,
              std::pair<double, double>>
         efficiency; // (TOPS/W, TOPS/mm2)
 
     for (DnnCategory cat : allCategories) {
+        std::size_t cat_index = 0;
+        for (std::size_t c = 0; c < spec.categories.size(); ++c)
+            if (spec.categories[c] == cat)
+                cat_index = c;
         Table t(std::string("Fig. 8 — ") + toString(cat),
                 {"architecture", "speedup", "TOPS/W", "TOPS/mm2"});
-        for (const auto &arch : tableSevenPresets()) {
-            const double s =
-                cat == DnnCategory::Dense
-                    ? 1.0
-                    : bench::suiteSpeedup(arch, cat, args.run);
+        for (std::size_t a = 0; a < spec.archs.size(); ++a) {
+            const auto &arch = spec.archs[a];
+            const double s = cat == DnnCategory::Dense
+                                 ? 1.0
+                                 : ctx.suiteGeomean(a, cat_index);
             const double watt = effectiveTopsPerWatt(arch, cat, s);
             const double mm2 = effectiveTopsPerMm2(arch, cat, s);
             efficiency[{arch.name, cat}] = {watt, mm2};
             t.addRow({arch.name, Table::num(s), Table::num(watt),
                       Table::num(mm2)});
         }
-        bench::show(t, args);
+        tables.push_back(std::move(t));
     }
 
     Table headline("Headline — Griffin vs SparTen.AB (paper: power "
@@ -56,7 +77,7 @@ main(int argc, char **argv)
                          Table::num(g.first / s.first, 2) + "x",
                          Table::num(g.second / s.second, 2) + "x"});
     }
-    bench::show(headline, args);
+    tables.push_back(std::move(headline));
 
     Table tax("Sparsity tax on DNN.dense (paper: Griffin 29%/24%, "
               "SparTen 42%/80%)",
@@ -70,6 +91,13 @@ main(int argc, char **argv)
                     Table::num(100.0 * (1.0 - e.second / base.second),
                                0) + "%"});
     }
-    bench::show(tax, args);
-    return 0;
+    tables.push_back(std::move(tax));
+    return tables;
 }
+
+const bool registered = registerExperiment(
+    {"fig8", "Fig. 8: overall efficiency, all architectures x categories",
+     /*defaultSample=*/0.02, /*defaultRowCap=*/32, setup, render});
+
+} // namespace
+} // namespace griffin

@@ -1,20 +1,19 @@
 /**
  * @file
- * Regenerates paper Table I: benchmark categories and the architecture
- * class that is optimal for each.
+ * Paper Table I: benchmark categories and the architecture class that
+ * is optimal for each.  Render-only — no simulation.
  */
 
-#include "bench_util.hh"
+#include "arch/presets.hh"
+#include "runtime/experiment.hh"
+#include "workloads/network.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table I: DNN categories and optimal "
-                                 "architectures");
-
     Table t("Table I — benchmark categories",
             {"benchmarks", "A/B sparsity", "DNN category",
              "optimal architecture"});
@@ -26,7 +25,6 @@ main(int argc, char **argv)
               "dense/sparse", toString(DnnCategory::B), "Sparse.B"});
     t.addRow({"Pruned CNN+ReLU, Pruned Transformer+ReLU",
               "sparse/sparse", toString(DnnCategory::AB), "Sparse.AB"});
-    bench::show(t, args);
 
     Table suite("Suite categorisation at Table IV sparsity ratios",
                 {"network", "weight sparsity", "act sparsity",
@@ -37,6 +35,12 @@ main(int argc, char **argv)
         suite.addRow({net.name, Table::num(net.weightSparsity, 2),
                       Table::num(net.actSparsity, 2), toString(cat)});
     }
-    bench::show(suite, args);
-    return 0;
+    return {t, suite};
 }
+
+const bool registered = registerExperiment(
+    {"table1", "Table I: DNN categories and optimal architectures",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

@@ -1,14 +1,14 @@
 /**
  * @file
- * Regenerates paper Table II: hardware overheads of the Sparse.A and
- * Sparse.B families, per borrowing direction.
+ * Paper Table II: hardware overheads of the Sparse.A and Sparse.B
+ * families, per borrowing direction.  Render-only — structural.
  */
 
 #include "arch/overhead.hh"
-#include "bench_util.hh"
+#include "arch/routing.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
-
+namespace griffin {
 namespace {
 
 void
@@ -23,15 +23,9 @@ addRow(Table &t, const RoutingConfig &cfg)
               std::to_string(hw.adtPerPe)});
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table II: overheads of single-sparse "
-                                 "architectures");
-
     Table t("Table II — hardware overhead per borrowing direction",
             {"architecture", "ABUF depth", "AMUX fan-in", "BBUF depth",
              "BMUX fan-in", "ADT / PE"});
@@ -49,7 +43,6 @@ main(int argc, char **argv)
     for (int d = 1; d <= 2; ++d)
         addRow(t, RoutingConfig::sparseB(1, 0, d, false));
     addRow(t, RoutingConfig::sparseB(4, 0, 1, false));
-    bench::show(t, args);
 
     Table dual("Section IV-A — dual-sparse overheads",
                {"architecture", "ABUF depth (L)", "BBUF depth",
@@ -68,6 +61,12 @@ main(int argc, char **argv)
                      std::to_string(hw.adtPerPe),
                      std::to_string(hw.metadataBits)});
     }
-    bench::show(dual, args);
-    return 0;
+    return {t, dual};
 }
+
+const bool registered = registerExperiment(
+    {"table2", "Table II: overheads of single-sparse architectures",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

@@ -1,22 +1,33 @@
 /**
  * @file
- * Regenerates paper Table III: Griffin's morphing vs the rigid dual
- * design downgrading, on single-sparse workloads.
+ * Paper Table III: Griffin's morphing vs the rigid dual design
+ * downgrading, on single-sparse workloads.  The structural comparison
+ * is static; the measured-speedup table sweeps
+ * {Sparse.AB*, Griffin} x {a, b} through the runner.
  */
 
 #include "arch/overhead.hh"
 #include "arch/presets.hh"
-#include "bench_util.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+ExperimentPlan
+setup(const RunOptions &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table III: Griffin morph vs dual "
-                                 "downgrade");
+    ExperimentPlan plan;
+    plan.base.archs = {sparseABStar(), griffinArch()};
+    plan.base.networks = benchmarkSuite();
+    plan.grid.axis("category", {"a", "b"});
+    // render indexes archs as {0: Sparse.AB*, 1: Griffin}.
+    plan.lockedAxes = {"arch"};
+    return plan;
+}
 
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
     // Structural comparison (the paper's table contents).
     Table t("Table III — configuration on single-sparse models",
             {"model", "design", "configuration", "BMUX fan-in",
@@ -42,21 +53,24 @@ main(int argc, char **argv)
                   std::to_string(
                       computeOverhead(morph_b, TileShape{}).metadataBits)});
     }
-    bench::show(t, args);
 
     // Measured speedups over the benchmark suite.
     Table perf("Griffin morph vs dual downgrade — measured speedup "
                "(suite geomean)",
                {"model", "dual Sparse.AB*", "Griffin", "gain"});
-    for (DnnCategory cat : {DnnCategory::A, DnnCategory::B}) {
-        const double rigid =
-            bench::suiteSpeedup(sparseABStar(), cat, args.run);
-        const double hybrid =
-            bench::suiteSpeedup(griffinArch(), cat, args.run);
-        perf.addRow({toString(cat), Table::num(rigid),
-                     Table::num(hybrid),
+    for (std::size_t c = 0; c < ctx.spec->categories.size(); ++c) {
+        const double rigid = ctx.suiteGeomean(0, c);
+        const double hybrid = ctx.suiteGeomean(1, c);
+        perf.addRow({toString(ctx.spec->categories[c]),
+                     Table::num(rigid), Table::num(hybrid),
                      Table::num(hybrid / rigid, 3) + "x"});
     }
-    bench::show(perf, args);
-    return 0;
+    return {t, perf};
 }
+
+const bool registered = registerExperiment(
+    {"table3", "Table III: Griffin morph vs dual downgrade",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, setup, render});
+
+} // namespace
+} // namespace griffin

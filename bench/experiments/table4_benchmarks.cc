@@ -1,20 +1,20 @@
 /**
  * @file
- * Regenerates paper Table IV: the benchmark suite with sparsity
- * ratios, accuracy, and dense-baseline latency (ours vs paper).
+ * Paper Table IV: the benchmark suite with sparsity ratios, accuracy,
+ * and dense-baseline latency (ours vs paper).  Render-only —
+ * deterministic structural cycle counts, no simulation.
  */
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
+#include "runtime/experiment.hh"
+#include "workloads/network.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table IV: benchmark suite summary");
-
     Table t("Table IV — benchmarks",
             {"network", "sparsity (B,A)", "accuracy", "MACs",
              "dense cycles (ours)", "dense cycles (paper)", "ratio"});
@@ -33,7 +33,6 @@ main(int argc, char **argv)
                                      net.paperDenseCycles),
                              2)});
     }
-    bench::show(t, args);
 
     Table cfg("Table IV — architecture configuration",
               {"parameter", "value"});
@@ -45,6 +44,12 @@ main(int argc, char **argv)
                 Table::num(base.mem.dramGBs, 0) + " GB/s"});
     cfg.addRow({"frequency", "800 MHz @ 0.71 V (7 nm)"});
     cfg.addRow({"dataflow", "output stationary"});
-    bench::show(cfg, args);
-    return 0;
+    return {t, cfg};
 }
+
+const bool registered = registerExperiment(
+    {"table4", "Table IV: benchmark suite summary",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

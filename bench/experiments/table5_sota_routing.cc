@@ -1,21 +1,19 @@
 /**
  * @file
- * Regenerates paper Table V: routing dimensions of A and B for the
+ * Paper Table V: routing dimensions of A and B for the
  * state-of-the-art architectures, expressed in the unified framework
- * (paper contribution 2).
+ * (paper contribution 2).  Render-only — structural.
  */
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
+namespace griffin {
+namespace {
 
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table V: SOTA routing dimensions");
-
     Table t("Table V — routing dimension comparison",
             {"architecture", "da1", "da2", "da3", "db1", "db2", "db3",
              "shuffle", "sparsity support"});
@@ -40,6 +38,12 @@ main(int argc, char **argv)
     add(sparseAStar(), "activation only (ours)");
     add(sparseABStar(), "dual (ours)");
     add(griffinArch(), "hybrid (ours)");
-    bench::show(t, args);
-    return 0;
+    return {t};
 }
+
+const bool registered = registerExperiment(
+    {"table5", "Table V: SOTA routing dimensions",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Paper Table VI: the optimal design points and Griffin's three morph
+ * configurations, with their measured suite speedups.
+ *
+ * The grid is non-rectangular — each Sparse.* optimum runs only in its
+ * own category while Griffin runs in all three — so the plan uses
+ * SweepSpec::jobFilter rather than paying for the full cross product.
+ */
+
+#include "arch/presets.hh"
+#include "runtime/experiment.hh"
+
+namespace griffin {
+namespace {
+
+/** Arch order of the spec; Griffin (index 3) runs all categories. */
+constexpr std::size_t kGriffin = 3;
+
+ExperimentPlan
+setup(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.base.archs = {sparseBStar(), sparseAStar(), sparseABStar(),
+                       griffinArch()};
+    plan.base.networks = benchmarkSuite();
+    plan.base.categories = {DnnCategory::B, DnnCategory::A,
+                            DnnCategory::AB};
+    // Each single-category optimum pairs with the same-index category.
+    plan.base.jobFilter = [](const SweepJob &job) {
+        return job.archIndex == kGriffin ||
+               job.archIndex == job.categoryIndex;
+    };
+    // The jobFilter and render both key on the declared arch/category
+    // order.
+    plan.lockedAxes = {"arch", "category"};
+    return plan;
+}
+
+std::vector<Table>
+render(const ExperimentContext &ctx)
+{
+    Table t("Table VI — optimal design points",
+            {"design", "configuration", "category", "suite speedup"});
+    auto add = [&](const std::string &name, std::size_t arch_index,
+                   std::size_t cat_index) {
+        const auto &arch = ctx.spec->archs[arch_index];
+        const auto cat = ctx.spec->categories[cat_index];
+        t.addRow({name, arch.effectiveRouting(cat).str(),
+                  toString(cat),
+                  Table::num(ctx.suiteGeomean(arch_index, cat_index))});
+    };
+    add("Sparse.B*", 0, 0);
+    add("Sparse.A*", 1, 1);
+    add("Sparse.AB*", 2, 2);
+    add("Griffin conf.B", kGriffin, 0);
+    add("Griffin conf.A", kGriffin, 1);
+    add("Griffin conf.AB", kGriffin, 2);
+    return {t};
+}
+
+const bool registered = registerExperiment(
+    {"table6", "Table VI: optimal design points",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, setup, render});
+
+} // namespace
+} // namespace griffin

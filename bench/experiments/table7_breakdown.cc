@@ -1,16 +1,15 @@
 /**
  * @file
- * Regenerates paper Table VII: power and area breakdown of the eight
- * architectures, our structural estimate next to the paper's
- * synthesis numbers (totals).
+ * Paper Table VII: power and area breakdown of the eight
+ * architectures, our structural estimate next to the paper's synthesis
+ * numbers (totals).  Render-only — the cost model is closed-form.
  */
 
 #include "arch/presets.hh"
-#include "bench_util.hh"
 #include "power/cost_model.hh"
+#include "runtime/experiment.hh"
 
-using namespace griffin;
-
+namespace griffin {
 namespace {
 
 /** Paper totals (Table VII) for the ours-vs-paper columns. */
@@ -34,14 +33,9 @@ cell(double v)
     return v == 0.0 ? std::string("-") : Table::num(v, 1);
 }
 
-} // namespace
-
-int
-main(int argc, char **argv)
+std::vector<Table>
+render(const ExperimentContext &)
 {
-    auto args = bench::parseArgs(argc, argv,
-                                 "Table VII: power/area breakdown");
-
     Table power("Table VII — power breakdown, mW (ours)",
                 {"architecture", "CTRL", "SHF", "ABUF", "BBUF",
                  "REG/WR", "ACC", "MUL", "ADT", "MUX", "SRAM", "total",
@@ -75,7 +69,12 @@ main(int argc, char **argv)
              paper ? Table::num(a.total() / paper->areaKum2, 2)
                    : std::string("?")});
     }
-    bench::show(power, args);
-    bench::show(area, args);
-    return 0;
+    return {power, area};
 }
+
+const bool registered = registerExperiment(
+    {"table7", "Table VII: power/area breakdown",
+     /*defaultSample=*/0.04, /*defaultRowCap=*/48, nullptr, render});
+
+} // namespace
+} // namespace griffin

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The one bench driver: every paper figure, table, and ablation is a
+ * registered Experiment (bench/experiments/), listed, described, and
+ * executed here.
+ *
+ *   griffin_bench list
+ *   griffin_bench describe fig5
+ *   griffin_bench run fig5 fig6 --threads 8
+ *   griffin_bench run --all --sample 0.01 --rowcap 4 --out results.jsonl
+ *   griffin_bench run fig5 --grid-shard 0/3 --cache-file fleet.grfc \
+ *       --out shard0.jsonl
+ *
+ * Every experiment accepts the same flag set: fidelity (--sample,
+ * --rowcap, --seed, --lanebias; sample/rowcap default to the
+ * experiment's tuned fidelity), parallelism (--threads, --layer-shard),
+ * grid overrides (--grid, applied over the experiment's own axes),
+ * schedule-cache persistence (--cache-file, --cache-budget-mb), and
+ * output (--csv tables, --json table JSON Lines, --out result-row
+ * document: .json/.csv/.jsonl by suffix).
+ *
+ * Fleet sharding: --grid-shard i/n slices every sweep's job list into
+ * n contiguous blocks and runs block i, so n processes sharing a
+ * --cache-file cover a grid disjointly.  Sharded runs emit result rows
+ * only (a shard's aggregate tables would be wrong); concatenating the
+ * shards' --out .jsonl files in shard order is byte-identical to the
+ * unsharded file.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "runtime/cache_store.hh"
+#include "runtime/experiment.hh"
+#include "runtime/result_sink.hh"
+#include "runtime/thread_pool.hh"
+
+using namespace griffin;
+
+namespace {
+
+std::vector<std::string>
+registryNames()
+{
+    std::vector<std::string> names;
+    for (const auto &exp : experimentRegistry())
+        names.push_back(exp.name);
+    return names;
+}
+
+const Experiment &
+experimentOrDie(const std::string &name)
+{
+    const Experiment *exp = findExperiment(name);
+    if (exp == nullptr)
+        fatal("unknown experiment '", name, "'; did you mean '",
+              nearestName(name, registryNames()),
+              "'? (see griffin_bench list)");
+    return *exp;
+}
+
+/** bench-style table output: boxed or CSV on stdout, optional JSON
+ *  Lines trajectory file (first table truncates, the rest append). */
+struct TableEmitter
+{
+    bool csv = false;
+    std::string jsonPath;
+    bool jsonStarted = false;
+
+    void
+    show(const Table &table)
+    {
+        if (csv)
+            table.printCsv(std::cout);
+        else
+            table.print(std::cout);
+        std::cout << '\n';
+        if (jsonPath.empty())
+            return;
+        std::ofstream os(jsonPath, jsonStarted ? std::ios::app
+                                               : std::ios::trunc);
+        if (!os)
+            fatal("cannot open --json path '", jsonPath, "'");
+        jsonStarted = true;
+        writeTableJsonLine(os, table);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("griffin_bench: run registered paper experiments "
+            "(subcommands: list | describe <name...> | "
+            "run <name...|--all>)");
+    addFidelityFlags(cli);
+    cli.addBool("all", false, "run every registered experiment");
+    cli.addInt("threads", ThreadPool::hardwareThreads(),
+               "worker threads (1 = serial; results are bit-identical "
+               "for any value)");
+    cli.addBool("layer-shard", false,
+                "split each network job into per-layer sub-jobs "
+                "(bit-identical results, finer pool granularity)");
+    cli.addString("grid", "",
+                  "named-axis grid override applied over the "
+                  "experiment's own axes, e.g. "
+                  "\"network=alexnet,seed=1..4\"");
+    cli.addString("grid-shard", "",
+                  "run shard i of n (\"i/n\"): contiguous slice of "
+                  "every sweep's job list; emits result rows only");
+    cli.addString("cache-file", "",
+                  "persist preprocessed B schedules to this GRFC file "
+                  "(loaded before the run, saved after)");
+    cli.addInt("cache-budget-mb", 0,
+               "schedule-cache byte budget in MiB (0 = unbounded)");
+    cli.addBool("csv", false, "emit CSV tables instead of boxed ones");
+    cli.addString("json", "",
+                  "write each rendered table to this path as JSON "
+                  "Lines (rewritten per run)");
+    cli.addString("out", "",
+                  "write result rows of every sweep to this path "
+                  "(.json array, .csv, or .jsonl by suffix)");
+    const auto positional = cli.parse(argc, argv);
+
+    if (positional.empty())
+        fatal("missing subcommand (list | describe | run)\n",
+              cli.usage());
+    const std::string &command = positional.front();
+    std::vector<std::string> names(positional.begin() + 1,
+                                   positional.end());
+
+    if (command == "list") {
+        if (!names.empty())
+            fatal("list takes no arguments");
+        experimentListTable().print(std::cout);
+        return 0;
+    }
+
+    if (command == "describe") {
+        if (names.empty())
+            fatal("describe needs at least one experiment name");
+        for (const auto &name : names)
+            std::cout << describeExperiment(experimentOrDie(name));
+        return 0;
+    }
+
+    if (command != "run")
+        fatal("unknown subcommand '", command,
+              "' (list | describe | run)\n", cli.usage());
+
+    if (cli.getBool("all")) {
+        if (!names.empty())
+            fatal("run --all takes no experiment names");
+        names = registryNames();
+    }
+    if (names.empty())
+        fatal("run needs experiment names or --all");
+    // Resolve every name up front so a typo fails before hours of
+    // sweeping, not after.
+    for (const auto &name : names)
+        experimentOrDie(name);
+
+    ExperimentRunConfig config;
+    config.threads = static_cast<int>(cli.getInt("threads"));
+    config.layerShard = cli.getBool("layer-shard");
+    config.gridOverride = cli.getString("grid");
+    parseShardSpec(cli.getString("grid-shard"), config.shardIndex,
+                   config.shardCount);
+    // A shard renders no tables (it holds one slice of each grid), so
+    // without a row sink the whole sweep would be computed and thrown
+    // away — fail before the work, not after.
+    if (config.shardCount > 1 && cli.getString("out").empty())
+        fatal("--grid-shard emits result rows only; pass --out <path> "
+              "(.jsonl, so shard files concatenate to the unsharded "
+              "document)");
+
+    ScheduleCache cache;
+    const auto budget_mb = cli.getInt("cache-budget-mb");
+    if (budget_mb < 0)
+        fatal("--cache-budget-mb must be non-negative, got ",
+              budget_mb);
+    if (budget_mb > 0)
+        cache.setByteBudget(static_cast<std::uint64_t>(budget_mb)
+                            << 20);
+    const auto cache_path = cli.getString("cache-file");
+    if (!cache_path.empty()) {
+        const auto loaded = loadCacheFile(cache_path, cache);
+        inform("schedule cache: loaded ", loaded, " entries from ",
+               cache_path);
+    }
+    config.cache = &cache;
+
+    TableEmitter emitter;
+    emitter.csv = cli.getBool("csv");
+    emitter.jsonPath = cli.getString("json");
+
+    std::unique_ptr<ResultSink> sink;
+    if (!cli.getString("out").empty())
+        sink = std::make_unique<ResultSink>(cli.getString("out"));
+
+    for (const auto &name : names) {
+        const Experiment &exp = experimentOrDie(name);
+        config.run = resolveFidelity(cli, exp.defaultSample,
+                                     exp.defaultRowCap);
+        const auto outcome = runExperiment(exp, config);
+        for (const auto &table : outcome.tables)
+            emitter.show(table);
+        if (outcome.hasSweep && sink)
+            sink->add(outcome.sweep, exp.name);
+    }
+
+    // Flush the results document before the cache save: a fatal() on
+    // an unwritable cache path must not discard completed sweeps.
+    if (sink) {
+        sink->flush();
+        inform("wrote ", sink->rows().size(), " result rows to ",
+               cli.getString("out"));
+    }
+
+    if (!cache_path.empty()) {
+        const auto stored = saveCacheFile(cache_path, cache);
+        inform("schedule cache: stored ", stored, " entries to ",
+               cache_path);
+        // Machine-readable counters on stdout: CI and the sharding
+        // ctest assert warm runs report load_hits > 0.
+        writeCacheStatsJsonLine(std::cout, cache.stats());
+    }
+    return 0;
+}

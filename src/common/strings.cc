@@ -112,6 +112,21 @@ nearestName(const std::string &name,
 }
 
 std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\r\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
 formatShortestDouble(double v)
 {
     char buf[64];

@@ -55,6 +55,15 @@ std::string nearestName(const std::string &name,
  */
 std::string formatShortestDouble(double v);
 
+/**
+ * RFC 4180 CSV field quoting: a field containing a comma, a double
+ * quote, or a line break is wrapped in double quotes with embedded
+ * quotes doubled; anything else passes through unchanged.  Routing-spec
+ * architecture names like `B(4,0,1,on)` make this load-bearing — an
+ * unquoted one shifts every downstream column of the row.
+ */
+std::string csvEscape(const std::string &field);
+
 } // namespace griffin
 
 #endif // GRIFFIN_COMMON_STRINGS_HH

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace griffin {
 
@@ -64,25 +65,6 @@ Table::print(std::ostream &os) const
         line(row);
     rule();
 }
-
-namespace {
-
-std::string
-csvEscape(const std::string &s)
-{
-    if (s.find_first_of(",\"\n") == std::string::npos)
-        return s;
-    std::string out = "\"";
-    for (char ch : s) {
-        if (ch == '"')
-            out += '"';
-        out += ch;
-    }
-    out += '"';
-    return out;
-}
-
-} // namespace
 
 void
 Table::printCsv(std::ostream &os) const

@@ -93,39 +93,52 @@ jsonNumber(double v)
 
 namespace {
 
-/** One result as a JSON object; `row` adds options/coords fields. */
+/**
+ * One result as a JSON object; `row` adds experiment/options/coords
+ * fields.  Compact mode (writeJsonLines) drops every newline and
+ * indent so the object fits one line; the key order is identical.
+ */
 void
 writeJsonRow(std::ostream &os, const NetworkResult &result,
-             const ResultRow *row, int indent)
+             const ResultRow *row, int indent, bool compact = false)
 {
-    const std::string in0 = indentStr(indent);
-    const std::string in1 = indentStr(indent + 1);
-    const std::string in2 = indentStr(indent + 2);
-    os << in0 << "{\n"
-       << in1 << "\"network\": \"" << jsonEscape(result.network) << "\",\n"
-       << in1 << "\"arch\": \"" << jsonEscape(result.arch) << "\",\n"
-       << in1 << "\"category\": \"" << toString(result.category) << "\",\n";
+    const char *nl = compact ? "" : "\n";
+    const std::string in0 = compact ? "" : indentStr(indent);
+    const std::string in1 = compact ? "" : indentStr(indent + 1);
+    const std::string in2 = compact ? "" : indentStr(indent + 2);
+    os << in0 << "{" << nl;
+    if (row != nullptr && !row->experiment.empty())
+        os << in1 << "\"experiment\": \"" << jsonEscape(row->experiment)
+           << "\"," << nl;
+    os << in1 << "\"network\": \"" << jsonEscape(result.network)
+       << "\"," << nl
+       << in1 << "\"arch\": \"" << jsonEscape(result.arch) << "\"," << nl
+       << in1 << "\"category\": \"" << toString(result.category)
+       << "\"," << nl;
     if (row != nullptr && row->annotated) {
         os << in1 << "\"options\": ";
         writeOptionsObject(os, row->options);
-        os << ",\n";
+        os << "," << nl;
         if (!row->coords.empty()) {
             os << in1 << "\"coords\": ";
             writeCoordsObject(os, row->coords);
-            os << ",\n";
+            os << "," << nl;
         }
     }
-    os << in1 << "\"dense_cycles\": " << result.denseCycles << ",\n"
-       << in1 << "\"total_cycles\": " << result.totalCycles << ",\n"
-       << in1 << "\"speedup\": " << jsonNumber(result.speedup) << ",\n"
+    os << in1 << "\"dense_cycles\": " << result.denseCycles << ","
+       << nl
+       << in1 << "\"total_cycles\": " << result.totalCycles << ","
+       << nl
+       << in1 << "\"speedup\": " << jsonNumber(result.speedup) << ","
+       << nl
        << in1 << "\"tops_per_watt\": " << jsonNumber(result.topsPerWatt)
-       << ",\n"
+       << "," << nl
        << in1 << "\"tops_per_mm2\": " << jsonNumber(result.topsPerMm2)
-       << ",\n"
+       << "," << nl
        << in1 << "\"layers\": [";
     for (std::size_t i = 0; i < result.layers.size(); ++i) {
         const auto &l = result.layers[i];
-        os << (i == 0 ? "\n" : ",\n")
+        os << (i == 0 ? nl : (compact ? "," : ",\n"))
            << in2 << "{\"name\": \"" << jsonEscape(l.name) << "\", "
            << "\"dense_cycles\": " << l.denseCycles << ", "
            << "\"compute_cycles\": " << l.computeCycles << ", "
@@ -135,8 +148,8 @@ writeJsonRow(std::ostream &os, const NetworkResult &result,
            << "\"speedup\": " << jsonNumber(l.speedup) << "}";
     }
     if (!result.layers.empty())
-        os << "\n" << in1;
-    os << "]\n" << in0 << "}";
+        os << nl << in1;
+    os << "]" << nl << in0 << "}";
 }
 
 } // namespace
@@ -161,7 +174,7 @@ writeJson(std::ostream &os, const std::vector<NetworkResult> &results)
 }
 
 std::vector<ResultRow>
-sweepRows(const SweepResult &sweep)
+sweepRows(const SweepResult &sweep, const std::string &experiment)
 {
     GRIFFIN_ASSERT(sweep.jobs().size() == sweep.results().size(),
                    "sweep jobs/results length mismatch");
@@ -173,6 +186,7 @@ sweepRows(const SweepResult &sweep)
         row.annotated = true;
         row.options = sweep.jobs()[i].options;
         row.coords = sweep.jobs()[i].coords;
+        row.experiment = experiment;
         rows.push_back(std::move(row));
     }
     return rows;
@@ -203,16 +217,17 @@ writeCsv(std::ostream &os, const std::vector<NetworkResult> &results)
     os << "network,arch,category,layer,dense_cycles,compute_cycles,"
           "dram_cycles,total_cycles,macs,speedup\n";
     for (const auto &r : results) {
+        const auto prefix = csvEscape(r.network) + ',' +
+                            csvEscape(r.arch) + ',' +
+                            toString(r.category) + ',';
         for (const auto &l : r.layers) {
-            os << r.network << ',' << r.arch << ','
-               << toString(r.category) << ',' << l.name << ','
-               << l.denseCycles << ',' << l.computeCycles << ','
-               << l.dramCycles << ',' << l.totalCycles << ',' << l.macs
-               << ',' << jsonNumber(l.speedup) << '\n';
+            os << prefix << csvEscape(l.name) << ',' << l.denseCycles
+               << ',' << l.computeCycles << ',' << l.dramCycles << ','
+               << l.totalCycles << ',' << l.macs << ','
+               << jsonNumber(l.speedup) << '\n';
         }
-        os << r.network << ',' << r.arch << ',' << toString(r.category)
-           << ",total," << r.denseCycles << ",,," << r.totalCycles
-           << ",," << jsonNumber(r.speedup) << '\n';
+        os << prefix << "total," << r.denseCycles << ",,,"
+           << r.totalCycles << ",," << jsonNumber(r.speedup) << '\n';
     }
 }
 
@@ -238,18 +253,26 @@ optionsCsvCells(const ResultRow &row)
 void
 writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
 {
+    // The experiment column only appears when some row is labeled, so
+    // unlabeled documents (bench_runner) keep their layout.
+    bool labeled = false;
+    for (const auto &row : rows)
+        labeled = labeled || !row.experiment.empty();
+    if (labeled)
+        os << "experiment,";
     os << "network,arch,category,seed,row_cap,weight_lane_bias,"
           "act_run_length,sample_fraction,enforce_dram_bound,layer,"
           "dense_cycles,compute_cycles,dram_cycles,total_cycles,macs,"
           "speedup\n";
     for (const auto &row : rows) {
         const auto &r = row.result;
-        const auto prefix = r.network + ',' + r.arch + ',' +
-                            toString(r.category) + ',' +
-                            optionsCsvCells(row) + ',';
+        const auto prefix =
+            (labeled ? csvEscape(row.experiment) + ',' : std::string()) +
+            csvEscape(r.network) + ',' + csvEscape(r.arch) + ',' +
+            toString(r.category) + ',' + optionsCsvCells(row) + ',';
         for (const auto &l : r.layers) {
-            os << prefix << l.name << ',' << l.denseCycles << ','
-               << l.computeCycles << ',' << l.dramCycles << ','
+            os << prefix << csvEscape(l.name) << ',' << l.denseCycles
+               << ',' << l.computeCycles << ',' << l.dramCycles << ','
                << l.totalCycles << ',' << l.macs << ','
                << jsonNumber(l.speedup) << '\n';
         }
@@ -262,6 +285,21 @@ void
 writeCsv(std::ostream &os, const SweepResult &sweep)
 {
     writeCsv(os, sweepRows(sweep));
+}
+
+void
+writeJsonLines(std::ostream &os, const std::vector<ResultRow> &rows)
+{
+    for (const auto &row : rows) {
+        writeJsonRow(os, row.result, &row, 0, /*compact=*/true);
+        os << '\n';
+    }
+}
+
+void
+writeJsonLines(std::ostream &os, const SweepResult &sweep)
+{
+    writeJsonLines(os, sweepRows(sweep));
 }
 
 void
@@ -324,12 +362,24 @@ ResultSink::add(const std::vector<NetworkResult> &results)
 }
 
 void
-ResultSink::add(const SweepResult &sweep)
+ResultSink::add(const SweepResult &sweep, const std::string &experiment)
 {
-    auto rows = sweepRows(sweep);
+    auto rows = sweepRows(sweep, experiment);
     rows_.insert(rows_.end(), std::make_move_iterator(rows.begin()),
                  std::make_move_iterator(rows.end()));
 }
+
+namespace {
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // namespace
 
 void
 ResultSink::flush() const
@@ -337,8 +387,8 @@ ResultSink::flush() const
     std::ofstream os(path_);
     if (!os)
         fatal("cannot open result sink path '", path_, "'");
-    const bool csv = path_.size() >= 4 &&
-                     path_.compare(path_.size() - 4, 4, ".csv") == 0;
+    const bool csv = hasSuffix(path_, ".csv");
+    const bool jsonl = hasSuffix(path_, ".jsonl");
     // All-plain documents keep the stable legacy NetworkResult shape.
     bool annotated = false;
     for (const auto &row : rows_)
@@ -352,6 +402,11 @@ ResultSink::flush() const
             writeCsv(os, rows_);
         else
             writeCsv(os, plain);
+    } else if (jsonl) {
+        // JSON Lines rows always carry their annotations — the format
+        // exists for shard-concatenated fleet output, where rows must
+        // be self-describing with no enclosing document.
+        writeJsonLines(os, rows_);
     } else {
         if (annotated)
             writeJson(os, rows_);

@@ -60,7 +60,10 @@ void writeCsv(std::ostream &os, const std::vector<NetworkResult> &results);
 
 /**
  * One output row: a result plus, when `annotated`, the resolved
- * RunOptions and the grid coordinates that produced it.
+ * RunOptions and the grid coordinates that produced it.  `experiment`
+ * optionally names the registered experiment that produced the row
+ * (griffin_bench `run --all` mixes several experiments' rows in one
+ * document); empty on rows from unlabeled sweeps.
  */
 struct ResultRow
 {
@@ -68,14 +71,16 @@ struct ResultRow
     bool annotated = false;
     RunOptions options{};
     std::vector<AxisCoordinate> coords;
+    std::string experiment;
 };
 
 /**
  * A sweep as self-describing rows: results()[i] annotated with
  * jobs()[i]'s resolved options and grid coordinates, in submission
- * order.
+ * order.  `experiment` labels every row (empty = unlabeled).
  */
-std::vector<ResultRow> sweepRows(const SweepResult &sweep);
+std::vector<ResultRow> sweepRows(const SweepResult &sweep,
+                                 const std::string &experiment = "");
 
 /**
  * JSON array of annotated rows.  An annotated row carries an
@@ -89,10 +94,23 @@ void writeJson(std::ostream &os, const SweepResult &sweep);
 
 /**
  * CSV of annotated rows: the plain layout plus one column per
- * RunOptions field (empty cells on unannotated rows).
+ * RunOptions field (empty cells on unannotated rows).  When any row
+ * carries an experiment label, an `experiment` column is prepended.
+ * Every text field is RFC-4180 quoted on demand (csvEscape), so
+ * comma-bearing architecture names stay one column.
  */
 void writeCsv(std::ostream &os, const std::vector<ResultRow> &rows);
 void writeCsv(std::ostream &os, const SweepResult &sweep);
+
+/**
+ * JSON Lines: one compact object per row per line, same key order as
+ * the pretty writer.  Because the document has no enclosing array,
+ * concatenating the files of a sharded sweep (`--grid-shard i/n`, in
+ * shard order) is byte-identical to the unsharded file — this is the
+ * fleet-run output format.
+ */
+void writeJsonLines(std::ostream &os, const std::vector<ResultRow> &rows);
+void writeJsonLines(std::ostream &os, const SweepResult &sweep);
 
 /** One Table as a single-line JSON object (for JSON Lines streams). */
 void writeTableJsonLine(std::ostream &os, const Table &table);
@@ -108,9 +126,11 @@ void writeCacheStatsJsonLine(std::ostream &os,
 
 /**
  * File-backed sink: collects rows and writes one document on flush().
- * Format is chosen by the path suffix: ".csv" writes CSV, anything
- * else JSON.  Rows added from a SweepResult are annotated with their
- * job's options and coordinates; bare NetworkResults are not.
+ * Format is chosen by the path suffix: ".csv" writes CSV, ".jsonl"
+ * writes JSON Lines (one row per line, shard-concatenation-safe),
+ * anything else a pretty JSON array.  Rows added from a SweepResult
+ * are annotated with their job's options and coordinates; bare
+ * NetworkResults are not.
  */
 class ResultSink
 {
@@ -119,7 +139,8 @@ class ResultSink
 
     void add(NetworkResult result);
     void add(const std::vector<NetworkResult> &results);
-    void add(const SweepResult &sweep);
+    void add(const SweepResult &sweep,
+             const std::string &experiment = "");
 
     const std::vector<ResultRow> &rows() const { return rows_; }
 

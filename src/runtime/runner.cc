@@ -43,6 +43,11 @@ SweepSpec::validate() const
         fatal("sweep spec has ", optionCoords.size(),
               " axis-coordinate records for ", optionVariants.size(),
               " RunOptions variants (must match, or be empty)");
+    if (shardCount == 0)
+        fatal("sweep shard count must be positive");
+    if (shardIndex >= shardCount)
+        fatal("sweep shard index ", shardIndex, " out of range for ",
+              shardCount, " shards (need 0 <= i < n)");
     for (const auto &arch : archs)
         arch.validate();
     for (const auto &net : networks)
@@ -71,10 +76,25 @@ expandSweep(const SweepSpec &spec)
                     if (spec.perArchSeeds)
                         job.options.seed = Rng::mixSeed(
                             job.options.seed, spec.archs[a].name);
+                    if (spec.jobFilter && !spec.jobFilter(job))
+                        continue;
                     jobs.push_back(std::move(job));
                 }
             }
         }
+    }
+    if (spec.shardCount > 1) {
+        // Contiguous blocks, not modulo striping: concatenating the
+        // shards' job lists in shard order must reproduce the
+        // unsharded submission order byte-for-byte.
+        const std::size_t total = jobs.size();
+        const std::size_t lo = total * spec.shardIndex / spec.shardCount;
+        const std::size_t hi =
+            total * (spec.shardIndex + 1) / spec.shardCount;
+        jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(hi),
+                   jobs.end());
+        jobs.erase(jobs.begin(),
+                   jobs.begin() + static_cast<std::ptrdiff_t>(lo));
     }
     return jobs;
 }

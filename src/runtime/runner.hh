@@ -37,6 +37,7 @@
 #define GRIFFIN_RUNTIME_RUNNER_HH
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -124,7 +125,33 @@ struct SweepSpec
      */
     bool shardLayers = false;
 
-    /** Expanded job count (archs * networks * categories * options). */
+    /**
+     * Optional job predicate: expandSweep() drops jobs it rejects.
+     * This is how an experiment runs a non-rectangular grid (e.g. each
+     * architecture only in its own category) without paying for the
+     * full cross product.  Null keeps every job.  The filter runs on
+     * the fully-resolved job, before fleet sharding, so sharded and
+     * unsharded expansions see the same filtered list.
+     */
+    std::function<bool(const SweepJob &)> jobFilter;
+
+    /**
+     * Fleet sharding: expandSweep() keeps only the shardIndex-th of
+     * shardCount contiguous blocks of the (filtered) job list.  Blocks
+     * partition the list in submission order, so the concatenation of
+     * every shard's results in shard order is byte-identical to the
+     * unsharded run — N processes sharing a cache file can cover one
+     * grid disjointly (`--grid-shard i/n`).  Defaults run everything.
+     */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
+
+    /**
+     * Expanded job count of the full cartesian product
+     * (archs * networks * categories * options) — before jobFilter
+     * and fleet sharding are applied; expandSweep().size() is the
+     * post-filter, post-shard count.
+     */
     std::size_t jobCount() const;
 
     void validate() const;

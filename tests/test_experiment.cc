@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the experiment registry (runtime/experiment.hh):
+ * registration and lookup, duplicate-name rejection, list/describe
+ * output, fidelity-flag resolution, --grid-shard parsing, fleet-shard
+ * job slicing (shard concatenation == unsharded expansion), and
+ * non-rectangular grids via SweepSpec::jobFilter.
+ *
+ * The registry in the core library starts empty — the paper
+ * experiments register from bench/experiments/, which only
+ * griffin_bench links — so these tests own every entry they see.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "arch/presets.hh"
+#include "runtime/experiment.hh"
+#include "runtime/result_sink.hh"
+#include "workloads/network.hh"
+
+namespace griffin {
+namespace {
+
+ExperimentPlan
+tinyPlan(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.base.archs = {sparseBStar()};
+    plan.base.networks = {networkByName("alexnet")};
+    plan.base.categories = {DnnCategory::B};
+    return plan;
+}
+
+std::vector<Table>
+tinyRender(const ExperimentContext &ctx)
+{
+    Table t("tiny", {"arch", "speedup"});
+    if (ctx.sweep != nullptr)
+        t.addRow({ctx.spec->archs[0].name,
+                  Table::num(ctx.archGeomean(0))});
+    return {t};
+}
+
+ExperimentPlan
+axesPlan(const RunOptions &)
+{
+    ExperimentPlan plan;
+    plan.grid.axis("weight_lane_bias", {0.2, 0.8})
+        .axis("arch", {"Sparse.B*"})
+        .axis("category", {"b"});
+    plan.base.networks = {networkByName("alexnet")};
+    plan.lockedAxes = {"arch"};
+    return plan;
+}
+
+/** Register the shared fixture experiments exactly once. */
+bool
+registerFixtures()
+{
+    registerExperiment({"zz_tiny", "a tiny sweep experiment",
+                        /*defaultSample=*/0.02, /*defaultRowCap=*/8,
+                        tinyPlan, tinyRender});
+    registerExperiment({"aa_static", "a render-only experiment",
+                        /*defaultSample=*/0.04, /*defaultRowCap=*/48,
+                        nullptr, tinyRender});
+    registerExperiment({"zz_axes", "a sweep with an options axis",
+                        /*defaultSample=*/0.02, /*defaultRowCap=*/8,
+                        axesPlan, tinyRender});
+    return true;
+}
+
+const bool fixtures = registerFixtures();
+
+// ---- registry -------------------------------------------------------
+
+TEST(ExperimentRegistry, LookupFindsRegisteredExperiments)
+{
+    ASSERT_TRUE(fixtures);
+    const Experiment *tiny = findExperiment("zz_tiny");
+    ASSERT_NE(tiny, nullptr);
+    EXPECT_EQ(tiny->description, "a tiny sweep experiment");
+    EXPECT_EQ(tiny->defaultSample, 0.02);
+    EXPECT_EQ(tiny->defaultRowCap, 8);
+    EXPECT_NE(findExperiment("aa_static"), nullptr);
+    EXPECT_EQ(findExperiment("no_such_experiment"), nullptr);
+}
+
+TEST(ExperimentRegistry, RegistryIsNameSorted)
+{
+    const auto &experiments = experimentRegistry();
+    ASSERT_GE(experiments.size(), 2u);
+    for (std::size_t i = 1; i < experiments.size(); ++i)
+        EXPECT_LT(experiments[i - 1].name, experiments[i].name);
+}
+
+TEST(ExperimentRegistryDeathTest, DuplicateNameIsFatal)
+{
+    EXPECT_EXIT(registerExperiment({"zz_tiny", "again", 0.02, 8,
+                                    tinyPlan, tinyRender}),
+                testing::ExitedWithCode(1), "registered twice");
+}
+
+TEST(ExperimentRegistryDeathTest, MissingNameOrRenderIsFatal)
+{
+    EXPECT_EXIT(registerExperiment({"", "anonymous", 0.02, 8, nullptr,
+                                    tinyRender}),
+                testing::ExitedWithCode(1), "needs a name");
+    EXPECT_EXIT(registerExperiment({"zz_norender", "no render", 0.02,
+                                    8, nullptr, nullptr}),
+                testing::ExitedWithCode(1), "no render");
+}
+
+// ---- list / describe ------------------------------------------------
+
+TEST(ExperimentList, TableNamesEveryExperimentWithJobCounts)
+{
+    const Table t = experimentListTable();
+    ASSERT_EQ(t.cols(), 3u);
+    EXPECT_EQ(t.rows(), experimentRegistry().size());
+    bool saw_tiny = false;
+    bool saw_static = false;
+    for (std::size_t r = 0; r < t.rows(); ++r) {
+        if (t.cell(r, 0) == "zz_tiny") {
+            saw_tiny = true;
+            EXPECT_EQ(t.cell(r, 1), "1"); // 1 arch x 1 net x 1 cat
+            EXPECT_EQ(t.cell(r, 2), "a tiny sweep experiment");
+        }
+        if (t.cell(r, 0) == "aa_static") {
+            saw_static = true;
+            EXPECT_EQ(t.cell(r, 1), "-"); // render-only: no sweep
+        }
+    }
+    EXPECT_TRUE(saw_tiny);
+    EXPECT_TRUE(saw_static);
+}
+
+TEST(ExperimentDescribe, ReportsDefaultsAndGridShape)
+{
+    const auto text = describeExperiment(*findExperiment("zz_tiny"));
+    EXPECT_NE(text.find("zz_tiny — a tiny sweep experiment"),
+              std::string::npos);
+    EXPECT_NE(text.find("--sample 0.02 --rowcap 8"),
+              std::string::npos);
+    EXPECT_NE(text.find("1 archs x 1 networks x 1 categories"),
+              std::string::npos);
+
+    const auto static_text =
+        describeExperiment(*findExperiment("aa_static"));
+    EXPECT_NE(static_text.find("render-only"), std::string::npos);
+}
+
+// ---- fidelity flags -------------------------------------------------
+
+TEST(ExperimentFlags, SentinelFallsBackToExperimentDefaults)
+{
+    Cli cli("test");
+    addFidelityFlags(cli);
+    const char *argv[] = {"prog"};
+    cli.parse(1, argv);
+    const auto run = resolveFidelity(cli, 0.02, 8);
+    EXPECT_EQ(run.sim.sampleFraction, 0.02);
+    EXPECT_EQ(run.rowCap, 8);
+    EXPECT_EQ(run.seed, 1u);
+    EXPECT_EQ(run.weightLaneBias, 0.5);
+}
+
+TEST(ExperimentFlags, ExplicitFlagsOverrideDefaults)
+{
+    Cli cli("test");
+    addFidelityFlags(cli);
+    const char *argv[] = {"prog", "--sample", "0.5", "--rowcap", "16",
+                          "--seed", "7", "--lanebias", "0.25"};
+    cli.parse(9, argv);
+    const auto run = resolveFidelity(cli, 0.02, 8);
+    EXPECT_EQ(run.sim.sampleFraction, 0.5);
+    EXPECT_EQ(run.rowCap, 16);
+    EXPECT_EQ(run.seed, 7u);
+    EXPECT_EQ(run.weightLaneBias, 0.25);
+}
+
+// ---- shard spec parsing ---------------------------------------------
+
+TEST(ShardSpec, ParsesIndexAndCount)
+{
+    std::size_t index = 99;
+    std::size_t count = 99;
+    parseShardSpec("", index, count);
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(count, 1u);
+    parseShardSpec("2/5", index, count);
+    EXPECT_EQ(index, 2u);
+    EXPECT_EQ(count, 5u);
+}
+
+TEST(ShardSpecDeathTest, MalformedSpecsAreFatal)
+{
+    std::size_t index = 0;
+    std::size_t count = 1;
+    for (const char *bad : {"3", "a/b", "1/", "/2", "2/2", "5/3",
+                            "1/0", "1/2x"})
+        EXPECT_EXIT(parseShardSpec(bad, index, count),
+                    testing::ExitedWithCode(1), "grid-shard")
+            << bad;
+}
+
+// ---- fleet sharding of the job list ---------------------------------
+
+SweepSpec
+shardableSpec()
+{
+    SweepSpec spec;
+    spec.archs = {sparseBStar(), sparseAStar()};
+    spec.networks = {networkByName("alexnet"),
+                     networkByName("googlenet")};
+    spec.categories = {DnnCategory::B, DnnCategory::A};
+    return spec;
+}
+
+TEST(FleetShard, ContiguousShardsConcatenateToUnshardedOrder)
+{
+    const auto all = expandSweep(shardableSpec());
+    ASSERT_EQ(all.size(), 8u);
+    for (std::size_t n = 1; n <= all.size() + 1; ++n) {
+        std::vector<SweepJob> concat;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto spec = shardableSpec();
+            spec.shardIndex = i;
+            spec.shardCount = n;
+            const auto shard = expandSweep(spec);
+            concat.insert(concat.end(), shard.begin(), shard.end());
+        }
+        ASSERT_EQ(concat.size(), all.size()) << n << " shards";
+        for (std::size_t j = 0; j < all.size(); ++j) {
+            EXPECT_EQ(concat[j].archIndex, all[j].archIndex);
+            EXPECT_EQ(concat[j].networkIndex, all[j].networkIndex);
+            EXPECT_EQ(concat[j].categoryIndex, all[j].categoryIndex);
+            EXPECT_EQ(concat[j].optionsIndex, all[j].optionsIndex);
+        }
+    }
+}
+
+TEST(FleetShard, ShardsAreBalancedWithinOne)
+{
+    for (std::size_t n : {2u, 3u, 5u, 7u}) {
+        std::size_t min_size = SIZE_MAX;
+        std::size_t max_size = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            auto spec = shardableSpec();
+            spec.shardIndex = i;
+            spec.shardCount = n;
+            const auto size = expandSweep(spec).size();
+            min_size = std::min(min_size, size);
+            max_size = std::max(max_size, size);
+        }
+        EXPECT_LE(max_size - min_size, 1u) << n << " shards";
+    }
+}
+
+TEST(FleetShardDeathTest, OutOfRangeShardIsFatal)
+{
+    auto spec = shardableSpec();
+    spec.shardIndex = 3;
+    spec.shardCount = 3;
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+                "out of range");
+    spec.shardIndex = 0;
+    spec.shardCount = 0;
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+                "shard count");
+}
+
+// ---- job filter -----------------------------------------------------
+
+TEST(JobFilter, DropsRejectedJobsBeforeSharding)
+{
+    auto spec = shardableSpec();
+    // Non-rectangular pairing: each arch only in its own category.
+    spec.jobFilter = [](const SweepJob &job) {
+        return job.archIndex == job.categoryIndex;
+    };
+    const auto jobs = expandSweep(spec);
+    ASSERT_EQ(jobs.size(), 4u);
+    for (const auto &job : jobs)
+        EXPECT_EQ(job.archIndex, job.categoryIndex);
+
+    // Shards slice the filtered list.
+    std::vector<SweepJob> concat;
+    for (std::size_t i = 0; i < 3; ++i) {
+        auto shard_spec = spec;
+        shard_spec.shardIndex = i;
+        shard_spec.shardCount = 3;
+        const auto shard = expandSweep(shard_spec);
+        concat.insert(concat.end(), shard.begin(), shard.end());
+    }
+    ASSERT_EQ(concat.size(), jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        EXPECT_EQ(concat[j].networkIndex, jobs[j].networkIndex);
+}
+
+// ---- end-to-end runExperiment ---------------------------------------
+
+TEST(RunExperiment, RenderSeesSweepAndShardedRunsSkipTables)
+{
+    const Experiment &exp = *findExperiment("zz_tiny");
+    ExperimentRunConfig config;
+    config.run.sim.sampleFraction = 0.02;
+    config.run.sim.minSampledTiles = 4;
+    config.run.rowCap = 8;
+    const auto outcome = runExperiment(exp, config);
+    ASSERT_TRUE(outcome.hasSweep);
+    ASSERT_EQ(outcome.tables.size(), 1u);
+    EXPECT_EQ(outcome.tables[0].cell(0, 0), "Sparse.B*");
+    ASSERT_EQ(outcome.sweep.results().size(), 1u);
+
+    // The same run sharded 2-ways: tables suppressed, and the two
+    // shards' rows concatenate to the unsharded row list.
+    std::vector<ResultRow> concat;
+    for (std::size_t i = 0; i < 2; ++i) {
+        auto shard_config = config;
+        shard_config.shardIndex = i;
+        shard_config.shardCount = 2;
+        const auto shard = runExperiment(exp, shard_config);
+        EXPECT_TRUE(shard.tables.empty());
+        const auto rows = sweepRows(shard.sweep, exp.name);
+        concat.insert(concat.end(), rows.begin(), rows.end());
+    }
+    std::ostringstream sharded;
+    writeJsonLines(sharded, concat);
+    std::ostringstream unsharded;
+    writeJsonLines(unsharded, sweepRows(outcome.sweep, exp.name));
+    EXPECT_EQ(sharded.str(), unsharded.str());
+}
+
+TEST(RunExperiment, GridOverrideReplacesAxes)
+{
+    const Experiment &exp = *findExperiment("zz_tiny");
+    ExperimentRunConfig config;
+    config.run.sim.sampleFraction = 0.02;
+    config.run.sim.minSampledTiles = 4;
+    config.run.rowCap = 8;
+    config.gridOverride = "seed=1..3";
+    const auto outcome = runExperiment(exp, config);
+    EXPECT_EQ(outcome.sweep.results().size(), 3u);
+    EXPECT_EQ(outcome.spec.optionVariants.size(), 3u);
+}
+
+TEST(RunExperiment, GridOverrideMergesIntoTheOwnAxes)
+{
+    // zz_axes already sweeps weight_lane_bias (2 values); the override
+    // replaces that axis's values in place and appends a seed axis, so
+    // the expansion stays a single merged grid with full coordinates.
+    const Experiment &exp = *findExperiment("zz_axes");
+    ExperimentRunConfig config;
+    config.run.sim.sampleFraction = 0.02;
+    config.run.sim.minSampledTiles = 4;
+    config.run.rowCap = 8;
+    config.gridOverride = "weight_lane_bias=0.5,seed=1..2";
+    const auto outcome = runExperiment(exp, config);
+    ASSERT_EQ(outcome.spec.optionVariants.size(), 2u);
+    EXPECT_EQ(outcome.spec.optionVariants[0].weightLaneBias, 0.5);
+    EXPECT_EQ(outcome.spec.optionVariants[0].seed, 1u);
+    EXPECT_EQ(outcome.spec.optionVariants[1].seed, 2u);
+    ASSERT_EQ(outcome.spec.optionCoords.size(), 2u);
+    EXPECT_EQ(outcome.spec.optionCoords[0],
+              (std::vector<AxisCoordinate>{{"weight_lane_bias", "0.5"},
+                                           {"seed", "1"}}));
+}
+
+TEST(RunExperimentDeathTest, OverridingALockedAxisIsFatal)
+{
+    const Experiment &exp = *findExperiment("zz_axes");
+    ExperimentRunConfig config;
+    config.run.sim.sampleFraction = 0.02;
+    config.run.sim.minSampledTiles = 4;
+    config.run.rowCap = 8;
+    config.gridOverride = "arch=Griffin";
+    EXPECT_EXIT(runExperiment(exp, config),
+                testing::ExitedWithCode(1), "structural");
+}
+
+TEST(RunExperiment, RenderOnlyExperimentHasNoSweep)
+{
+    const Experiment &exp = *findExperiment("aa_static");
+    const auto outcome = runExperiment(exp, ExperimentRunConfig{});
+    EXPECT_FALSE(outcome.hasSweep);
+    ASSERT_EQ(outcome.tables.size(), 1u);
+    EXPECT_EQ(outcome.tables[0].rows(), 0u);
+}
+
+} // namespace
+} // namespace griffin

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -736,6 +737,74 @@ TEST(ResultSink, SweepCsvRowsCarryOptionsColumns)
               std::string::npos);
     EXPECT_NE(doc.find("net,arch,DNN.B,1,256,0.75,2,1,false,total,"),
               std::string::npos);
+}
+
+TEST(ResultSink, CsvQuotesCommaBearingFields)
+{
+    // Routing-spec arch names embed commas; RFC-4180 quoting must keep
+    // them one column or every downstream column shifts.
+    auto result = tinyResult();
+    result.arch = "B(4,0,1,on)";
+    result.layers[0].name = "conv \"a\",b";
+    std::ostringstream os;
+    writeCsv(os, {result});
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("net,\"B(4,0,1,on)\",DNN.B,"
+                       "\"conv \"\"a\"\",b\",100,50,0,50,1000,2\n"),
+              std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("net,\"B(4,0,1,on)\",DNN.B,total,"),
+              std::string::npos)
+        << doc;
+
+    // The annotated writer quotes the same way.
+    ResultRow row;
+    row.result = result;
+    row.annotated = true;
+    std::ostringstream os2;
+    writeCsv(os2, std::vector<ResultRow>{row});
+    EXPECT_NE(os2.str().find("net,\"B(4,0,1,on)\",DNN.B,1,256,"),
+              std::string::npos)
+        << os2.str();
+}
+
+TEST(ResultSink, JsonLinesIsOneCompactRowPerLineWithLabel)
+{
+    auto rows = sweepRows(tinyAnnotatedSweep(), "fig5");
+    std::ostringstream os;
+    writeJsonLines(os, rows);
+    const auto doc = os.str();
+    // One line per row, no enclosing array.
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '\n'), 2);
+    EXPECT_EQ(doc.front(), '{');
+    const auto first = doc.substr(0, doc.find('\n'));
+    EXPECT_NE(first.find("\"experiment\": \"fig5\","), std::string::npos);
+    EXPECT_NE(first.find("\"network\": \"net\","), std::string::npos);
+    EXPECT_NE(first.find("\"coords\": {\"weight_lane_bias\": "
+                         "\"0.25\"},"),
+              std::string::npos);
+    EXPECT_NE(first.find("\"layers\": [{"), std::string::npos);
+
+    // Splitting a row list anywhere and concatenating the parts
+    // reproduces the document — the property fleet sharding relies on.
+    std::ostringstream part1, part2;
+    writeJsonLines(part1, {rows[0]});
+    writeJsonLines(part2, {rows[1]});
+    EXPECT_EQ(part1.str() + part2.str(), doc);
+}
+
+TEST(ResultSink, ExperimentColumnOnlyWhenLabeled)
+{
+    auto labeled = sweepRows(tinyAnnotatedSweep(), "fig5");
+    std::ostringstream os;
+    writeCsv(os, labeled);
+    EXPECT_EQ(os.str().rfind("experiment,network,arch,", 0), 0u);
+    EXPECT_NE(os.str().find("fig5,net,arch,DNN.B,"), std::string::npos);
+
+    auto unlabeled = sweepRows(tinyAnnotatedSweep());
+    std::ostringstream os2;
+    writeCsv(os2, unlabeled);
+    EXPECT_EQ(os2.str().rfind("network,arch,", 0), 0u);
 }
 
 TEST(ResultSink, PlainRowsKeepTheLegacyShape)
