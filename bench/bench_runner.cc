@@ -73,12 +73,12 @@ main(int argc, char **argv)
     cli.addBool("layer-shard", false,
                 "split each network job into per-layer sub-jobs "
                 "(bit-identical results, finer pool granularity)");
-    cli.addString("cache-file", "",
-                  "persist preprocessed B schedules to this GRFC file "
-                  "(loaded before the sweep, saved after)");
-    cli.addInt("cache-budget-mb", 0,
-               "schedule-cache byte budget in MiB (0 = unbounded; "
-               "oldest entries evicted FIFO per shard)");
+    cli.addBool("batch-archs", true,
+                "batch multiple GEMMs per job: all architectures of "
+                "one (network, category, options) grid point share "
+                "one sub-job per layer, generating each operand "
+                "workset once (bit-identical results)");
+    addCacheFlags(cli);
     cli.addString("grid-shard", "",
                   "run shard i of n (\"i/n\"): contiguous slice of the "
                   "job list; suppresses tables, results via --json");
@@ -103,6 +103,7 @@ main(int argc, char **argv)
     if (!cli.getString("grid").empty())
         spec = GridSpec::parse(cli.getString("grid")).toSweepSpec(spec);
     spec.shardLayers = cli.getBool("layer-shard");
+    spec.batchArchs = cli.getBool("batch-archs");
     parseShardSpec(cli.getString("grid-shard"), spec.shardIndex,
                    spec.shardCount);
     // A shard suppresses tables, so without --json the sweep's results
@@ -113,20 +114,11 @@ main(int argc, char **argv)
               "document)");
 
     ScheduleCache cache;
-    const auto budget_mb = cli.getInt("cache-budget-mb");
-    if (budget_mb < 0)
-        fatal("--cache-budget-mb must be non-negative, got ", budget_mb);
-    if (budget_mb > 0)
-        cache.setByteBudget(static_cast<std::uint64_t>(budget_mb) << 20);
-    const auto cache_path = cli.getString("cache-file");
-    if (!cache_path.empty()) {
-        const auto loaded = loadCacheFile(cache_path, cache);
-        inform("schedule cache: loaded ", loaded, " entries from ",
-               cache_path);
-    }
+    WorksetCache worksets;
+    loadCachesFromFlags(cli, cache, worksets);
 
     const int threads = static_cast<int>(cli.getInt("threads"));
-    const auto sweep = runSweep(spec, threads, &cache);
+    const auto sweep = runSweep(spec, threads, &cache, &worksets);
 
     const bool multi_variant = spec.optionVariants.size() > 1;
     if (spec.shardCount > 1) {
@@ -206,13 +198,8 @@ main(int argc, char **argv)
                cli.getString("json"));
     }
 
-    if (!cache_path.empty()) {
-        const auto stored = saveCacheFile(cache_path, cache);
-        inform("schedule cache: stored ", stored, " entries to ",
-               cache_path);
-        // Machine-readable counters on stdout: CI asserts the second
-        // run of a cached sweep reports load_hits > 0.
-        writeCacheStatsJsonLine(std::cout, cs);
-    }
+    // Machine-readable cache counters land on stdout: CI asserts the
+    // second run of a cached sweep reports load_hits > 0.
+    saveCachesFromFlags(cli, cache, worksets);
     return 0;
 }

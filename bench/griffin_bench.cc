@@ -15,16 +15,25 @@
  * --rowcap, --seed, --lanebias; sample/rowcap default to the
  * experiment's tuned fidelity), parallelism (--threads, --layer-shard),
  * grid overrides (--grid, applied over the experiment's own axes),
- * schedule-cache persistence (--cache-file, --cache-budget-mb), and
- * output (--csv tables, --json table JSON Lines, --out result-row
- * document: .json/.csv/.jsonl by suffix).
+ * batching (--batch-archs, on by default), cache persistence
+ * (--cache-file/--cache-budget-mb for schedules,
+ * --workset-cache-file/--workset-budget-mb for generated operand
+ * worksets), and output (--csv tables, --json table JSON Lines,
+ * --out result-row document: .json/.csv/.jsonl by suffix).
  *
  * Fleet sharding: --grid-shard i/n slices every sweep's job list into
  * n contiguous blocks and runs block i, so n processes sharing a
  * --cache-file cover a grid disjointly.  Sharded runs emit result rows
  * only (a shard's aggregate tables would be wrong); concatenating the
  * shards' --out .jsonl files in shard order is byte-identical to the
- * unsharded file.
+ * unsharded file, and
+ *
+ *   griffin_bench merge shard0.jsonl shard1.jsonl shard2.jsonl
+ *
+ * validates that the shard documents cover each experiment's grid
+ * exactly (disjoint, complete, in order) and renders the aggregate
+ * tables post hoc that the shards could not (--out rewrites the
+ * merged row document, --csv/--json apply as in run).
  */
 
 #include <fstream>
@@ -37,6 +46,7 @@
 #include "runtime/cache_store.hh"
 #include "runtime/experiment.hh"
 #include "runtime/result_sink.hh"
+#include "runtime/shard_merge.hh"
 #include "runtime/thread_pool.hh"
 
 using namespace griffin;
@@ -97,7 +107,7 @@ main(int argc, char **argv)
 {
     Cli cli("griffin_bench: run registered paper experiments "
             "(subcommands: list | describe <name...> | "
-            "run <name...|--all>)");
+            "run <name...|--all> | merge <shard.jsonl...>)");
     addFidelityFlags(cli);
     cli.addBool("all", false, "run every registered experiment");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
@@ -106,6 +116,12 @@ main(int argc, char **argv)
     cli.addBool("layer-shard", false,
                 "split each network job into per-layer sub-jobs "
                 "(bit-identical results, finer pool granularity)");
+    cli.addBool("batch-archs", true,
+                "batch multiple GEMMs per job: all architectures of "
+                "one (network, category, options) grid point share "
+                "one sub-job per layer, generating each operand "
+                "workset once (bit-identical results; disable with "
+                "--batch-archs false)");
     cli.addString("grid", "",
                   "named-axis grid override applied over the "
                   "experiment's own axes, e.g. "
@@ -113,11 +129,7 @@ main(int argc, char **argv)
     cli.addString("grid-shard", "",
                   "run shard i of n (\"i/n\"): contiguous slice of "
                   "every sweep's job list; emits result rows only");
-    cli.addString("cache-file", "",
-                  "persist preprocessed B schedules to this GRFC file "
-                  "(loaded before the run, saved after)");
-    cli.addInt("cache-budget-mb", 0,
-               "schedule-cache byte budget in MiB (0 = unbounded)");
+    addCacheFlags(cli);
     cli.addBool("csv", false, "emit CSV tables instead of boxed ones");
     cli.addString("json", "",
                   "write each rendered table to this path as JSON "
@@ -128,7 +140,7 @@ main(int argc, char **argv)
     const auto positional = cli.parse(argc, argv);
 
     if (positional.empty())
-        fatal("missing subcommand (list | describe | run)\n",
+        fatal("missing subcommand (list | describe | run | merge)\n",
               cli.usage());
     const std::string &command = positional.front();
     std::vector<std::string> names(positional.begin() + 1,
@@ -149,9 +161,48 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (command == "merge") {
+        if (names.empty())
+            fatal("merge needs at least one shard .jsonl document");
+        const auto rows = readShardRows(names);
+        const auto merged =
+            mergeShardRows(rows, cli.getString("grid"));
+
+        TableEmitter emitter;
+        emitter.csv = cli.getBool("csv");
+        emitter.jsonPath = cli.getString("json");
+        std::unique_ptr<ResultSink> sink;
+        if (!cli.getString("out").empty())
+            sink = std::make_unique<ResultSink>(cli.getString("out"));
+
+        for (const auto &me : merged) {
+            ExperimentContext ctx;
+            ctx.run = me.run;
+            ctx.spec = &me.spec;
+            ctx.sweep = &me.sweep;
+            for (const auto &table : me.experiment->render(ctx))
+                emitter.show(table);
+            if (sink)
+                for (auto &row :
+                     sweepRows(me.sweep, me.experiment->name))
+                    sink->add(std::move(row));
+        }
+        if (sink) {
+            sink->flush();
+            inform("wrote ", sink->rows().size(),
+                   " merged result rows to ", cli.getString("out"));
+        }
+        inform("merged ", rows.size(), " rows from ", names.size(),
+               " shard document(s) across ", merged.size(),
+               " experiment(s); coverage complete");
+        return 0;
+    }
+
     if (command != "run")
-        fatal("unknown subcommand '", command,
-              "' (list | describe | run)\n", cli.usage());
+        fatal("unknown subcommand '", command, "'; did you mean '",
+              nearestName(command,
+                          {"list", "describe", "run", "merge"}),
+              "'? (list | describe | run | merge)\n", cli.usage());
 
     if (cli.getBool("all")) {
         if (!names.empty())
@@ -168,6 +219,7 @@ main(int argc, char **argv)
     ExperimentRunConfig config;
     config.threads = static_cast<int>(cli.getInt("threads"));
     config.layerShard = cli.getBool("layer-shard");
+    config.batchArchs = cli.getBool("batch-archs");
     config.gridOverride = cli.getString("grid");
     parseShardSpec(cli.getString("grid-shard"), config.shardIndex,
                    config.shardCount);
@@ -180,20 +232,10 @@ main(int argc, char **argv)
               "document)");
 
     ScheduleCache cache;
-    const auto budget_mb = cli.getInt("cache-budget-mb");
-    if (budget_mb < 0)
-        fatal("--cache-budget-mb must be non-negative, got ",
-              budget_mb);
-    if (budget_mb > 0)
-        cache.setByteBudget(static_cast<std::uint64_t>(budget_mb)
-                            << 20);
-    const auto cache_path = cli.getString("cache-file");
-    if (!cache_path.empty()) {
-        const auto loaded = loadCacheFile(cache_path, cache);
-        inform("schedule cache: loaded ", loaded, " entries from ",
-               cache_path);
-    }
+    WorksetCache worksets;
+    loadCachesFromFlags(cli, cache, worksets);
     config.cache = &cache;
+    config.worksetCache = &worksets;
 
     TableEmitter emitter;
     emitter.csv = cli.getBool("csv");
@@ -222,13 +264,8 @@ main(int argc, char **argv)
                cli.getString("out"));
     }
 
-    if (!cache_path.empty()) {
-        const auto stored = saveCacheFile(cache_path, cache);
-        inform("schedule cache: stored ", stored, " entries to ",
-               cache_path);
-        // Machine-readable counters on stdout: CI and the sharding
-        // ctest assert warm runs report load_hits > 0.
-        writeCacheStatsJsonLine(std::cout, cache.stats());
-    }
+    // Machine-readable cache counters land on stdout: CI and the
+    // cache ctests assert warm runs report load_hits > 0.
+    saveCachesFromFlags(cli, cache, worksets);
     return 0;
 }

@@ -8,7 +8,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "power/cost_model.hh"
-#include "tensor/sparsity.hh"
+#include "runtime/workset_cache.hh"
 
 namespace griffin {
 
@@ -49,9 +49,10 @@ layerDramBytes(const LayerSpec &layer, const RoutingConfig &routing,
 
 } // namespace
 
-LayerResult
-Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
-                      DnnCategory cat, const RunOptions &opt) const
+WorksetParams
+Accelerator::layerWorksetParams(const NetworkSpec &net,
+                                std::size_t layerIndex, DnnCategory cat,
+                                const RunOptions &opt) const
 {
     net.validate();
     if (opt.rowCap <= 0)
@@ -61,37 +62,68 @@ Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
               " (", net.layers.size(), " layers)");
 
     const LayerSpec &layer = net.layers[layerIndex];
-    const TileShape &shape = config_.tile;
 
+    WorksetParams params;
+    // Simulate a statistically-equivalent row slice of one group.
+    params.m = std::min(layer.m, roundUpTo(std::min(layer.m, opt.rowCap),
+                                           config_.tile.m0));
+    params.k = layer.k;
+    params.n = layer.n;
+    params.weightSparsity = net.layerWeightSparsity(layer, cat);
+    params.actSparsity = net.layerActSparsity(layer, cat);
+    params.weightLaneBias = opt.weightLaneBias;
+    params.actRunLength = std::max(1.0, opt.actRunLength);
     // The layer stream is derived from (seed, network name, layer
     // index) alone — mixSeed, not std::hash, so it is order-independent
     // (any layer can be simulated without simulating its predecessors)
     // and stable across platforms.
-    Rng rng(Rng::mixSeed(Rng::mixSeed(opt.seed, net.name), layerIndex));
-    const double wsp = net.layerWeightSparsity(layer, cat);
-    const double asp = net.layerActSparsity(layer, cat);
+    params.seed =
+        Rng::mixSeed(Rng::mixSeed(opt.seed, net.name), layerIndex);
+    return params;
+}
 
-    // Simulate a statistically-equivalent row slice of one group.
-    const auto m_sim = std::min(
-        layer.m, roundUpTo(std::min(layer.m, opt.rowCap), shape.m0));
+LayerResult
+Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
+                      DnnCategory cat, const RunOptions &opt) const
+{
+    // Stage 1: obtain the layer workset (shared cache when the run
+    // provides one, local generation otherwise — bit-identical either
+    // way), then hand off to the staged simulation.
+    const auto params = layerWorksetParams(net, layerIndex, cat, opt);
+    const auto workset = obtainWorkset(opt.worksetCache, params);
+    return runLayer(net, layerIndex, cat, opt, *workset);
+}
+
+LayerResult
+Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
+                      DnnCategory cat, const RunOptions &opt,
+                      const LayerWorkset &workset) const
+{
+    net.validate();
+    if (layerIndex >= net.layers.size())
+        fatal("layer index ", layerIndex, " out of range for ", net.name,
+              " (", net.layers.size(), " layers)");
+
+    const LayerSpec &layer = net.layers[layerIndex];
+    const TileShape &shape = config_.tile;
+    const double wsp = net.layerWeightSparsity(layer, cat);
+
+    const auto m_sim = static_cast<std::int64_t>(workset.a.rows());
     const auto row_tiles_full = (layer.m + shape.m0 - 1) / shape.m0;
     const auto row_tiles_sim = (m_sim + shape.m0 - 1) / shape.m0;
     const double row_scale = static_cast<double>(row_tiles_full) /
                              static_cast<double>(row_tiles_sim);
 
-    auto a = clusteredSparse(static_cast<std::size_t>(m_sim),
-                             static_cast<std::size_t>(layer.k), asp,
-                             std::max(1.0, opt.actRunLength), rng);
-    auto b = laneBiasedSparse(static_cast<std::size_t>(layer.k),
-                              static_cast<std::size_t>(layer.n), wsp,
-                              opt.weightLaneBias, 4, rng);
-
+    // Stages 2–3: tiling, per-side schedules, and cycle simulation of
+    // the row slice on this architecture.
     SimOptions sim_opt = opt.sim;
-    sim_opt.seed = rng.fork().uniformInt(0, 1 << 30);
+    sim_opt.seed = workset.simSeed;
     const bool mac_grid = config_.style == DatapathStyle::MacGrid;
-    const auto sim = mac_grid
-                         ? simulateSparTen(a, b, config_, cat, sim_opt)
-                         : simulateGemm(a, b, config_, cat, sim_opt);
+    const auto sim =
+        mac_grid ? simulateSparTen(workset.a, workset.b, config_, cat,
+                                   sim_opt)
+                 : simulateGemm(gemmOperands(workset), config_, cat,
+                                sim_opt);
 
     LayerResult lr;
     lr.name = layer.name;

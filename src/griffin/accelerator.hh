@@ -28,9 +28,12 @@
 
 #include "arch/arch_config.hh"
 #include "sim/gemm_sim.hh"
+#include "tensor/workset.hh"
 #include "workloads/network.hh"
 
 namespace griffin {
+
+class WorksetCache; // runtime/workset_cache.hh
 
 /** Knobs for an end-to-end network run. */
 struct RunOptions
@@ -55,6 +58,15 @@ struct RunOptions
      * fully-connected layers).
      */
     bool enforceDramBound = false;
+
+    /**
+     * Optional shared memoization of layer operand generation (not
+     * owned).  Cached and freshly-generated worksets are bit-identical
+     * — this only skips regenerating tensors another job with the same
+     * generation parameters already produced (the arch axis of a sweep
+     * grid).  nullptr generates every workset locally.
+     */
+    WorksetCache *worksetCache = nullptr;
 };
 
 /** Per-layer outcome (cycles are whole-layer, scaled). */
@@ -108,6 +120,30 @@ class Accelerator
     LayerResult runLayer(const NetworkSpec &net, std::size_t layerIndex,
                          DnnCategory cat,
                          const RunOptions &opt = {}) const;
+
+    /**
+     * Stage-1 parameters of one layer's simulation: the complete input
+     * domain of operand generation — the row-capped slice height, the
+     * category-resolved sparsity rates, the generation knobs, and the
+     * layer stream seed.  Equal records generate bit-identical
+     * worksets; the workset cache keys on exactly this.
+     */
+    WorksetParams layerWorksetParams(const NetworkSpec &net,
+                                     std::size_t layerIndex,
+                                     DnnCategory cat,
+                                     const RunOptions &opt = {}) const;
+
+    /**
+     * Stages 2–3 over a prepared workset: simulate the layer's GEMM on
+     * this architecture and scale the row slice back to the whole
+     * layer.  `workset` must have been generated from
+     * layerWorksetParams(net, layerIndex, cat, opt) — runLayer() is
+     * exactly this composition with stage 1 (cache or generate)
+     * in front.
+     */
+    LayerResult runLayer(const NetworkSpec &net, std::size_t layerIndex,
+                         DnnCategory cat, const RunOptions &opt,
+                         const LayerWorkset &workset) const;
 
     /**
      * Deterministic reduce step: assemble per-layer outcomes (in layer

@@ -12,29 +12,34 @@ namespace griffin {
 
 namespace {
 
-constexpr char cacheMagic[4] = {'G', 'R', 'F', 'C'};
+constexpr char scheduleMagic[4] = {'G', 'R', 'F', 'C'};
+constexpr char worksetMagic[4] = {'G', 'R', 'F', 'W'};
 
-} // namespace
-
+/** The load half of the store, generic over the cache type (which
+ *  names its value via Cache::Value, providing member serialize() and
+ *  static deserialize()). */
+template <typename Cache>
 std::size_t
-loadCacheFile(const std::string &path, ScheduleCache &cache)
+loadStore(const std::string &path, Cache &cache, const char magic[4],
+          unsigned char expected_version)
 {
     std::ifstream is(path, std::ios::binary);
     if (!is)
         return 0; // no file yet: a normal first run
 
-    char magic[4] = {};
-    if (!is.read(magic, 4) ||
-        !std::equal(magic, magic + 4, cacheMagic)) {
-        warn("cache file '", path, "' has no GRFC magic; ignoring it");
+    char file_magic[4] = {};
+    if (!is.read(file_magic, 4) ||
+        !std::equal(file_magic, file_magic + 4, magic)) {
+        warn("cache file '", path, "' has no ",
+             std::string(magic, magic + 4), " magic; ignoring it");
         return 0;
     }
     char version = 0;
     if (!is.get(version).good() ||
-        static_cast<unsigned char>(version) != cacheFileVersion) {
+        static_cast<unsigned char>(version) != expected_version) {
         warn("cache file '", path, "' is format version ",
              static_cast<int>(static_cast<unsigned char>(version)),
-             ", expected ", static_cast<int>(cacheFileVersion),
+             ", expected ", static_cast<int>(expected_version),
              "; ignoring it");
         return 0;
     }
@@ -46,32 +51,33 @@ loadCacheFile(const std::string &path, ScheduleCache &cache)
 
     std::size_t inserted = 0;
     for (std::uint64_t i = 0; i < count; ++i) {
-        ScheduleCache::Key key;
-        BSchedule schedule;
+        typename Cache::Key key;
+        typename Cache::Value value;
         if (!getU64(is, key.lo) || !getU64(is, key.hi) ||
-            !BSchedule::deserialize(is, schedule)) {
+            !Cache::Value::deserialize(is, value)) {
             warn("cache file '", path, "' is corrupt after ", inserted,
                  " of ", count, " entries; keeping the clean prefix");
             return inserted;
         }
-        if (cache.insertLoaded(key, std::move(schedule)))
+        if (cache.insertLoaded(key, std::move(value)))
             ++inserted;
     }
     return inserted;
 }
 
+/** The save half, same genericity. */
+template <typename Cache>
 std::size_t
-saveCacheFile(const std::string &path, const ScheduleCache &cache)
+saveStore(const std::string &path, const Cache &cache,
+          const char magic[4], unsigned char version)
 {
     // Snapshot and sort by key so equal cache contents always produce
     // a byte-identical file, whatever order the shards iterate.
-    std::vector<std::pair<ScheduleCache::Key,
-                          std::shared_ptr<const BSchedule>>>
-        entries;
+    using ValuePtr = std::shared_ptr<const typename Cache::Value>;
+    std::vector<std::pair<typename Cache::Key, ValuePtr>> entries;
     cache.forEachEntry(
-        [&entries](const ScheduleCache::Key &key,
-                   const std::shared_ptr<const BSchedule> &s) {
-            entries.emplace_back(key, s);
+        [&entries](const typename Cache::Key &key, const ValuePtr &v) {
+            entries.emplace_back(key, v);
         });
     std::sort(entries.begin(), entries.end(),
               [](const auto &a, const auto &b) {
@@ -83,17 +89,43 @@ saveCacheFile(const std::string &path, const ScheduleCache &cache)
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os)
         fatal("cannot open cache file '", path, "' for writing");
-    os.write(cacheMagic, 4);
-    os.put(static_cast<char>(cacheFileVersion));
+    os.write(magic, 4);
+    os.put(static_cast<char>(version));
     putU64(os, static_cast<std::uint64_t>(entries.size()));
-    for (const auto &[key, schedule] : entries) {
+    for (const auto &[key, value] : entries) {
         putU64(os, key.lo);
         putU64(os, key.hi);
-        schedule->serialize(os);
+        value->serialize(os);
     }
     if (!os)
         fatal("write to cache file '", path, "' failed");
     return entries.size();
+}
+
+} // namespace
+
+std::size_t
+loadCacheFile(const std::string &path, ScheduleCache &cache)
+{
+    return loadStore(path, cache, scheduleMagic, cacheFileVersion);
+}
+
+std::size_t
+saveCacheFile(const std::string &path, const ScheduleCache &cache)
+{
+    return saveStore(path, cache, scheduleMagic, cacheFileVersion);
+}
+
+std::size_t
+loadWorksetCacheFile(const std::string &path, WorksetCache &cache)
+{
+    return loadStore(path, cache, worksetMagic, worksetFileVersion);
+}
+
+std::size_t
+saveWorksetCacheFile(const std::string &path, const WorksetCache &cache)
+{
+    return saveStore(path, cache, worksetMagic, worksetFileVersion);
 }
 
 } // namespace griffin

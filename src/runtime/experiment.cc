@@ -1,9 +1,12 @@
 #include "runtime/experiment.hh"
 
 #include <algorithm>
+#include <iostream>
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "runtime/cache_store.hh"
+#include "runtime/result_sink.hh"
 
 namespace griffin {
 
@@ -166,6 +169,59 @@ describeExperiment(const Experiment &exp)
     return out;
 }
 
+SweepSpec
+buildExperimentSpec(const Experiment &exp, const RunOptions &run,
+                    const std::string &gridOverride)
+{
+    if (!exp.setup)
+        fatal("experiment '", exp.name,
+              "' is render-only and has no sweep spec");
+    ExperimentPlan plan = exp.setup(run);
+    if (plan.base.optionVariants.size() != 1 ||
+        !plan.base.optionCoords.empty())
+        fatal("experiment '", exp.name,
+              "' setup populated base option variants; RunOptions "
+              "sweeps must be grid axes");
+    plan.base.optionVariants = {run};
+    GridSpec grid = std::move(plan.grid);
+    if (!gridOverride.empty()) {
+        // Merge the override into the plan's own grid *before*
+        // expansion: same-named axes take the override's values in
+        // place, new axes append after the plan's — so experiments
+        // whose plans already declare RunOptions axes stay
+        // overridable, and the merged coordinates stay complete.
+        const GridSpec over = GridSpec::parse(gridOverride);
+        for (const auto &axis : over.axes())
+            for (const auto &locked : plan.lockedAxes)
+                if (axis.name == locked)
+                    fatal("experiment '", exp.name, "': the '", locked,
+                          "' axis is structural (its values and "
+                          "order are baked into the rendered "
+                          "tables) and cannot be overridden with "
+                          "--grid");
+        auto overrideValues =
+            [&](const std::string &name)
+            -> const std::vector<std::string> * {
+            for (const auto &axis : over.axes())
+                if (axis.name == name)
+                    return &axis.values;
+            return nullptr;
+        };
+        GridSpec merged;
+        for (const auto &axis : grid.axes()) {
+            const auto *replacement = overrideValues(axis.name);
+            merged.axis(axis.name, replacement != nullptr
+                                       ? *replacement
+                                       : axis.values);
+        }
+        for (const auto &axis : over.axes())
+            if (!grid.has(axis.name))
+                merged.axis(axis.name, axis.values);
+        grid = std::move(merged);
+    }
+    return grid.axes().empty() ? plan.base : grid.toSweepSpec(plan.base);
+}
+
 ExperimentOutcome
 runExperiment(const Experiment &exp, const ExperimentRunConfig &config)
 {
@@ -174,57 +230,14 @@ runExperiment(const Experiment &exp, const ExperimentRunConfig &config)
     ctx.run = config.run;
 
     if (exp.setup) {
-        ExperimentPlan plan = exp.setup(config.run);
-        if (plan.base.optionVariants.size() != 1 ||
-            !plan.base.optionCoords.empty())
-            fatal("experiment '", exp.name,
-                  "' setup populated base option variants; RunOptions "
-                  "sweeps must be grid axes");
-        plan.base.optionVariants = {config.run};
-        GridSpec grid = std::move(plan.grid);
-        if (!config.gridOverride.empty()) {
-            // Merge the override into the plan's own grid *before*
-            // expansion: same-named axes take the override's values in
-            // place, new axes append after the plan's — so experiments
-            // whose plans already declare RunOptions axes stay
-            // overridable, and the merged coordinates stay complete.
-            const GridSpec over = GridSpec::parse(config.gridOverride);
-            for (const auto &axis : over.axes())
-                for (const auto &locked : plan.lockedAxes)
-                    if (axis.name == locked)
-                        fatal("experiment '", exp.name, "': the '",
-                              locked,
-                              "' axis is structural (its values and "
-                              "order are baked into the rendered "
-                              "tables) and cannot be overridden with "
-                              "--grid");
-            auto overrideValues =
-                [&](const std::string &name)
-                -> const std::vector<std::string> * {
-                for (const auto &axis : over.axes())
-                    if (axis.name == name)
-                        return &axis.values;
-                return nullptr;
-            };
-            GridSpec merged;
-            for (const auto &axis : grid.axes()) {
-                const auto *replacement = overrideValues(axis.name);
-                merged.axis(axis.name, replacement != nullptr
-                                           ? *replacement
-                                           : axis.values);
-            }
-            for (const auto &axis : over.axes())
-                if (!grid.has(axis.name))
-                    merged.axis(axis.name, axis.values);
-            grid = std::move(merged);
-        }
-        SweepSpec spec = grid.axes().empty()
-                             ? plan.base
-                             : grid.toSweepSpec(plan.base);
+        SweepSpec spec = buildExperimentSpec(exp, config.run,
+                                             config.gridOverride);
         spec.shardLayers = config.layerShard;
+        spec.batchArchs = config.batchArchs;
         spec.shardIndex = config.shardIndex;
         spec.shardCount = config.shardCount;
-        outcome.sweep = runSweep(spec, config.threads, config.cache);
+        outcome.sweep = runSweep(spec, config.threads, config.cache,
+                                 config.worksetCache);
         outcome.spec = std::move(spec);
         outcome.hasSweep = true;
         ctx.spec = &outcome.spec;
@@ -260,12 +273,90 @@ resolveFidelity(const Cli &cli, double default_sample,
     RunOptions run;
     const double sample = cli.getDouble("sample");
     run.sim.sampleFraction = sample < 0.0 ? default_sample : sample;
-    run.sim.minSampledTiles = 4;
+    run.sim.minSampledTiles = defaultMinSampledTiles;
     const auto rowcap = cli.getInt("rowcap");
     run.rowCap = rowcap < 0 ? default_rowcap : rowcap;
     run.seed = static_cast<std::uint64_t>(cli.getInt("seed"));
     run.weightLaneBias = cli.getDouble("lanebias");
     return run;
+}
+
+void
+addCacheFlags(Cli &cli)
+{
+    cli.addString("cache-file", "",
+                  "persist preprocessed B schedules to this GRFC file "
+                  "(loaded before the run, saved after)");
+    cli.addInt("cache-budget-mb", 0,
+               "schedule-cache byte budget in MiB (0 = unbounded; "
+               "oldest entries evicted FIFO per shard)");
+    cli.addString("workset-cache-file", "",
+                  "persist generated layer worksets to this GRFW file "
+                  "(loaded before the run, saved after)");
+    cli.addInt("workset-budget-mb",
+               static_cast<std::int64_t>(defaultWorksetByteBudget >>
+                                         20),
+               "workset-cache byte budget in MiB (0 = unbounded; "
+               "worksets hold whole weight matrices, so the default "
+               "is bounded)");
+}
+
+namespace {
+
+std::uint64_t
+budgetFromFlag(const Cli &cli, const char *flag)
+{
+    const auto budget_mb = cli.getInt(flag);
+    if (budget_mb < 0)
+        fatal("--", flag, " must be non-negative, got ", budget_mb);
+    return static_cast<std::uint64_t>(budget_mb) << 20;
+}
+
+} // namespace
+
+void
+loadCachesFromFlags(const Cli &cli, ScheduleCache &schedules,
+                    WorksetCache &worksets)
+{
+    const auto schedule_budget = budgetFromFlag(cli, "cache-budget-mb");
+    if (schedule_budget > 0)
+        schedules.setByteBudget(schedule_budget);
+    const auto workset_budget =
+        budgetFromFlag(cli, "workset-budget-mb");
+    if (workset_budget > 0)
+        worksets.setByteBudget(workset_budget);
+
+    const auto schedule_path = cli.getString("cache-file");
+    if (!schedule_path.empty())
+        inform("schedule cache: loaded ",
+               loadCacheFile(schedule_path, schedules),
+               " entries from ", schedule_path);
+    const auto workset_path = cli.getString("workset-cache-file");
+    if (!workset_path.empty())
+        inform("workset cache: loaded ",
+               loadWorksetCacheFile(workset_path, worksets),
+               " entries from ", workset_path);
+}
+
+void
+saveCachesFromFlags(const Cli &cli, const ScheduleCache &schedules,
+                    const WorksetCache &worksets)
+{
+    const auto schedule_path = cli.getString("cache-file");
+    if (!schedule_path.empty()) {
+        inform("schedule cache: stored ",
+               saveCacheFile(schedule_path, schedules), " entries to ",
+               schedule_path);
+        writeCacheStatsJsonLine(std::cout, schedules.stats());
+    }
+    const auto workset_path = cli.getString("workset-cache-file");
+    if (!workset_path.empty()) {
+        inform("workset cache: stored ",
+               saveWorksetCacheFile(workset_path, worksets),
+               " entries to ", workset_path);
+        writeCacheStatsJsonLine(std::cout, worksets.stats(),
+                                "workset_cache_stats");
+    }
 }
 
 void

@@ -144,6 +144,11 @@ struct ExperimentRunConfig
     RunOptions run;
     int threads = 1;
     bool layerShard = false;
+    /** Batch multiple GEMMs per job: one sub-job per layer sweeps
+     *  every architecture of a (network, category, options) grid
+     *  point, so worksets generate once per point (see
+     *  SweepSpec::batchArchs).  Bit-identical results. */
+    bool batchArchs = false;
     /** Fleet shard (--grid-shard i/n); (0, 1) runs everything. */
     std::size_t shardIndex = 0;
     std::size_t shardCount = 1;
@@ -152,6 +157,8 @@ struct ExperimentRunConfig
     std::string gridOverride;
     /** Shared schedule cache; null = per-run cache. */
     ScheduleCache *cache = nullptr;
+    /** Shared workset cache; null = per-run cache. */
+    WorksetCache *worksetCache = nullptr;
 };
 
 /** One experiment's executed outcome. */
@@ -167,12 +174,34 @@ struct ExperimentOutcome
 };
 
 /**
+ * Expand one experiment's plan into the sweep spec it runs: setup at
+ * the resolved fidelity, the --grid override merged over the plan's
+ * own axes (same-named unlocked axes replaced in place, new axes
+ * appended), and the grid expanded onto the base.  No sharding or
+ * batching fields are set — runExperiment applies those; the merge
+ * subcommand re-derives shard expectations from the same spec.
+ * fatal() on a render-only experiment (no setup).
+ */
+SweepSpec buildExperimentSpec(const Experiment &experiment,
+                              const RunOptions &run,
+                              const std::string &gridOverride = "");
+
+/**
  * Execute one experiment: expand its plan (grid override, fleet
- * sharding, layer sharding applied), run the sweep on the pool, and
- * render.  Render-only experiments skip straight to render.
+ * sharding, layer sharding, arch batching applied), run the sweep on
+ * the pool, and render.  Render-only experiments skip straight to
+ * render.
  */
 ExperimentOutcome runExperiment(const Experiment &experiment,
                                 const ExperimentRunConfig &config);
+
+/**
+ * Fidelity floor applied by every driver-resolved RunOptions: the
+ * minimum tiles simulated per layer regardless of --sample.  The shard
+ * merger reconstructs run options from serialized rows, which do not
+ * carry this field, so both sides must share the one constant.
+ */
+constexpr std::int64_t defaultMinSampledTiles = 4;
 
 /**
  * Declare the shared fidelity flags (--sample, --rowcap, --seed,
@@ -195,6 +224,32 @@ RunOptions resolveFidelity(const Cli &cli, double default_sample,
  */
 void parseShardSpec(const std::string &text, std::size_t &index,
                     std::size_t &count);
+
+/**
+ * Declare the shared cache persistence/budget flags (--cache-file,
+ * --cache-budget-mb, --workset-cache-file, --workset-budget-mb), the
+ * same set for every sweep driver.
+ */
+void addCacheFlags(Cli &cli);
+
+/**
+ * Read the cache flags back: validate and apply the byte budgets and
+ * load any cache files into the caller's caches (inform() per load).
+ * fatal() on a negative budget.
+ */
+void loadCachesFromFlags(const Cli &cli, ScheduleCache &schedules,
+                         WorksetCache &worksets);
+
+/**
+ * The save half: store each cache to its flagged file (when given) and
+ * print its machine-readable stats line on stdout — "cache_stats" for
+ * the schedule cache, then "workset_cache_stats" — the lines CI and
+ * the cache ctests assert warm-run load_hits on.  Call after flushing
+ * result sinks: a fatal() on an unwritable cache path must not
+ * discard completed sweeps.
+ */
+void saveCachesFromFlags(const Cli &cli, const ScheduleCache &schedules,
+                         const WorksetCache &worksets);
 
 } // namespace griffin
 

@@ -326,10 +326,10 @@ writeTableJsonLine(std::ostream &os, const Table &table)
 }
 
 void
-writeCacheStatsJsonLine(std::ostream &os,
-                        const ScheduleCache::Stats &stats)
+writeCacheStatsJsonLine(std::ostream &os, const CacheStats &stats,
+                        const std::string &label)
 {
-    os << "{\"cache_stats\": {"
+    os << "{\"" << jsonEscape(label) << "\": {"
        << "\"hits\": " << stats.hits << ", "
        << "\"misses\": " << stats.misses << ", "
        << "\"hit_rate\": " << jsonNumber(stats.hitRate()) << ", "
@@ -351,6 +351,12 @@ ResultSink::add(NetworkResult result)
 {
     ResultRow row;
     row.result = std::move(result);
+    rows_.push_back(std::move(row));
+}
+
+void
+ResultSink::add(ResultRow row)
+{
     rows_.push_back(std::move(row));
 }
 

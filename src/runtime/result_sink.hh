@@ -116,13 +116,15 @@ void writeJsonLines(std::ostream &os, const SweepResult &sweep);
 void writeTableJsonLine(std::ostream &os, const Table &table);
 
 /**
- * Schedule-cache counters as a single-line JSON object
- * ({"cache_stats": {...}}), load/store accounting included — the
+ * Content-cache counters as a single-line JSON object
+ * ({"<label>": {...}}), load/store accounting included — the
  * machine-readable form of the hit-rate status line the sweep drivers
- * print.
+ * print.  The default label keeps the schedule cache's historical
+ * {"cache_stats": ...} line; the workset cache emits
+ * "workset_cache_stats" so one stdout stream can carry both.
  */
-void writeCacheStatsJsonLine(std::ostream &os,
-                             const ScheduleCache::Stats &stats);
+void writeCacheStatsJsonLine(std::ostream &os, const CacheStats &stats,
+                             const std::string &label = "cache_stats");
 
 /**
  * File-backed sink: collects rows and writes one document on flush().
@@ -141,6 +143,8 @@ class ResultSink
     void add(const std::vector<NetworkResult> &results);
     void add(const SweepResult &sweep,
              const std::string &experiment = "");
+    /** A preformed row (e.g. parsed back by the shard merger). */
+    void add(ResultRow row);
 
     const std::vector<ResultRow> &rows() const { return rows_; }
 

@@ -1,6 +1,8 @@
 #include "runtime/runner.hh"
 
+#include <map>
 #include <memory>
+#include <tuple>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -100,7 +102,8 @@ expandSweep(const SweepSpec &spec)
 }
 
 SweepResult
-runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
+runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
+         WorksetCache *worksets)
 {
     auto jobs = expandSweep(spec);
 
@@ -109,6 +112,27 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
         owned_cache = std::make_unique<ScheduleCache>();
         cache = owned_cache.get();
     }
+    std::unique_ptr<WorksetCache> owned_worksets;
+    if (worksets == nullptr) {
+        // Bounded by default: worksets hold whole weight matrices, and
+        // an unbounded per-sweep cache would retain every generated
+        // tensor until the sweep ends.  Callers wanting a different
+        // bound (or none) pass their own cache.
+        owned_worksets = std::make_unique<WorksetCache>();
+        owned_worksets->setByteBudget(defaultWorksetByteBudget);
+        worksets = owned_worksets.get();
+    }
+    // A-side arbiter schedules are cheap to persist but small to win
+    // from across processes; share them per sweep only.
+    AScheduleCache a_cache;
+
+    const auto jobOptions = [&](const SweepJob &job) {
+        RunOptions opt = job.options;
+        opt.sim.scheduleCache = cache;
+        opt.sim.aScheduleCache = &a_cache;
+        opt.worksetCache = worksets;
+        return opt;
+    };
 
     // One Accelerator per architecture, shared read-only by every job.
     std::vector<Accelerator> accelerators;
@@ -119,7 +143,61 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
     // Each (sub-)job writes only its own slot: no result lock needed,
     // and the merge is the identity — submission order is result order.
     std::vector<NetworkResult> results(jobs.size());
-    if (spec.shardLayers) {
+    if (spec.batchArchs) {
+        // Batched multi-GEMM jobs: group the jobs of one (network,
+        // category, options) grid point — the arch axis — in
+        // submission order, then run one sub-job per (batch, layer)
+        // that sweeps every architecture of the batch over that
+        // layer's workset while it is warm in the cache.
+        std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+                 std::size_t>
+            batch_of;
+        std::vector<std::vector<std::size_t>> batches;
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const auto key =
+                std::make_tuple(jobs[i].networkIndex,
+                                jobs[i].categoryIndex,
+                                jobs[i].optionsIndex);
+            auto [it, fresh] =
+                batch_of.emplace(key, batches.size());
+            if (fresh)
+                batches.emplace_back();
+            batches[it->second].push_back(i);
+        }
+        std::vector<std::vector<LayerResult>> layer_results(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            layer_results[i].resize(
+                spec.networks[jobs[i].networkIndex].layers.size());
+        {
+            ThreadPool pool(threads);
+            for (const auto &batch : batches) {
+                const auto layer_count =
+                    layer_results[batch.front()].size();
+                for (std::size_t l = 0; l < layer_count; ++l) {
+                    pool.submit([&spec, &jobs, &accelerators,
+                                 &layer_results, &jobOptions, &batch,
+                                 l] {
+                        for (const std::size_t i : batch) {
+                            const SweepJob &job = jobs[i];
+                            layer_results[i][l] =
+                                accelerators[job.archIndex].runLayer(
+                                    spec.networks[job.networkIndex], l,
+                                    spec.categories[job.categoryIndex],
+                                    jobOptions(job));
+                        }
+                    });
+                }
+            }
+            pool.wait();
+        }
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            results[i] = accelerators[job.archIndex].reduceLayers(
+                spec.networks[job.networkIndex],
+                spec.categories[job.categoryIndex],
+                std::move(layer_results[i]));
+        }
+    } else if (spec.shardLayers) {
         // Layer granularity: one sub-job per (job, layer) pair, all
         // independent (runLayer derives its stream from the layer index
         // alone), reduced per job in layer order afterwards.
@@ -133,15 +211,13 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
                 const auto layer_count = layer_results[i].size();
                 for (std::size_t l = 0; l < layer_count; ++l) {
                     pool.submit([&spec, &jobs, &accelerators,
-                                 &layer_results, cache, i, l] {
+                                 &layer_results, &jobOptions, i, l] {
                         const SweepJob &job = jobs[i];
-                        RunOptions opt = job.options;
-                        opt.sim.scheduleCache = cache;
                         layer_results[i][l] =
                             accelerators[job.archIndex].runLayer(
                                 spec.networks[job.networkIndex], l,
                                 spec.categories[job.categoryIndex],
-                                opt);
+                                jobOptions(job));
                     });
                 }
             }
@@ -157,21 +233,20 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache)
     } else {
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
-            pool.submit([&spec, &jobs, &accelerators, &results, cache,
-                         i] {
+            pool.submit([&spec, &jobs, &accelerators, &results,
+                         &jobOptions, i] {
                 const SweepJob &job = jobs[i];
-                RunOptions opt = job.options;
-                opt.sim.scheduleCache = cache;
                 results[i] = accelerators[job.archIndex].run(
                     spec.networks[job.networkIndex],
-                    spec.categories[job.categoryIndex], opt);
+                    spec.categories[job.categoryIndex],
+                    jobOptions(job));
             });
         }
         pool.wait();
     }
 
     return SweepResult(std::move(jobs), std::move(results),
-                       cache->stats());
+                       cache->stats(), worksets->stats());
 }
 
 } // namespace griffin

@@ -27,10 +27,15 @@
  * layer index) — and the per-job reduce reassembles NetworkResult in
  * layer order, preserving the same bit-identity guarantee.
  *
- * A ScheduleCache shared across the sweep memoizes B-side
- * preprocessing between jobs that stream the same weight tiles
- * (schedule_cache.hh); it is an optimization only and does not change
- * any result.
+ * Caches shared across the sweep memoize the staged pipeline's
+ * intermediate artifacts between jobs: B-side preprocessing and A-side
+ * arbiter schedules (schedule_cache.hh) and whole layer worksets
+ * (workset_cache.hh).  All are optimizations only and do not change
+ * any result.  With SweepSpec::batchArchs the runner additionally
+ * batches multiple GEMMs per job — every architecture of one
+ * (network, category, options) grid point shares one sub-job per
+ * layer, so each workset is generated once and swept across the whole
+ * arch axis while still warm.
  */
 
 #ifndef GRIFFIN_RUNTIME_RUNNER_HH
@@ -43,6 +48,7 @@
 
 #include "griffin/accelerator.hh"
 #include "runtime/schedule_cache.hh"
+#include "runtime/workset_cache.hh"
 
 namespace griffin {
 
@@ -126,6 +132,22 @@ struct SweepSpec
     bool shardLayers = false;
 
     /**
+     * When true, the runner batches multiple GEMMs per job: all jobs
+     * of one (network, category, options) grid point — i.e. the jobs
+     * that differ only along the *architecture* axis — form one batch,
+     * and each (batch, layer) pair becomes one pool sub-job that runs
+     * every architecture of the batch over that layer in submission
+     * order.  The first architecture generates the layer workset and
+     * the rest reuse it straight from the workset cache (same
+     * generation parameters, still warm), so a batched arch-axis sweep
+     * generates each operand tensor once instead of once per design
+     * point.  Batching implies layer-granular sub-jobs, so it subsumes
+     * shardLayers; results stay bit-identical to the unbatched serial
+     * run for any thread count.
+     */
+    bool batchArchs = false;
+
+    /**
      * Optional job predicate: expandSweep() drops jobs it rejects.
      * This is how an experiment runs a non-rectangular grid (e.g. each
      * architecture only in its own category) without paying for the
@@ -164,9 +186,10 @@ class SweepResult
     SweepResult() = default;
     SweepResult(std::vector<SweepJob> jobs,
                 std::vector<NetworkResult> results,
-                ScheduleCache::Stats cache_stats)
+                ScheduleCache::Stats cache_stats,
+                WorksetCache::Stats workset_stats = {})
         : jobs_(std::move(jobs)), results_(std::move(results)),
-          cacheStats_(cache_stats)
+          cacheStats_(cache_stats), worksetStats_(workset_stats)
     {
     }
 
@@ -195,10 +218,17 @@ class SweepResult
 
     const ScheduleCache::Stats &cacheStats() const { return cacheStats_; }
 
+    /** Workset-cache counters of the sweep (generation reuse). */
+    const WorksetCache::Stats &worksetStats() const
+    {
+        return worksetStats_;
+    }
+
   private:
     std::vector<SweepJob> jobs_;
     std::vector<NetworkResult> results_;
     ScheduleCache::Stats cacheStats_;
+    WorksetCache::Stats worksetStats_;
 };
 
 /**
@@ -209,12 +239,18 @@ std::vector<SweepJob> expandSweep(const SweepSpec &spec);
 
 /**
  * Run the sweep on `threads` workers (1 = serial through the same
- * code path).  An internal schedule cache is shared across jobs; pass
- * `cache` to reuse one across sweeps, or nullptr for per-sweep
- * caching.
+ * code path).  Internal schedule and workset caches are shared across
+ * jobs; pass `cache` / `worksets` to reuse them across sweeps (or for
+ * disk persistence), or nullptr for per-sweep caching — the owned
+ * fallback workset cache is bounded at defaultWorksetByteBudget, so
+ * a sweep never retains unbounded generated tensors.  An A-side
+ * schedule cache is always shared per sweep.  All three are
+ * optimizations only: the merged results are bit-identical with or
+ * without them.
  */
 SweepResult runSweep(const SweepSpec &spec, int threads,
-                     ScheduleCache *cache = nullptr);
+                     ScheduleCache *cache = nullptr,
+                     WorksetCache *worksets = nullptr);
 
 } // namespace griffin
 

@@ -1,52 +1,26 @@
 #include "runtime/schedule_cache.hh"
 
-#include "common/logging.hh"
-#include "common/rng.hh"
+#include "sched/a_arbiter.hh"
 
 namespace griffin {
 
-ScheduleCache::ScheduleCache(std::size_t shards)
-{
-    if (shards == 0)
-        fatal("schedule cache needs at least 1 shard");
-    shards_.reserve(shards);
-    for (std::size_t i = 0; i < shards; ++i)
-        shards_.push_back(std::make_unique<Shard>());
-}
+namespace {
 
-ScheduleCache::Key
-ScheduleCache::contentKey(const TileViewB &b, const Borrow &db,
-                          const Shuffler &shuffler)
+/** Fold a 3-D tile view's INT8 elements 8 per word before mixing: one
+ *  splitmix round per 8 elements instead of per element. */
+template <typename View>
+void
+foldTileContent(ContentHasher &h, const View &v)
 {
-    // Two independently-salted streams give a 128-bit key.  The hash
-    // covers the schedule's full input domain: tile geometry, every
-    // element's zero pattern (padding included, via the view's
-    // zero-extension), the borrow window, and the shuffle config.
-    std::uint64_t lo = Rng::mixSeed(0x5ca1ab1eULL, b.steps());
-    std::uint64_t hi = Rng::mixSeed(0xdecafbadULL, b.steps());
-    auto fold = [&](std::uint64_t v) {
-        lo = Rng::mixSeed(lo, v);
-        hi = Rng::mixSeed(hi, v + 0x9e37ULL);
-    };
-    fold(static_cast<std::uint64_t>(b.lanes()));
-    fold(static_cast<std::uint64_t>(b.units()));
-    fold(static_cast<std::uint64_t>(db.d1));
-    fold(static_cast<std::uint64_t>(db.d2));
-    fold(static_cast<std::uint64_t>(db.d3));
-    fold(shuffler.enabled() ? 1u : 0u);
-    fold(static_cast<std::uint64_t>(shuffler.groupSize()));
-
-    // Pack the tile's INT8 elements 8 per word before mixing: one
-    // splitmix round per 8 elements instead of per element.
     std::uint64_t word = 0;
     int packed = 0;
-    for (std::int64_t k1 = 0; k1 < b.steps(); ++k1) {
-        for (int k2 = 0; k2 < b.lanes(); ++k2) {
-            for (int n = 0; n < b.units(); ++n) {
+    for (std::int64_t k1 = 0; k1 < v.steps(); ++k1) {
+        for (int k2 = 0; k2 < v.lanes(); ++k2) {
+            for (int u = 0; u < v.units(); ++u) {
                 word = (word << 8) |
-                       static_cast<std::uint8_t>(b.at(k1, k2, n));
+                       static_cast<std::uint8_t>(v.at(k1, k2, u));
                 if (++packed == 8) {
-                    fold(word);
+                    h.fold(word);
                     word = 0;
                     packed = 0;
                 }
@@ -54,157 +28,65 @@ ScheduleCache::contentKey(const TileViewB &b, const Borrow &db,
         }
     }
     if (packed != 0)
-        fold(word);
-    return Key{lo, hi};
+        h.fold(word);
 }
 
-ScheduleCache::Shard &
-ScheduleCache::shardFor(const Key &key)
-{
-    return *shards_[key.hi % shards_.size()];
-}
+} // namespace
 
-const ScheduleCache::Shard &
-ScheduleCache::shardFor(const Key &key) const
+ScheduleCache::Key
+ScheduleCache::contentKey(const TileViewB &b, const Borrow &db,
+                          const Shuffler &shuffler)
 {
-    return *shards_[key.hi % shards_.size()];
-}
-
-void
-ScheduleCache::evictOver(Shard &shard, std::uint64_t shard_budget)
-{
-    if (shard_budget == 0)
-        return;
-    while (shard.bytes > shard_budget && !shard.fifo.empty()) {
-        const Key victim = shard.fifo.front();
-        shard.fifo.pop_front();
-        auto it = shard.entries.find(victim);
-        if (it == shard.entries.end())
-            continue; // already dropped by clear()
-        shard.bytes -= it->second.bytes;
-        shard.entries.erase(it);
-        ++shard.evictions;
-    }
-}
-
-std::shared_ptr<const BSchedule>
-ScheduleCache::insertIntoShard(Shard &shard, const Key &key,
-                               std::shared_ptr<const BSchedule> schedule,
-                               bool from_disk, bool &inserted)
-{
-    const auto bytes =
-        static_cast<std::uint64_t>(schedule->approxBytes());
-    std::lock_guard<std::mutex> lock(shard.mu);
-    Entry entry{std::move(schedule), bytes, from_disk};
-    auto [it, fresh] = shard.entries.emplace(key, std::move(entry));
-    inserted = fresh;
-    if (fresh) {
-        shard.fifo.push_back(key);
-        shard.bytes += bytes;
-        if (from_disk)
-            ++shard.loaded;
-        evictOver(shard, shardBudget());
-        // The freshly inserted entry itself may have been the FIFO
-        // victim of an over-tight budget; the caller still gets its
-        // schedule (ownership is shared), only residency changes.
-    }
-    auto found = shard.entries.find(key);
-    return found != shard.entries.end() ? found->second.schedule
-                                        : nullptr;
+    // Salts and fold order are frozen: cache files persist these keys
+    // (cache_store.hh), so any change here is a format version bump.
+    ContentHasher h(0x5ca1ab1eULL, 0xdecafbadULL,
+                    static_cast<std::uint64_t>(b.steps()));
+    h.fold(static_cast<std::uint64_t>(b.lanes()));
+    h.fold(static_cast<std::uint64_t>(b.units()));
+    h.fold(static_cast<std::uint64_t>(db.d1));
+    h.fold(static_cast<std::uint64_t>(db.d2));
+    h.fold(static_cast<std::uint64_t>(db.d3));
+    h.fold(shuffler.enabled() ? 1u : 0u);
+    h.fold(static_cast<std::uint64_t>(shuffler.groupSize()));
+    foldTileContent(h, b);
+    return h.key();
 }
 
 std::shared_ptr<const BSchedule>
 ScheduleCache::obtain(const TileViewB &b, const Borrow &db,
                       const Shuffler &shuffler)
 {
-    const Key key = contentKey(b, db, shuffler);
-    Shard &shard = shardFor(key);
-    {
-        std::lock_guard<std::mutex> lock(shard.mu);
-        auto it = shard.entries.find(key);
-        if (it != shard.entries.end()) {
-            ++shard.hits;
-            if (it->second.fromDisk)
-                ++shard.loadHits;
-            return it->second.schedule;
-        }
-        ++shard.misses;
-    }
-
-    // Compute outside the lock; a concurrent requester of the same key
-    // recomputes the identical schedule and the first insert wins.
-    auto fresh = std::make_shared<const BSchedule>(
-        preprocessB(b, db, shuffler, false));
-
-    bool inserted = false;
-    auto resident =
-        insertIntoShard(shard, key, fresh, false, inserted);
-    return resident != nullptr ? resident : fresh;
+    return cache_.obtain(contentKey(b, db, shuffler), [&] {
+        return preprocessB(b, db, shuffler, false);
+    });
 }
 
-bool
-ScheduleCache::insertLoaded(const Key &key, BSchedule schedule)
+AScheduleCache::Key
+AScheduleCache::contentKey(const TileViewA &a, const Borrow &da,
+                           const Shuffler &shuffler, double advance_cap)
 {
-    Shard &shard = shardFor(key);
-    bool inserted = false;
-    insertIntoShard(shard, key,
-                    std::make_shared<const BSchedule>(
-                        std::move(schedule)),
-                    true, inserted);
-    return inserted;
+    ContentHasher h(0x0a5c4ed5ULL, 0xa12b17e2ULL,
+                    static_cast<std::uint64_t>(a.steps()));
+    h.fold(static_cast<std::uint64_t>(a.lanes()));
+    h.fold(static_cast<std::uint64_t>(a.units()));
+    h.fold(static_cast<std::uint64_t>(da.d1));
+    h.fold(static_cast<std::uint64_t>(da.d2));
+    h.fold(static_cast<std::uint64_t>(da.d3));
+    h.fold(shuffler.enabled() ? 1u : 0u);
+    h.fold(static_cast<std::uint64_t>(shuffler.groupSize()));
+    h.foldDouble(advance_cap);
+    foldTileContent(h, a);
+    return h.key();
 }
 
-void
-ScheduleCache::forEachEntry(
-    const std::function<void(
-        const Key &, const std::shared_ptr<const BSchedule> &)> &fn)
-    const
+std::shared_ptr<const ASchedule>
+AScheduleCache::obtain(const TileViewA &a, const Borrow &da,
+                       const Shuffler &shuffler, double advance_cap)
 {
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        for (const auto &[key, entry] : shard->entries)
-            fn(key, entry.schedule);
-    }
-}
-
-void
-ScheduleCache::setByteBudget(std::uint64_t bytes)
-{
-    byteBudget_.store(bytes);
-    if (bytes == 0)
-        return;
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        evictOver(*shard, shardBudget());
-    }
-}
-
-ScheduleCache::Stats
-ScheduleCache::stats() const
-{
-    Stats s;
-    for (const auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        s.hits += shard->hits;
-        s.misses += shard->misses;
-        s.entries += shard->entries.size();
-        s.residentBytes += shard->bytes;
-        s.evictions += shard->evictions;
-        s.loadedEntries += shard->loaded;
-        s.loadHits += shard->loadHits;
-    }
-    return s;
-}
-
-void
-ScheduleCache::clear()
-{
-    for (auto &shard : shards_) {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        shard->entries.clear();
-        shard->fifo.clear();
-        shard->bytes = 0;
-    }
+    return cache_.obtain(contentKey(a, da, shuffler, advance_cap), [&] {
+        return ASchedule{
+            scheduleA(a, da, shuffler, advance_cap, false).stats};
+    });
 }
 
 } // namespace griffin

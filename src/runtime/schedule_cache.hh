@@ -1,52 +1,41 @@
 /**
  * @file
- * Content-hash-keyed memoization of B-side preprocessing.
+ * Content-hash-keyed memoization of per-side schedule computation —
+ * stage 2 of the staged GEMM pipeline (sim/gemm_sim.hh).
  *
- * preprocessB() is the dominant per-column-tile cost of Sparse.B and
- * preprocessed dual-sparse runs, and it is a pure function of the
- * tile's zero pattern, the borrow window, and the shuffle setting.
- * Sweep jobs that share a weight tensor — the same network at the same
- * sparsity and seed, swept across architectures, categories, or run
- * options with identical B-side routing — therefore recompute byte-
- * identical schedules.  This cache keys the compressed stream by a
- * content hash of exactly those inputs and shares one immutable
- * BSchedule across every job that asks.
+ * Both caches are thin typed fronts over the shared cache policy in
+ * content_cache.hh (sharded maps, compute-outside-the-lock misses,
+ * FIFO byte budget, load/hit stats); only the key derivation and the
+ * computed value differ per side:
  *
- * Thread-safe: the map is sharded by key hash, each shard behind its
- * own mutex.  On a miss the schedule is computed *outside* the shard
- * lock (packing a tile is milliseconds; holding the lock would
- * serialise the pool) and the first finisher wins — preprocessB() is
- * deterministic, so concurrent double-computes insert equal values.
+ *   - ScheduleCache: preprocessB() is the dominant per-column-tile
+ *     cost of Sparse.B and preprocessed dual-sparse runs, and it is a
+ *     pure function of the tile's zero pattern, the borrow window, and
+ *     the shuffle setting.  Sweep jobs that share a weight tensor —
+ *     the same network at the same sparsity and seed, swept across
+ *     architectures, categories, or run options with identical B-side
+ *     routing — therefore recompute byte-identical schedules.  This
+ *     cache shares one immutable BSchedule across every job that asks.
  *
- * Capacity: an optional byte budget (setByteBudget) bounds residency;
- * each shard evicts its oldest entries FIFO once it exceeds its slice
- * of the budget.  Eviction only drops the cache's reference — callers
- * holding a shared_ptr keep their schedule — and never changes any
- * result, only the hit rate.
+ *   - AScheduleCache: the symmetric A-side memoization.  scheduleA()
+ *     is a pure function of the A tile's zero pattern, the borrow
+ *     window, the shuffle setting, and the bandwidth cap; only its
+ *     ScheduleStats feed the simulator (single-sparse A tiles are
+ *     never replayed element-wise), so the cached value is the stats
+ *     record alone.
  *
- * Persistence: cache_store.hh serializes entries to a versioned binary
- * file between runs.  Entries restored from disk are tracked
- * separately (Stats::loadedEntries / loadHits) so a sweep can report
- * how much preprocessing the file actually saved.
- *
- * Keys are 128 bits of splitmix-mixed content hash; collisions are
- * treated as impossible (the sweep grids this serves are ~1e4 tiles,
- * collision odds ~1e-30).
+ * Caching is an optimization only: cached and freshly-computed
+ * schedules are identical, so results never change — only the hit
+ * rate.  Persistence: cache_store.hh serializes ScheduleCache entries
+ * to a versioned binary file between runs; entries restored from disk
+ * are tracked separately (Stats::loadedEntries / loadHits) so a sweep
+ * can report how much preprocessing the file actually saved.
  */
 
 #ifndef GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
 #define GRIFFIN_RUNTIME_SCHEDULE_CACHE_HH
 
-#include <algorithm>
-#include <atomic>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
-
+#include "runtime/content_cache.hh"
 #include "sched/b_preprocess.hh"
 
 namespace griffin {
@@ -55,44 +44,11 @@ class ScheduleCache
 {
   public:
     /** 128-bit content key of one cached schedule. */
-    struct Key
-    {
-        std::uint64_t lo = 0;
-        std::uint64_t hi = 0;
+    using Key = CacheKey128;
+    using Stats = CacheStats;
+    using Value = BSchedule;
 
-        bool
-        operator==(const Key &o) const
-        {
-            return lo == o.lo && hi == o.hi;
-        }
-    };
-
-    /** Aggregate counters (monotone except entries/residentBytes). */
-    struct Stats
-    {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;  ///< includes concurrent recomputes
-        std::uint64_t entries = 0; ///< resident schedules
-        std::uint64_t residentBytes = 0; ///< approx footprint of entries
-        std::uint64_t evictions = 0; ///< entries dropped by byte budget
-        /** Entries restored from a cache file (cache_store.hh). */
-        std::uint64_t loadedEntries = 0;
-        /** Hits served by a disk-loaded entry: preprocessing skipped
-         *  entirely thanks to a previous run. */
-        std::uint64_t loadHits = 0;
-
-        double
-        hitRate() const
-        {
-            const auto total = hits + misses;
-            return total == 0
-                       ? 0.0
-                       : static_cast<double>(hits) /
-                             static_cast<double>(total);
-        }
-    };
-
-    explicit ScheduleCache(std::size_t shards = 16);
+    explicit ScheduleCache(std::size_t shards = 16) : cache_(shards) {}
 
     /**
      * The compressed stream of tile `b` under window `db` and
@@ -107,97 +63,91 @@ class ScheduleCache
     std::shared_ptr<const BSchedule>
     obtain(const TileViewB &b, const Borrow &db, const Shuffler &shuffler);
 
-    Stats stats() const;
+    Stats stats() const { return cache_.stats(); }
 
     /** Drop every entry (stat counters survive). */
-    void clear();
+    void clear() { cache_.clear(); }
+
+    /** Cap resident schedule bytes (see ContentCache::setByteBudget). */
+    void setByteBudget(std::uint64_t bytes)
+    {
+        cache_.setByteBudget(bytes);
+    }
+
+    /** Insert a disk-restored schedule (see ContentCache::insertLoaded). */
+    bool
+    insertLoaded(const Key &key, BSchedule schedule)
+    {
+        return cache_.insertLoaded(key, std::move(schedule));
+    }
+
+    /** Visit every resident entry (see ContentCache::forEachEntry). */
+    void
+    forEachEntry(const std::function<void(
+                     const Key &,
+                     const std::shared_ptr<const BSchedule> &)> &fn) const
+    {
+        cache_.forEachEntry(fn);
+    }
 
     /**
-     * Cap resident schedule bytes (0 = unbounded, the default).  Each
-     * of the N shards evicts FIFO — oldest insertion first — once it
-     * holds more than budget/N bytes.  Applies immediately to current
-     * residents and to every later insert.
+     * The key of one B-side schedule: covers the schedule's full input
+     * domain — tile geometry, every element's zero pattern (padding
+     * included, via the view's zero-extension), the borrow window, and
+     * the shuffle config.  This derivation is part of the persistent
+     * cache-file contract (cache_store.hh): changing it requires a
+     * format version bump.
      */
-    void setByteBudget(std::uint64_t bytes);
-
-    /**
-     * Insert one schedule under an externally computed key, marking it
-     * disk-loaded for Stats purposes.  Used by cache_store.hh when
-     * restoring a cache file; an already-present key is left alone
-     * (the resident entry is identical by construction).  Returns
-     * whether the entry was inserted.
-     */
-    bool insertLoaded(const Key &key, BSchedule schedule);
-
-    /**
-     * Visit every resident entry (shard by shard, under that shard's
-     * lock — the callback must not reenter the cache).  Iteration
-     * order is unspecified; the cache store sorts by key for a
-     * deterministic file layout.  The callback receives the shared
-     * owner, so a snapshot taken here stays valid across later
-     * evictions.
-     */
-    void forEachEntry(
-        const std::function<void(
-            const Key &, const std::shared_ptr<const BSchedule> &)> &fn)
-        const;
-
-  private:
-    struct KeyHash
-    {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return static_cast<std::size_t>(k.lo);
-        }
-    };
-
-    struct Entry
-    {
-        std::shared_ptr<const BSchedule> schedule;
-        std::uint64_t bytes = 0;
-        bool fromDisk = false;
-    };
-
-    struct Shard
-    {
-        mutable std::mutex mu;
-        std::unordered_map<Key, Entry, KeyHash> entries;
-        std::deque<Key> fifo; ///< insertion order, for eviction
-        std::uint64_t bytes = 0;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t evictions = 0;
-        std::uint64_t loaded = 0;
-        std::uint64_t loadHits = 0;
-    };
-
     static Key contentKey(const TileViewB &b, const Borrow &db,
                           const Shuffler &shuffler);
 
-    Shard &shardFor(const Key &key);
-    const Shard &shardFor(const Key &key) const;
+  private:
+    ContentCache<BSchedule> cache_;
+};
 
-    /** Insert under the shard lock, then evict down to the budget. */
-    std::shared_ptr<const BSchedule>
-    insertIntoShard(Shard &shard, const Key &key,
-                    std::shared_ptr<const BSchedule> schedule,
-                    bool from_disk, bool &inserted);
+/** Cached outcome of scheduleA() on one A tile: the stats record the
+ *  simulator consumes (single-sparse A streams are never replayed
+ *  element-wise, so nothing else needs to survive). */
+struct ASchedule
+{
+    ScheduleStats stats;
 
-    /** Caller holds shard.mu. */
-    void evictOver(Shard &shard, std::uint64_t shard_budget);
+    std::size_t approxBytes() const { return sizeof(ASchedule); }
+};
 
-    std::uint64_t
-    shardBudget() const
+class AScheduleCache
+{
+  public:
+    using Key = CacheKey128;
+    using Stats = CacheStats;
+    using Value = ASchedule;
+
+    explicit AScheduleCache(std::size_t shards = 16) : cache_(shards) {}
+
+    /**
+     * The arbiter schedule stats of tile `a` under window `da`,
+     * `shuffler`, and ASRAM bandwidth `advance_cap`, computed on first
+     * request and shared afterwards.
+     */
+    std::shared_ptr<const ASchedule>
+    obtain(const TileViewA &a, const Borrow &da, const Shuffler &shuffler,
+           double advance_cap);
+
+    Stats stats() const { return cache_.stats(); }
+    void clear() { cache_.clear(); }
+    void setByteBudget(std::uint64_t bytes)
     {
-        const auto budget = byteBudget_.load();
-        return budget == 0 ? 0
-                           : std::max<std::uint64_t>(
-                                 1, budget / shards_.size());
+        cache_.setByteBudget(bytes);
     }
 
-    std::vector<std::unique_ptr<Shard>> shards_;
-    std::atomic<std::uint64_t> byteBudget_{0};
+    /** The A-side key: tile geometry and zero pattern, borrow window,
+     *  shuffle config, and the bandwidth cap (which changes cycle
+     *  counts, unlike offline B packing). */
+    static Key contentKey(const TileViewA &a, const Borrow &da,
+                          const Shuffler &shuffler, double advance_cap);
+
+  private:
+    ContentCache<ASchedule> cache_;
 };
 
 } // namespace griffin

@@ -1,0 +1,262 @@
+#include "runtime/shard_merge.hh"
+
+#include <fstream>
+#include <map>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace griffin {
+
+namespace {
+
+DnnCategory
+categoryFromName(const std::string &name, const std::string &where)
+{
+    for (const DnnCategory cat : allCategories)
+        if (name == toString(cat))
+            return cat;
+    fatal(where, ": unknown category '", name, "'");
+}
+
+const JsonValue &
+requireMember(const JsonValue &object, const std::string &key,
+              const std::string &where)
+{
+    const JsonValue *value = object.find(key);
+    if (value == nullptr)
+        fatal(where, ": row is missing the '", key, "' field");
+    return *value;
+}
+
+/** One .jsonl row back into the ResultRow the sink serialized. */
+ResultRow
+parseRow(const JsonValue &doc, const std::string &where)
+{
+    if (!doc.isObject())
+        fatal(where, ": expected a JSON object per line");
+    ResultRow row;
+    const JsonValue *experiment = doc.find("experiment");
+    if (experiment != nullptr)
+        row.experiment = experiment->asString();
+
+    NetworkResult &r = row.result;
+    r.network = requireMember(doc, "network", where).asString();
+    r.arch = requireMember(doc, "arch", where).asString();
+    r.category = categoryFromName(
+        requireMember(doc, "category", where).asString(), where);
+    r.denseCycles = requireMember(doc, "dense_cycles", where).asInt();
+    r.totalCycles = requireMember(doc, "total_cycles", where).asInt();
+    r.speedup = requireMember(doc, "speedup", where).asDouble();
+    r.topsPerWatt =
+        requireMember(doc, "tops_per_watt", where).asDouble();
+    r.topsPerMm2 = requireMember(doc, "tops_per_mm2", where).asDouble();
+    const JsonValue &layers = requireMember(doc, "layers", where);
+    if (!layers.isArray())
+        fatal(where, ": 'layers' is not an array");
+    for (const JsonValue &layer : layers.items) {
+        LayerResult lr;
+        lr.name = requireMember(layer, "name", where).asString();
+        lr.denseCycles =
+            requireMember(layer, "dense_cycles", where).asInt();
+        lr.computeCycles =
+            requireMember(layer, "compute_cycles", where).asInt();
+        lr.dramCycles =
+            requireMember(layer, "dram_cycles", where).asInt();
+        lr.totalCycles =
+            requireMember(layer, "total_cycles", where).asInt();
+        lr.macs = requireMember(layer, "macs", where).asInt();
+        lr.speedup = requireMember(layer, "speedup", where).asDouble();
+        r.layers.push_back(std::move(lr));
+    }
+
+    const JsonValue *options = doc.find("options");
+    if (options != nullptr) {
+        row.annotated = true;
+        RunOptions &opt = row.options;
+        opt.seed = requireMember(*options, "seed", where).asUint();
+        opt.rowCap = requireMember(*options, "row_cap", where).asInt();
+        opt.weightLaneBias =
+            requireMember(*options, "weight_lane_bias", where)
+                .asDouble();
+        opt.actRunLength =
+            requireMember(*options, "act_run_length", where).asDouble();
+        opt.sim.sampleFraction =
+            requireMember(*options, "sample_fraction", where)
+                .asDouble();
+        opt.enforceDramBound =
+            requireMember(*options, "enforce_dram_bound", where)
+                .asBool();
+        // Not serialized; resolveFidelity applies this floor to every
+        // driver run, so the reconstruction shares its constant.
+        opt.sim.minSampledTiles = defaultMinSampledTiles;
+    }
+    const JsonValue *coords = doc.find("coords");
+    if (coords != nullptr) {
+        if (!coords->isObject())
+            fatal(where, ": 'coords' is not an object");
+        for (const auto &[axis, value] : coords->members)
+            row.coords.push_back(AxisCoordinate{axis, value.asString()});
+    }
+    return row;
+}
+
+/** The serialized RunOptions fields, compared one by one so coverage
+ *  errors name the differing knob. */
+void
+checkOptionsMatch(const RunOptions &expected, const RunOptions &got,
+                  const std::string &where)
+{
+    if (expected.seed != got.seed)
+        fatal(where, ": seed ", got.seed, " does not match the ",
+              "expanded job's ", expected.seed);
+    if (expected.rowCap != got.rowCap)
+        fatal(where, ": row_cap ", got.rowCap,
+              " does not match the expanded job's ", expected.rowCap);
+    if (expected.weightLaneBias != got.weightLaneBias)
+        fatal(where, ": weight_lane_bias ", got.weightLaneBias,
+              " does not match the expanded job's ",
+              expected.weightLaneBias);
+    if (expected.actRunLength != got.actRunLength)
+        fatal(where, ": act_run_length ", got.actRunLength,
+              " does not match the expanded job's ",
+              expected.actRunLength);
+    if (expected.sim.sampleFraction != got.sim.sampleFraction)
+        fatal(where, ": sample_fraction ", got.sim.sampleFraction,
+              " does not match the expanded job's ",
+              expected.sim.sampleFraction);
+    if (expected.enforceDramBound != got.enforceDramBound)
+        fatal(where, ": enforce_dram_bound does not match the "
+                     "expanded job's");
+}
+
+} // namespace
+
+std::vector<ResultRow>
+readShardRows(const std::vector<std::string> &paths)
+{
+    std::vector<ResultRow> rows;
+    for (const auto &path : paths) {
+        std::ifstream is(path);
+        if (!is)
+            fatal("cannot open shard document '", path, "'");
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(is, line)) {
+            ++line_no;
+            if (line.empty())
+                continue;
+            const std::string where =
+                path + ":" + std::to_string(line_no);
+            JsonValue doc;
+            std::string error;
+            if (!parseJson(line, doc, error))
+                fatal(where, ": malformed JSON (", error,
+                      ") — is this a --out .jsonl document?");
+            ResultRow row = parseRow(doc, where);
+            if (row.experiment.empty())
+                fatal(where, ": row carries no experiment label; "
+                             "merge validates against the experiment "
+                             "registry and needs griffin_bench-"
+                             "produced documents");
+            rows.push_back(std::move(row));
+        }
+    }
+    if (rows.empty())
+        fatal("shard documents contain no result rows");
+    return rows;
+}
+
+std::vector<MergedExperiment>
+mergeShardRows(const std::vector<ResultRow> &rows,
+               const std::string &gridOverride)
+{
+    // Group by experiment, first-appearance order.  A multi-experiment
+    // fleet run interleaves experiments across shard files (each file
+    // holds every experiment's slice); grouping re-concatenates each
+    // experiment's slices in file = shard order, which is exactly the
+    // submission order positional validation expects.
+    std::map<std::string, std::size_t> group_of;
+    std::vector<std::string> names;
+    std::vector<std::vector<const ResultRow *>> groups;
+    for (const ResultRow &row : rows) {
+        auto [it, fresh] =
+            group_of.emplace(row.experiment, groups.size());
+        if (fresh) {
+            groups.emplace_back();
+            names.push_back(row.experiment);
+        }
+        groups[it->second].push_back(&row);
+    }
+
+    std::vector<MergedExperiment> merged;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const auto &group = groups[g];
+        MergedExperiment me;
+        me.experiment = findExperiment(names[g]);
+        if (me.experiment == nullptr)
+            fatal("rows name experiment '", names[g],
+                  "' which is not in this binary's registry");
+
+        // The shards' base fidelity: every serialized field either
+        // matches the driver's resolved RunOptions or is re-derived by
+        // a grid axis during expansion, so the first row's options
+        // reconstruct it (validated below for every row).
+        if (!group.front()->annotated)
+            fatal("experiment '", names[g],
+                  "': rows carry no options; cannot reconstruct the "
+                  "shard run's fidelity");
+        me.run = group.front()->options;
+
+        me.spec =
+            buildExperimentSpec(*me.experiment, me.run, gridOverride);
+        auto jobs = expandSweep(me.spec);
+        if (jobs.size() != group.size())
+            fatal("experiment '", names[g], "': shard documents hold ",
+                  group.size(), " rows but the grid expands to ",
+                  jobs.size(),
+                  " jobs — a shard file is missing, duplicated, or was "
+                  "run with different --grid/fidelity flags");
+        std::vector<NetworkResult> results;
+        results.reserve(group.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const SweepJob &job = jobs[i];
+            const ResultRow &row = *group[i];
+            const std::string where = "experiment '" + names[g] +
+                                      "', merged row " +
+                                      std::to_string(i);
+            const auto &net = me.spec.networks[job.networkIndex];
+            if (row.result.network != net.name)
+                fatal(where, ": network '", row.result.network,
+                      "' does not match the expanded job's '", net.name,
+                      "' — shard files out of order or overlapping?");
+            const auto &arch = me.spec.archs[job.archIndex];
+            if (row.result.arch != arch.name)
+                fatal(where, ": arch '", row.result.arch,
+                      "' does not match the expanded job's '",
+                      arch.name,
+                      "' — shard files out of order or overlapping?");
+            const auto cat = me.spec.categories[job.categoryIndex];
+            if (row.result.category != cat)
+                fatal(where, ": category '",
+                      toString(row.result.category),
+                      "' does not match the expanded job's '",
+                      toString(cat), "'");
+            if (row.coords != job.coords)
+                fatal(where, ": grid coordinates (",
+                      coordsLabel(row.coords),
+                      ") do not match the expanded job's (",
+                      coordsLabel(job.coords),
+                      ") — was the fleet run with a --grid override? "
+                      "pass the same text to merge");
+            checkOptionsMatch(job.options, row.options, where);
+            results.push_back(row.result);
+        }
+        me.sweep = SweepResult(std::move(jobs), std::move(results),
+                               ScheduleCache::Stats{});
+        merged.push_back(std::move(me));
+    }
+    return merged;
+}
+
+} // namespace griffin

@@ -1,0 +1,38 @@
+#include "runtime/workset_cache.hh"
+
+namespace griffin {
+
+WorksetCache::Key
+WorksetCache::contentKey(const WorksetParams &params)
+{
+    // Salts and fold order are frozen: cache files persist these keys
+    // (cache_store.hh), so any change here is a GRFW version bump.
+    ContentHasher h(0x0b5e55edULL, 0x7e4a50e5ULL, params.seed);
+    h.fold(static_cast<std::uint64_t>(params.m));
+    h.fold(static_cast<std::uint64_t>(params.k));
+    h.fold(static_cast<std::uint64_t>(params.n));
+    h.foldDouble(params.weightSparsity);
+    h.foldDouble(params.actSparsity);
+    h.foldDouble(params.weightLaneBias);
+    h.foldDouble(params.actRunLength);
+    h.fold(static_cast<std::uint64_t>(params.lanePeriod));
+    return h.key();
+}
+
+std::shared_ptr<const LayerWorkset>
+WorksetCache::obtain(const WorksetParams &params)
+{
+    return cache_.obtain(contentKey(params),
+                         [&] { return generateLayerWorkset(params); });
+}
+
+std::shared_ptr<const LayerWorkset>
+obtainWorkset(WorksetCache *cache, const WorksetParams &params)
+{
+    if (cache != nullptr)
+        return cache->obtain(params);
+    return std::make_shared<const LayerWorkset>(
+        generateLayerWorkset(params));
+}
+
+} // namespace griffin

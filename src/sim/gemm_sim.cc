@@ -13,6 +13,7 @@
 #include "sim/sampling.hh"
 #include "tensor/shuffle.hh"
 #include "tensor/tile.hh"
+#include "tensor/workset.hh"
 
 namespace griffin {
 
@@ -27,23 +28,6 @@ accumulate(ScheduleStats &into, const ScheduleStats &from)
     into.stolenOps += from.stolenOps;
     into.idleSlotCycles += from.idleSlotCycles;
     into.bwLimitedCycles += from.bwLimitedCycles;
-}
-
-/** Count MACs where both operands are nonzero, in O(MK + KN). */
-std::int64_t
-countEffectualOps(const MatrixI8 &a, const MatrixI8 &b)
-{
-    std::int64_t total = 0;
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-        std::int64_t a_nnz = 0;
-        for (std::size_t m = 0; m < a.rows(); ++m)
-            a_nnz += a.at(m, k) != 0;
-        std::int64_t b_nnz = 0;
-        for (std::size_t n = 0; n < b.cols(); ++n)
-            b_nnz += b.at(k, n) != 0;
-        total += a_nnz * b_nnz;
-    }
-    return total;
 }
 
 /**
@@ -61,6 +45,18 @@ obtainStream(ScheduleCache *cache, const TileViewB &vb, const Borrow &db,
         preprocessB(vb, db, shuffler, false));
 }
 
+/** Arbiter-schedule one A tile, through the shared cache when the
+ *  caller provided one (the cached value is the stats record, the only
+ *  part single-sparse simulation consumes). */
+ScheduleStats
+obtainAStats(AScheduleCache *cache, const TileViewA &va, const Borrow &da,
+             const Shuffler &shuffler, double advance_cap)
+{
+    if (cache != nullptr)
+        return cache->obtain(va, da, shuffler, advance_cap)->stats;
+    return scheduleA(va, da, shuffler, advance_cap, false).stats;
+}
+
 /** Scale a sampled cycle total back to the full population. */
 std::int64_t
 scaleUp(std::int64_t sampled_sum, std::int64_t sampled_count,
@@ -74,10 +70,172 @@ scaleUp(std::int64_t sampled_sum, std::int64_t sampled_count,
         std::llround(static_cast<double>(sampled_sum) * scale));
 }
 
+/**
+ * Everything the per-mode compute stages share: resolved geometry and
+ * routing, plus the result record they fill in (computeCycles,
+ * simulatedTiles, sched).
+ */
+struct ComputeStage
+{
+    const GemmOperands &ops;
+    const SimOptions &opt;
+    const TileShape &shape;
+    const RoutingConfig &routing;
+    const Shuffler &shuffler;
+    double bw;
+    std::int64_t rowTiles;
+    std::int64_t colTiles;
+};
+
+/** Stage 2+3, SparsityMode::B: schedules depend only on B — simulate
+ *  (a subset of) column tiles and multiply by the row-tile count. */
+void
+simulateSparseB(const ComputeStage &stage, GemmSimResult &result)
+{
+    auto picks = sampleTiles(stage.colTiles, 1, stage.opt.sampleFraction,
+                             stage.opt.minSampledTiles, stage.opt.seed);
+    std::int64_t sum = 0;
+    for (const auto &t : picks) {
+        TileViewB vb(*stage.ops.b, stage.shape, t.row * stage.shape.n0);
+        auto stream = obtainStream(stage.opt.scheduleCache, vb,
+                                   stage.routing.b, stage.shuffler);
+        // Runtime is bandwidth-capped even though packing is offline:
+        // replaying the stream can consume at most `bw` raw A steps
+        // per cycle.
+        std::int64_t cycles = stream->cycles();
+        const double min_cycles =
+            static_cast<double>(vb.steps()) / stage.bw;
+        cycles = std::max<std::int64_t>(
+            cycles,
+            static_cast<std::int64_t>(std::ceil(min_cycles)));
+        sum += cycles;
+        accumulate(result.sched, stream->stats());
+    }
+    result.computeCycles =
+        scaleUp(sum, static_cast<std::int64_t>(picks.size()),
+                stage.colTiles) *
+        stage.rowTiles;
+    result.simulatedTiles =
+        static_cast<std::int64_t>(picks.size()) * stage.rowTiles;
+}
+
+/** Stage 2+3, SparsityMode::A: the symmetric row-tile form. */
+void
+simulateSparseA(const ComputeStage &stage, GemmSimResult &result)
+{
+    auto picks = sampleTiles(stage.rowTiles, 1, stage.opt.sampleFraction,
+                             stage.opt.minSampledTiles, stage.opt.seed);
+    std::int64_t sum = 0;
+    for (const auto &t : picks) {
+        TileViewA va(*stage.ops.a, stage.shape, t.row * stage.shape.m0);
+        const auto stats =
+            obtainAStats(stage.opt.aScheduleCache, va, stage.routing.a,
+                         stage.shuffler, stage.bw);
+        sum += stats.cycles;
+        accumulate(result.sched, stats);
+    }
+    result.computeCycles =
+        scaleUp(sum, static_cast<std::int64_t>(picks.size()),
+                stage.rowTiles) *
+        stage.colTiles;
+    result.simulatedTiles =
+        static_cast<std::int64_t>(picks.size()) * stage.colTiles;
+}
+
+/** Stage 2+3, SparsityMode::AB: dual schedules are per tile pair; the
+ *  B-side streams still compute per distinct column tile. */
+void
+simulateDualSparse(const ComputeStage &stage, GemmSimResult &result)
+{
+    auto picks = sampleTiles(stage.rowTiles, stage.colTiles,
+                             stage.opt.sampleFraction,
+                             stage.opt.minSampledTiles, stage.opt.seed);
+    // One preprocessed stream per distinct column tile; the per-call
+    // map short-circuits repeat columns of this GEMM even when no
+    // cross-job cache is attached.
+    std::map<std::int64_t, std::shared_ptr<const BSchedule>> streams;
+    std::int64_t sum = 0;
+    for (const auto &t : picks) {
+        TileViewA va(*stage.ops.a, stage.shape, t.row * stage.shape.m0);
+        TileViewB vb(*stage.ops.b, stage.shape, t.col * stage.shape.n0);
+        const BSchedule *stream = nullptr;
+        if (stage.routing.preprocessB) {
+            auto it = streams.find(t.col);
+            if (it == streams.end()) {
+                it = streams
+                         .emplace(t.col,
+                                  obtainStream(stage.opt.scheduleCache,
+                                               vb, stage.routing.b,
+                                               stage.shuffler))
+                         .first;
+            }
+            stream = it->second.get();
+        }
+        auto dual = scheduleDual(va, vb, stage.routing, stage.shuffler,
+                                 stream, stage.bw, false);
+        sum += dual.cycles;
+        accumulate(result.sched, dual.stage2);
+    }
+    result.computeCycles = scaleUp(
+        sum, static_cast<std::int64_t>(picks.size()), result.totalTiles);
+    result.simulatedTiles = static_cast<std::int64_t>(picks.size());
+}
+
+/**
+ * Stage 3 reduction, memory model: DRAM traffic of the whole GEMM —
+ * A and C stream dense; B streams dense or as the compressed payload
+ * plus metadata when preprocessed — and the layer total under double
+ * buffering.
+ */
+void
+applyMemoryModel(const GemmOperands &ops, const ArchConfig &arch,
+                 const RoutingConfig &routing, std::int64_t m,
+                 std::int64_t k, std::int64_t n, const SimOptions &opt,
+                 GemmSimResult &result)
+{
+    const auto hw = computeOverhead(routing, arch.tile);
+    std::int64_t b_bytes = k * n;
+    if (routing.preprocessB) {
+        const auto nnz_b = ops.nnzB;
+        b_bytes = nnz_b + (nnz_b * hw.metadataBits + 7) / 8;
+    }
+    result.dramBytes = m * k + b_bytes + m * n;
+    result.dramCycles = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(result.dramBytes) /
+                  arch.mem.dramBytesPerCycle()));
+
+    result.totalCycles =
+        std::max(result.computeCycles, result.dramCycles) +
+        static_cast<std::int64_t>(opt.drainCyclesPerTile) *
+            result.totalTiles;
+}
+
 } // namespace
 
+GemmOperands
+makeGemmOperands(const MatrixI8 &a, const MatrixI8 &b)
+{
+    GemmOperands ops;
+    ops.a = &a;
+    ops.b = &b;
+    ops.effectualOps = countEffectualOps(a, b);
+    ops.nnzB = static_cast<std::int64_t>(b.nnz());
+    return ops;
+}
+
+GemmOperands
+gemmOperands(const LayerWorkset &workset)
+{
+    GemmOperands ops;
+    ops.a = &workset.a;
+    ops.b = &workset.b;
+    ops.effectualOps = workset.effectualOps;
+    ops.nnzB = workset.nnzB;
+    return ops;
+}
+
 GemmSimResult
-simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
+simulateGemm(const GemmOperands &operands, const ArchConfig &arch,
              DnnCategory cat, const SimOptions &opt)
 {
     arch.validate();
@@ -85,6 +243,10 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
         fatal("simulateGemm handles vector-core architectures; use the "
               "SparTen simulator in src/baselines for '",
               arch.name, "'");
+    GRIFFIN_ASSERT(operands.a != nullptr && operands.b != nullptr,
+                   "simulateGemm needs both operand matrices");
+    const MatrixI8 &a = *operands.a;
+    const MatrixI8 &b = *operands.b;
     GRIFFIN_ASSERT(a.cols() == b.rows(), "GEMM shape mismatch: A ",
                    a.rows(), "x", a.cols(), ", B ", b.rows(), "x",
                    b.cols());
@@ -101,7 +263,7 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
     GemmSimResult result;
     result.denseCycles = denseCycles(m, k, n, shape);
     result.denseOps = m * k * n;
-    result.effectualOps = countEffectualOps(a, b);
+    result.effectualOps = operands.effectualOps;
     const std::int64_t row_tiles = (m + shape.m0 - 1) / shape.m0;
     const std::int64_t col_tiles = (n + shape.n0 - 1) / shape.n0;
     result.totalTiles = row_tiles * col_tiles;
@@ -111,120 +273,34 @@ simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
     }
 
     Shuffler shuffler(routing.shuffle, shape.k0);
+    const ComputeStage stage{operands, opt,       shape,    routing,
+                             shuffler, bw,        row_tiles, col_tiles};
 
     switch (routing.mode) {
-      case SparsityMode::Dense: {
+      case SparsityMode::Dense:
         result.computeCycles = result.denseCycles;
         result.simulatedTiles = result.totalTiles;
         break;
-      }
-
-      case SparsityMode::B: {
-        // Schedules depend only on B: simulate (a subset of) column
-        // tiles and multiply by the row-tile count.
-        auto picks = sampleTiles(col_tiles, 1, opt.sampleFraction,
-                                 opt.minSampledTiles, opt.seed);
-        std::int64_t sum = 0;
-        for (const auto &t : picks) {
-            TileViewB vb(b, shape, t.row * shape.n0);
-            auto stream =
-                obtainStream(opt.scheduleCache, vb, routing.b, shuffler);
-            // Runtime is bandwidth-capped even though packing is
-            // offline: replaying the stream can consume at most `bw`
-            // raw A steps per cycle.
-            std::int64_t cycles = stream->cycles();
-            const double min_cycles =
-                static_cast<double>(vb.steps()) / bw;
-            cycles = std::max<std::int64_t>(
-                cycles, static_cast<std::int64_t>(
-                            std::ceil(min_cycles)));
-            sum += cycles;
-            accumulate(result.sched, stream->stats());
-        }
-        result.computeCycles =
-            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
-                    col_tiles) *
-            row_tiles;
-        result.simulatedTiles =
-            static_cast<std::int64_t>(picks.size()) * row_tiles;
+      case SparsityMode::B:
+        simulateSparseB(stage, result);
         break;
-      }
-
-      case SparsityMode::A: {
-        auto picks = sampleTiles(row_tiles, 1, opt.sampleFraction,
-                                 opt.minSampledTiles, opt.seed);
-        std::int64_t sum = 0;
-        for (const auto &t : picks) {
-            TileViewA va(a, shape, t.row * shape.m0);
-            auto sched = scheduleA(va, routing.a, shuffler, bw, false);
-            sum += sched.stats.cycles;
-            accumulate(result.sched, sched.stats);
-        }
-        result.computeCycles =
-            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
-                    row_tiles) *
-            col_tiles;
-        result.simulatedTiles =
-            static_cast<std::int64_t>(picks.size()) * col_tiles;
+      case SparsityMode::A:
+        simulateSparseA(stage, result);
         break;
-      }
-
-      case SparsityMode::AB: {
-        auto picks =
-            sampleTiles(row_tiles, col_tiles, opt.sampleFraction,
-                        opt.minSampledTiles, opt.seed);
-        // One preprocessed stream per distinct column tile; the
-        // per-call map short-circuits repeat columns of this GEMM even
-        // when no cross-job cache is attached.
-        std::map<std::int64_t, std::shared_ptr<const BSchedule>> streams;
-        std::int64_t sum = 0;
-        for (const auto &t : picks) {
-            TileViewA va(a, shape, t.row * shape.m0);
-            TileViewB vb(b, shape, t.col * shape.n0);
-            const BSchedule *stream = nullptr;
-            if (routing.preprocessB) {
-                auto it = streams.find(t.col);
-                if (it == streams.end()) {
-                    it = streams
-                             .emplace(t.col,
-                                      obtainStream(opt.scheduleCache, vb,
-                                                   routing.b, shuffler))
-                             .first;
-                }
-                stream = it->second.get();
-            }
-            auto dual = scheduleDual(va, vb, routing, shuffler, stream,
-                                     bw, false);
-            sum += dual.cycles;
-            accumulate(result.sched, dual.stage2);
-        }
-        result.computeCycles =
-            scaleUp(sum, static_cast<std::int64_t>(picks.size()),
-                    result.totalTiles);
-        result.simulatedTiles =
-            static_cast<std::int64_t>(picks.size());
+      case SparsityMode::AB:
+        simulateDualSparse(stage, result);
         break;
-      }
     }
 
-    // DRAM traffic: A and C stream dense; B streams dense or as the
-    // compressed payload plus metadata when preprocessed.
-    const auto hw = computeOverhead(routing, shape);
-    std::int64_t b_bytes = k * n;
-    if (routing.preprocessB) {
-        const auto nnz_b = static_cast<std::int64_t>(b.nnz());
-        b_bytes = nnz_b + (nnz_b * hw.metadataBits + 7) / 8;
-    }
-    result.dramBytes = m * k + b_bytes + m * n;
-    result.dramCycles = static_cast<std::int64_t>(
-        std::ceil(static_cast<double>(result.dramBytes) /
-                  arch.mem.dramBytesPerCycle()));
-
-    result.totalCycles =
-        std::max(result.computeCycles, result.dramCycles) +
-        static_cast<std::int64_t>(opt.drainCyclesPerTile) *
-            result.totalTiles;
+    applyMemoryModel(operands, arch, routing, m, k, n, opt, result);
     return result;
+}
+
+GemmSimResult
+simulateGemm(const MatrixI8 &a, const MatrixI8 &b, const ArchConfig &arch,
+             DnnCategory cat, const SimOptions &opt)
+{
+    return simulateGemm(makeGemmOperands(a, b), arch, cat, opt);
 }
 
 } // namespace griffin

@@ -1,8 +1,33 @@
 /**
  * @file
- * Cycle-level simulation of one GEMM on a vector-core architecture.
+ * Cycle-level simulation of one GEMM on a vector-core architecture,
+ * structured as a staged pipeline with first-class intermediate
+ * artifacts:
  *
- * Pulls the scheduling engines together with the memory model:
+ *   1. *Operand statistics* (GemmOperands): the A/B matrices plus the
+ *      content statistics the later stages consume — effectual MACs
+ *      and B nonzeros.  When the operands come from a LayerWorkset
+ *      (tensor/workset.hh) the statistics were computed once at
+ *      generation time and are reused verbatim; makeGemmOperands()
+ *      computes them for free-standing matrices.
+ *
+ *   2. *Tiling + per-side schedule computation*: column tiles of B
+ *      preprocess into compressed streams (cached across jobs via
+ *      runtime/schedule_cache.hh: ScheduleCache), row tiles of A run
+ *      the arbiter scheduler (symmetrically cached via
+ *      AScheduleCache).  Schedules are pure functions of tile content
+ *      and routing, so cached and fresh results are identical.
+ *
+ *   3. *Tile(-pair) cycle simulation + reduction*: the sampled tiles
+ *      replay their schedules, sampled sums scale back to the full
+ *      grid, and the memory model folds in DRAM streaming — A and C
+ *      stream dense, B dense or compressed + metadata; the layer runs
+ *      at max(compute, DRAM transfer) under double buffering.  Window
+ *      advance is capped by the provisioned SRAM bandwidth
+ *      (ArchConfig::effectiveBwScale), the paper's "SRAM BW must
+ *      scale with speedup" constraint.
+ *
+ * Schedule reuse within one GEMM mirrors the hardware:
  *
  *   - Sparse.B schedules are computed once per column tile and reused
  *     by every row tile (they are independent of A's values).
@@ -10,12 +35,6 @@
  *     every column tile.
  *   - Dual schedules are per tile pair; deterministic sampling keeps
  *     large layers tractable (sim/sampling.hh).
- *   - DRAM streams A, B (compressed + metadata when preprocessed) and
- *     C once per layer; the layer runs at
- *     max(compute, DRAM transfer) under double buffering.
- *   - Window advance is capped by the provisioned SRAM bandwidth
- *     (ArchConfig::effectiveBwScale), the paper's "SRAM BW must scale
- *     with speedup" constraint.
  *
  * MacGrid architectures (SparTen) have their own simulator in
  * src/baselines; this one panics on them.
@@ -32,7 +51,9 @@
 
 namespace griffin {
 
-class ScheduleCache; // runtime/schedule_cache.hh
+class ScheduleCache;  // runtime/schedule_cache.hh
+class AScheduleCache; // runtime/schedule_cache.hh
+struct LayerWorkset;  // tensor/workset.hh
 
 /** Simulation knobs. */
 struct SimOptions
@@ -64,7 +85,36 @@ struct SimOptions
      * packed.  nullptr computes every stream locally.
      */
     ScheduleCache *scheduleCache = nullptr;
+
+    /**
+     * The symmetric A-side memoization: arbiter schedules of row tiles
+     * under identical routing and bandwidth (not owned).  Same
+     * contract as scheduleCache — an optimization only, never a
+     * result change.  nullptr schedules every tile locally.
+     */
+    AScheduleCache *aScheduleCache = nullptr;
 };
+
+/**
+ * Stage-1 artifact: operand views plus their content statistics.  The
+ * matrices are borrowed, not owned — the caller (a LayerWorkset held
+ * by shared_ptr, or stack matrices in tests) must outlive the
+ * simulation call.
+ */
+struct GemmOperands
+{
+    const MatrixI8 *a = nullptr;
+    const MatrixI8 *b = nullptr;
+    std::int64_t effectualOps = 0; ///< MACs with both operands nonzero
+    std::int64_t nnzB = 0;         ///< nonzeros of B (payload bytes)
+};
+
+/** Compute the stage-1 statistics of two free-standing matrices. */
+GemmOperands makeGemmOperands(const MatrixI8 &a, const MatrixI8 &b);
+
+/** View a generated workset as stage-1 operands (statistics reused,
+ *  nothing recomputed).  The workset must outlive the view. */
+GemmOperands gemmOperands(const LayerWorkset &workset);
 
 /** Result of simulating one GEMM. */
 struct GemmSimResult
@@ -92,10 +142,17 @@ struct GemmSimResult
 };
 
 /**
- * Simulate C = A x B on `arch` running in workload category `cat`
- * (the category selects Griffin's morph and the bandwidth
- * provisioning; non-hybrid architectures use their fixed routing).
+ * Stages 2 + 3 over prepared operands: simulate C = A x B on `arch`
+ * running in workload category `cat` (the category selects Griffin's
+ * morph and the bandwidth provisioning; non-hybrid architectures use
+ * their fixed routing).
  */
+GemmSimResult simulateGemm(const GemmOperands &operands,
+                           const ArchConfig &arch, DnnCategory cat,
+                           const SimOptions &opt = {});
+
+/** The monolithic convenience form: stage 1 (makeGemmOperands) plus
+ *  the staged simulation, for callers without a cached workset. */
 GemmSimResult simulateGemm(const MatrixI8 &a, const MatrixI8 &b,
                            const ArchConfig &arch, DnnCategory cat,
                            const SimOptions &opt = {});

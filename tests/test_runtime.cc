@@ -561,6 +561,75 @@ TEST(Runner, LayerShardingMatchesNetworkGranularity)
     EXPECT_EQ(a.str(), b.str());
 }
 
+TEST(Runner, BatchedArchsAreBitIdenticalToSerial)
+{
+    // The acceptance bar for batched multi-GEMM jobs: an arch-batched
+    // sweep on 1, 2, and 8 threads reproduces the unbatched serial run
+    // byte for byte, and the shared workset cache actually got reuse
+    // across the arch axis (both archs share the tile height, so every
+    // layer's workset generates once per (network, category)).
+    auto spec = smallSweep();
+    const auto serial = runSweep(spec, 1);
+    std::ostringstream serial_doc;
+    writeJson(serial_doc, serial.results());
+
+    spec.batchArchs = true;
+    for (const int threads : {1, 2, 8}) {
+        const auto batched = runSweep(spec, threads);
+        ASSERT_EQ(batched.results().size(), serial.results().size());
+        std::ostringstream doc;
+        writeJson(doc, batched.results());
+        EXPECT_EQ(doc.str(), serial_doc.str())
+            << "batched sweep diverged on " << threads << " threads";
+        EXPECT_GT(batched.worksetStats().hits, 0u);
+        // 2 archs x shared worksets: at most one generation per
+        // (network, category, layer) key — fewer when categories
+        // share a layer's effective sparsity pair.
+        std::size_t layer_total = 0;
+        for (const auto &net : spec.networks)
+            layer_total += net.layers.size();
+        EXPECT_LE(batched.worksetStats().misses,
+                  layer_total * spec.categories.size());
+    }
+}
+
+TEST(Runner, BatchedArchsComposeWithFleetShards)
+{
+    // Batching regroups jobs inside a shard only; the shard slices
+    // still concatenate to the unsharded document.
+    auto spec = smallSweep();
+    spec.batchArchs = true;
+    const auto whole = runSweep(spec, 4);
+    std::vector<NetworkResult> stitched;
+    spec.shardCount = 3;
+    for (std::size_t s = 0; s < spec.shardCount; ++s) {
+        spec.shardIndex = s;
+        const auto shard = runSweep(spec, 2);
+        stitched.insert(stitched.end(), shard.results().begin(),
+                        shard.results().end());
+    }
+    std::ostringstream a, b;
+    writeJson(a, whole.results());
+    writeJson(b, stitched);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Runner, SharedWorksetCachePersistsAcrossSweeps)
+{
+    auto spec = smallSweep();
+    WorksetCache worksets;
+    const auto first = runSweep(spec, 2, nullptr, &worksets);
+    const auto cold_misses = first.worksetStats().misses;
+    EXPECT_GT(cold_misses, 0u);
+    const auto second = runSweep(spec, 2, nullptr, &worksets);
+    // Every generation of the second sweep is served by the first's.
+    EXPECT_EQ(second.worksetStats().misses, cold_misses);
+    std::ostringstream a, b;
+    writeJson(a, first.results());
+    writeJson(b, second.results());
+    EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Runner, RunLayerIsOrderIndependent)
 {
     // The per-layer entry point must not depend on which layers ran

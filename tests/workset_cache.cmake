@@ -1,0 +1,76 @@
+# CTest script: the acceptance bar for the workset cache.  One
+# arch-axis experiment slice (fig8 narrowed to one network) is run
+# twice sharing a --workset-cache-file and assert
+#   (a) the .jsonl result documents are byte-identical (workset
+#       persistence must never change results), and
+#   (b) the warm run reports workset_cache_stats load_hits > 0 (the
+#       cache file actually skipped operand generation).
+# A third run with a tiny --workset-budget-mb must still be
+# byte-identical (eviction changes hit rates, never results).
+#
+# Invoked as:
+#   cmake -DGRIFFIN_BENCH=<path> -DWORK_DIR=<dir> -P workset_cache.cmake
+
+if(NOT GRIFFIN_BENCH OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DGRIFFIN_BENCH=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(common_args
+    run fig8
+    --grid "network=alexnet"
+    --sample 0.02 --rowcap 8 --threads 2
+    --workset-cache-file "${WORK_DIR}/worksets.grfw")
+
+foreach(run 1 2)
+    execute_process(
+        COMMAND "${GRIFFIN_BENCH}" ${common_args}
+                --out "${WORK_DIR}/run${run}.jsonl"
+        OUTPUT_VARIABLE out${run} ERROR_VARIABLE err RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "workset-cached run ${run} failed (${rc}):\n${err}")
+    endif()
+endforeach()
+
+# (a) byte-identical result documents.
+file(READ "${WORK_DIR}/run1.jsonl" doc1)
+file(READ "${WORK_DIR}/run2.jsonl" doc2)
+if(NOT doc1 STREQUAL doc2)
+    message(FATAL_ERROR "workset-cached re-run changed the results")
+endif()
+string(LENGTH "${doc1}" doc1_len)
+if(doc1_len EQUAL 0)
+    message(FATAL_ERROR "results document is empty")
+endif()
+
+# (b) cold run loads nothing; warm run is served from the file.
+string(REGEX MATCH "\"workset_cache_stats\": [^\n]*" stats1 "${out1}")
+string(REGEX MATCH "\"workset_cache_stats\": [^\n]*" stats2 "${out2}")
+if(stats1 MATCHES "\"load_hits\": [1-9]")
+    message(FATAL_ERROR "cold run reported workset load hits:\n${out1}")
+endif()
+if(NOT stats2 MATCHES "\"load_hits\": [1-9]")
+    message(FATAL_ERROR
+            "warm run reported no workset load hits — the cache file "
+            "did not skip any generation:\n${out2}")
+endif()
+
+# (c) a starvation-level byte budget still returns correct results.
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" ${common_args} --workset-budget-mb 1
+            --out "${WORK_DIR}/run3.jsonl"
+    OUTPUT_VARIABLE out3 ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "budgeted run failed (${rc}):\n${err}")
+endif()
+file(READ "${WORK_DIR}/run3.jsonl" doc3)
+if(NOT doc3 STREQUAL doc1)
+    message(FATAL_ERROR "workset eviction changed the results")
+endif()
+
+message(STATUS
+        "workset cache OK: byte-identical cold/warm/budgeted runs, "
+        "warm load hits present")
