@@ -45,8 +45,10 @@
 #include "common/strings.hh"
 #include "runtime/cache_store.hh"
 #include "runtime/experiment.hh"
+#include "runtime/perf_report.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/shard_merge.hh"
+#include "runtime/telemetry.hh"
 #include "runtime/thread_pool.hh"
 
 using namespace griffin;
@@ -100,6 +102,93 @@ struct TableEmitter
     }
 };
 
+/** The pinned `perf` microbench suite: one B-side, one A-side, one
+ *  dual-sparse experiment, so every pipeline stage shows up in the
+ *  breakdown while the suite stays CI-cheap (fig8-scale sweeps are
+ *  deliberately excluded). */
+const std::vector<std::string> perfSuite = {"fig5", "fig6", "fig7"};
+
+/** `griffin_bench perf` fidelity defaults: far below the experiments'
+ *  tuned defaults, because perf runs measure the harness, not the
+ *  paper's numbers. */
+constexpr double perfDefaultSample = 0.02;
+constexpr std::int64_t perfDefaultRowCap = 8;
+
+/**
+ * `perf` subcommand: run the pinned suite with Aggregate telemetry and
+ * fresh caches per experiment, and write the schema-versioned
+ * BENCH_perf.json trajectory artifact.
+ */
+int
+runPerfSuite(const Cli &cli, const std::vector<std::string> &names)
+{
+    std::vector<std::string> suite = names.empty() ? perfSuite : names;
+    for (const auto &name : suite)
+        experimentOrDie(name);
+
+    ExperimentRunConfig config;
+    config.threads = static_cast<int>(cli.getInt("threads"));
+    config.layerShard = cli.getBool("layer-shard");
+    config.batchArchs = cli.getBool("batch-archs");
+    config.run = resolveFidelity(cli, perfDefaultSample,
+                                 perfDefaultRowCap);
+    // Fresh caches per experiment (config caches stay null): the
+    // artifact's hit rates then describe each experiment's own reuse,
+    // not whatever the previous suite entry happened to warm.
+
+    Telemetry::setMode(Telemetry::Mode::Aggregate);
+    MetricsRegistry &reg = MetricsRegistry::instance();
+
+    PerfDocument doc;
+    doc.threads = config.threads;
+    doc.sample = config.run.sim.sampleFraction;
+    doc.rowCap = config.run.rowCap;
+    doc.seed = config.run.seed;
+
+    const std::uint64_t suite_start_ns = monotonicNowNs();
+    for (const auto &name : suite) {
+        const Experiment &exp = experimentOrDie(name);
+        Telemetry::clear();
+        const auto outcome = runExperiment(exp, config);
+        if (!outcome.hasSweep) {
+            inform("perf: skipping render-only experiment '", name,
+                   "'");
+            continue;
+        }
+        PerfEntry entry;
+        entry.experiment = name;
+        entry.jobs = outcome.sweep.jobs().size();
+        entry.wallMs = reg.gauge("sweep.wall_ms").value();
+        entry.jobsPerSec = reg.gauge("sweep.jobs_per_sec").value();
+        entry.threadUtilization = reg.gauge("pool.utilization").value();
+        entry.poolSteals = static_cast<std::uint64_t>(
+            reg.gauge("pool.steals").value());
+        entry.poolBusyMs = reg.gauge("pool.busy_ms").value();
+        for (const auto &stage : Telemetry::stageBreakdown())
+            entry.stages.push_back(
+                {stage.stage, stage.count, stage.totalMs()});
+        entry.scheduleCache = outcome.sweep.cacheStats();
+        entry.aScheduleCache = outcome.sweep.aScheduleStats();
+        entry.worksetCache = outcome.sweep.worksetStats();
+        doc.suite.push_back(std::move(entry));
+    }
+    doc.totalWallMs =
+        static_cast<double>(monotonicNowNs() - suite_start_ns) / 1e6;
+
+    std::string out_path = cli.getString("out");
+    if (out_path.empty())
+        out_path = "BENCH_perf.json";
+    std::ofstream os(out_path);
+    if (!os)
+        fatal("cannot open perf output path '", out_path, "'");
+    writePerfJson(os, doc);
+    if (!os)
+        fatal("write to perf output path '", out_path, "' failed");
+    inform("wrote perf trajectory for ", doc.suite.size(),
+           " experiment(s) to ", out_path);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -107,7 +196,8 @@ main(int argc, char **argv)
 {
     Cli cli("griffin_bench: run registered paper experiments "
             "(subcommands: list | describe <name...> | "
-            "run <name...|--all> | merge <shard.jsonl...>)");
+            "run <name...|--all> | merge <shard.jsonl...> | "
+            "perf [name...] | perf --compare old.json new.json)");
     addFidelityFlags(cli);
     cli.addBool("all", false, "run every registered experiment");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
@@ -136,7 +226,23 @@ main(int argc, char **argv)
                   "Lines (rewritten per run)");
     cli.addString("out", "",
                   "write result rows of every sweep to this path "
-                  "(.json array, .csv, or .jsonl by suffix)");
+                  "(.json array, .csv, or .jsonl by suffix; for the "
+                  "perf subcommand, the BENCH_perf.json path)");
+    cli.addString("trace", "",
+                  "record per-stage spans and write a Chrome "
+                  "trace-event JSON file here (open in Perfetto; "
+                  "result rows stay byte-identical)");
+    cli.addBool("stats", false,
+                "print the unified metrics registry (sweep, pool, and "
+                "cache counters) as one JSON line on stdout after "
+                "each experiment");
+    cli.addBool("timings", false,
+                "add per-job elapsed_ms to --out result rows "
+                "(machine-dependent, so off by default to keep "
+                "baseline documents byte-identical)");
+    cli.addBool("compare", false,
+                "perf subcommand: compare two BENCH_perf.json "
+                "documents (perf --compare old.json new.json)");
     const auto positional = cli.parse(argc, argv);
 
     if (positional.empty())
@@ -198,11 +304,31 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (command == "perf") {
+        if (cli.getBool("compare")) {
+            if (names.size() != 2)
+                fatal("perf --compare needs exactly two "
+                      "BENCH_perf.json paths, got ", names.size());
+            const PerfDocument old_doc = loadPerfDocument(names[0]);
+            const PerfDocument new_doc = loadPerfDocument(names[1]);
+            TableEmitter emitter;
+            emitter.csv = cli.getBool("csv");
+            emitter.jsonPath = cli.getString("json");
+            for (const auto &table :
+                 renderPerfCompare(old_doc, new_doc))
+                emitter.show(table);
+            return 0;
+        }
+        return runPerfSuite(cli, names);
+    }
+
     if (command != "run")
         fatal("unknown subcommand '", command, "'; did you mean '",
               nearestName(command,
-                          {"list", "describe", "run", "merge"}),
-              "'? (list | describe | run | merge)\n", cli.usage());
+                          {"list", "describe", "run", "merge",
+                           "perf"}),
+              "'? (list | describe | run | merge | perf)\n",
+              cli.usage());
 
     if (cli.getBool("all")) {
         if (!names.empty())
@@ -220,7 +346,16 @@ main(int argc, char **argv)
     config.threads = static_cast<int>(cli.getInt("threads"));
     config.layerShard = cli.getBool("layer-shard");
     config.batchArchs = cli.getBool("batch-archs");
+    config.collectTimings = cli.getBool("timings");
     config.gridOverride = cli.getString("grid");
+
+    // --trace turns span recording on for the whole run; the spans
+    // observe the pipeline without touching any result byte, so --out
+    // documents are identical with and without it (pinned by the
+    // telemetry_smoke ctest).
+    const std::string trace_path = cli.getString("trace");
+    if (!trace_path.empty())
+        Telemetry::setMode(Telemetry::Mode::Full);
     parseShardSpec(cli.getString("grid-shard"), config.shardIndex,
                    config.shardCount);
     // A shard renders no tables (it holds one slice of each grid), so
@@ -254,6 +389,23 @@ main(int argc, char **argv)
             emitter.show(table);
         if (outcome.hasSweep && sink)
             sink->add(outcome.sweep, exp.name);
+        // The registry line carries the sweep/pool/cache counters the
+        // sweep just published — the machine-readable form of stats
+        // that merge and the table renderers drop.
+        if (outcome.hasSweep && cli.getBool("stats"))
+            writeMetricsJsonLine(std::cout,
+                                 MetricsRegistry::instance());
+    }
+
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path);
+        if (!os)
+            fatal("cannot open --trace path '", trace_path, "'");
+        Telemetry::writeChromeTrace(os);
+        if (!os)
+            fatal("write to --trace path '", trace_path, "' failed");
+        inform("wrote ", Telemetry::eventCount(), " trace events to ",
+               trace_path);
     }
 
     // Flush the results document before the cache save: a fatal() on

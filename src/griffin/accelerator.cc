@@ -8,6 +8,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "power/cost_model.hh"
+#include "runtime/telemetry.hh"
 #include "runtime/workset_cache.hh"
 
 namespace griffin {
@@ -156,6 +157,7 @@ Accelerator::reduceLayers(const NetworkSpec &net, DnnCategory cat,
         fatal("reduceLayers got ", layers.size(), " layer results for ",
               net.name, " (", net.layers.size(), " layers)");
 
+    ScopedSpan span("reduce");
     NetworkResult result;
     result.network = net.name;
     result.arch = config_.name;

@@ -234,6 +234,7 @@ runExperiment(const Experiment &exp, const ExperimentRunConfig &config)
                                              config.gridOverride);
         spec.shardLayers = config.layerShard;
         spec.batchArchs = config.batchArchs;
+        spec.collectTimings = config.collectTimings;
         spec.shardIndex = config.shardIndex;
         spec.shardCount = config.shardCount;
         outcome.sweep = runSweep(spec, config.threads, config.cache,

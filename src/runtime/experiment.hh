@@ -149,6 +149,9 @@ struct ExperimentRunConfig
      *  point, so worksets generate once per point (see
      *  SweepSpec::batchArchs).  Bit-identical results. */
     bool batchArchs = false;
+    /** Wall-clock every job so sinks can emit elapsed_ms rows
+     *  (--timings; see SweepSpec::collectTimings). */
+    bool collectTimings = false;
     /** Fleet shard (--grid-shard i/n); (0, 1) runs everything. */
     std::size_t shardIndex = 0;
     std::size_t shardCount = 1;

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The BENCH_perf.json perf-trajectory artifact.
+ *
+ * `griffin_bench perf` runs a pinned microbench suite and serializes
+ * its execution profile — per-stage wall-time breakdown (from
+ * Telemetry::stageBreakdown), cache hit rates, and thread-pool
+ * utilization — as a schema-versioned JSON document.  The document is
+ * the repo's perf trajectory: CI produces one per run, and
+ * `perf --compare old.json new.json` renders the run-over-run deltas
+ * that let a scheduler or SIMD change be judged against the checked-in
+ * seed (bench/baselines/BENCH_perf_seed.json).
+ *
+ * Unlike result documents, perf documents are machine- and load-
+ * dependent by nature; nothing here participates in the byte-identical
+ * baseline guarantee.  The schema name/version pair is what consumers
+ * validate: parsePerfDocument() rejects any document whose "schema"
+ * is not griffin_bench_perf or whose "schema_version" is newer than
+ * this build understands.
+ */
+
+#ifndef GRIFFIN_RUNTIME_PERF_REPORT_HH
+#define GRIFFIN_RUNTIME_PERF_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "runtime/content_cache.hh"
+
+namespace griffin {
+
+constexpr const char *perfSchemaName = "griffin_bench_perf";
+constexpr int perfSchemaVersion = 1;
+
+/** One pipeline stage's merged wall-time total within one entry. */
+struct PerfStage
+{
+    std::string stage;
+    std::uint64_t count = 0;
+    double totalMs = 0.0;
+};
+
+/** One suite experiment's execution profile. */
+struct PerfEntry
+{
+    std::string experiment;
+    std::uint64_t jobs = 0;
+    double wallMs = 0.0;
+    double jobsPerSec = 0.0;
+    /** pool busy time / (threads * wall time), 0..1. */
+    double threadUtilization = 0.0;
+    std::uint64_t poolSteals = 0;
+    double poolBusyMs = 0.0;
+    std::vector<PerfStage> stages; ///< stage-name order
+    CacheStats scheduleCache;
+    CacheStats aScheduleCache;
+    CacheStats worksetCache;
+};
+
+/** The whole artifact. */
+struct PerfDocument
+{
+    int schemaVersion = perfSchemaVersion;
+    int threads = 1;
+    double sample = 0.0;
+    std::int64_t rowCap = 0;
+    std::uint64_t seed = 0;
+    double totalWallMs = 0.0;
+    std::vector<PerfEntry> suite; ///< suite run order
+};
+
+/** Serialize as pretty JSON with a fixed key order. */
+void writePerfJson(std::ostream &os, const PerfDocument &doc);
+
+/**
+ * Parse + schema-validate one perf document.  Returns false and fills
+ * `error` on malformed JSON, a wrong "schema" tag, a "schema_version"
+ * this build does not understand, or a missing/mistyped field.
+ */
+bool parsePerfDocument(const std::string &text, PerfDocument &out,
+                       std::string &error);
+
+/** Read + parse a perf document file; fatal() on any failure. */
+PerfDocument loadPerfDocument(const std::string &path);
+
+/**
+ * Run-over-run deltas: a summary table (wall time, throughput,
+ * utilization per experiment) and a per-stage wall-time table.
+ * Experiments or stages present in only one document render with "-"
+ * cells on the missing side.
+ */
+std::vector<Table> renderPerfCompare(const PerfDocument &oldDoc,
+                                     const PerfDocument &newDoc);
+
+} // namespace griffin
+
+#endif // GRIFFIN_RUNTIME_PERF_REPORT_HH

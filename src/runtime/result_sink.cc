@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "runtime/telemetry.hh"
 
 namespace griffin {
 
@@ -134,8 +135,11 @@ writeJsonRow(std::ostream &os, const NetworkResult &result,
        << in1 << "\"tops_per_watt\": " << jsonNumber(result.topsPerWatt)
        << "," << nl
        << in1 << "\"tops_per_mm2\": " << jsonNumber(result.topsPerMm2)
-       << "," << nl
-       << in1 << "\"layers\": [";
+       << "," << nl;
+    if (row != nullptr && row->timed)
+        os << in1 << "\"elapsed_ms\": " << jsonNumber(row->elapsedMs)
+           << "," << nl;
+    os << in1 << "\"layers\": [";
     for (std::size_t i = 0; i < result.layers.size(); ++i) {
         const auto &l = result.layers[i];
         os << (i == 0 ? nl : (compact ? "," : ",\n"))
@@ -187,6 +191,10 @@ sweepRows(const SweepResult &sweep, const std::string &experiment)
         row.options = sweep.jobs()[i].options;
         row.coords = sweep.jobs()[i].coords;
         row.experiment = experiment;
+        if (i < sweep.jobElapsedMs().size()) {
+            row.timed = true;
+            row.elapsedMs = sweep.jobElapsedMs()[i];
+        }
         rows.push_back(std::move(row));
     }
     return rows;
@@ -254,30 +262,45 @@ void
 writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
 {
     // The experiment column only appears when some row is labeled, so
-    // unlabeled documents (bench_runner) keep their layout.
+    // unlabeled documents (bench_runner) keep their layout.  Same for
+    // elapsed_ms: only `--timings` documents grow the column.
     bool labeled = false;
-    for (const auto &row : rows)
+    bool timed = false;
+    for (const auto &row : rows) {
         labeled = labeled || !row.experiment.empty();
+        timed = timed || row.timed;
+    }
     if (labeled)
         os << "experiment,";
     os << "network,arch,category,seed,row_cap,weight_lane_bias,"
           "act_run_length,sample_fraction,enforce_dram_bound,layer,"
           "dense_cycles,compute_cycles,dram_cycles,total_cycles,macs,"
-          "speedup\n";
+          "speedup";
+    if (timed)
+        os << ",elapsed_ms";
+    os << '\n';
     for (const auto &row : rows) {
         const auto &r = row.result;
         const auto prefix =
             (labeled ? csvEscape(row.experiment) + ',' : std::string()) +
             csvEscape(r.network) + ',' + csvEscape(r.arch) + ',' +
             toString(r.category) + ',' + optionsCsvCells(row) + ',';
+        // elapsed_ms is a whole-job quantity: the total row carries it,
+        // layer rows leave the cell empty.
         for (const auto &l : r.layers) {
             os << prefix << csvEscape(l.name) << ',' << l.denseCycles
                << ',' << l.computeCycles << ',' << l.dramCycles << ','
                << l.totalCycles << ',' << l.macs << ','
-               << jsonNumber(l.speedup) << '\n';
+               << jsonNumber(l.speedup);
+            if (timed)
+                os << ',';
+            os << '\n';
         }
         os << prefix << "total," << r.denseCycles << ",,,"
-           << r.totalCycles << ",," << jsonNumber(r.speedup) << '\n';
+           << r.totalCycles << ",," << jsonNumber(r.speedup);
+        if (timed)
+            os << ',' << (row.timed ? jsonNumber(row.elapsedMs) : "");
+        os << '\n';
     }
 }
 
@@ -338,6 +361,37 @@ writeCacheStatsJsonLine(std::ostream &os, const CacheStats &stats,
        << "\"evictions\": " << stats.evictions << ", "
        << "\"loaded_entries\": " << stats.loadedEntries << ", "
        << "\"load_hits\": " << stats.loadHits << "}}\n";
+}
+
+void
+writeMetricsJsonLine(std::ostream &os, const MetricsRegistry &registry,
+                     const std::string &label)
+{
+    os << "{\"" << jsonEscape(label) << "\": {";
+    const auto metrics = registry.snapshot();
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const auto &m = metrics[i];
+        if (i != 0)
+            os << ", ";
+        os << '"' << jsonEscape(m.name) << "\": ";
+        switch (m.kind) {
+          case MetricSnapshot::Kind::Counter:
+            os << m.counter;
+            break;
+          case MetricSnapshot::Kind::Gauge:
+            os << jsonNumber(m.gauge);
+            break;
+          case MetricSnapshot::Kind::Histogram:
+            os << "{\"count\": " << m.histogram.count
+               << ", \"sum\": " << m.histogram.sum
+               << ", \"min\": " << m.histogram.min
+               << ", \"max\": " << m.histogram.max
+               << ", \"mean\": " << jsonNumber(m.histogram.mean())
+               << "}";
+            break;
+        }
+    }
+    os << "}}\n";
 }
 
 ResultSink::ResultSink(std::string path) : path_(std::move(path))

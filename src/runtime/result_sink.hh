@@ -72,6 +72,14 @@ struct ResultRow
     RunOptions options{};
     std::vector<AxisCoordinate> coords;
     std::string experiment;
+    /**
+     * Wall-time of the job that produced this row (`--timings`).
+     * `timed` gates serialization: an untimed row emits no elapsed_ms
+     * field at all, keeping default output byte-identical to the
+     * checked-in baselines (elapsed time is machine-dependent).
+     */
+    bool timed = false;
+    double elapsedMs = 0.0;
 };
 
 /**
@@ -125,6 +133,18 @@ void writeTableJsonLine(std::ostream &os, const Table &table);
  */
 void writeCacheStatsJsonLine(std::ostream &os, const CacheStats &stats,
                              const std::string &label = "cache_stats");
+
+class MetricsRegistry;
+
+/**
+ * A registry snapshot as a single-line JSON object
+ * ({"<label>": {"name": value, ...}}), name-sorted so equal registry
+ * states serialize identically.  Counters render as integers, gauges
+ * as shortest-round-trip numbers, histograms as
+ * {"count", "sum", "min", "max", "mean"} objects.
+ */
+void writeMetricsJsonLine(std::ostream &os, const MetricsRegistry &registry,
+                          const std::string &label = "metrics");
 
 /**
  * File-backed sink: collects rows and writes one document on flush().

@@ -1,11 +1,13 @@
 #include "runtime/runner.hh"
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <tuple>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "runtime/telemetry.hh"
 #include "runtime/thread_pool.hh"
 
 namespace griffin {
@@ -140,6 +142,31 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
     for (const auto &arch : spec.archs)
         accelerators.emplace_back(arch);
 
+    // Per-job wall-time accumulators (--timings).  Atomics because a
+    // batched sub-job adds into several jobs' slots from one worker
+    // while other workers add into the same job from other layers.
+    std::unique_ptr<std::atomic<std::int64_t>[]> job_ns;
+    if (spec.collectTimings) {
+        job_ns =
+            std::make_unique<std::atomic<std::int64_t>[]>(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            job_ns[i].store(0, std::memory_order_relaxed);
+    }
+    const auto timeInto = [&job_ns](std::size_t i, auto &&body) {
+        if (job_ns == nullptr) {
+            body();
+            return;
+        }
+        const std::uint64_t start = monotonicNowNs();
+        body();
+        job_ns[i].fetch_add(
+            static_cast<std::int64_t>(monotonicNowNs() - start),
+            std::memory_order_relaxed);
+    };
+
+    const std::uint64_t sweep_start_ns = monotonicNowNs();
+    ThreadPool::Stats pool_stats;
+
     // Each (sub-)job writes only its own slot: no result lock needed,
     // and the merge is the identity — submission order is result order.
     std::vector<NetworkResult> results(jobs.size());
@@ -176,19 +203,26 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
                 for (std::size_t l = 0; l < layer_count; ++l) {
                     pool.submit([&spec, &jobs, &accelerators,
                                  &layer_results, &jobOptions, &batch,
-                                 l] {
+                                 &timeInto, l] {
                         for (const std::size_t i : batch) {
                             const SweepJob &job = jobs[i];
-                            layer_results[i][l] =
-                                accelerators[job.archIndex].runLayer(
-                                    spec.networks[job.networkIndex], l,
-                                    spec.categories[job.categoryIndex],
-                                    jobOptions(job));
+                            timeInto(i, [&] {
+                                layer_results[i][l] =
+                                    accelerators[job.archIndex]
+                                        .runLayer(
+                                            spec.networks
+                                                [job.networkIndex],
+                                            l,
+                                            spec.categories
+                                                [job.categoryIndex],
+                                            jobOptions(job));
+                            });
                         }
                     });
                 }
             }
             pool.wait();
+            pool_stats = pool.stats();
         }
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const SweepJob &job = jobs[i];
@@ -211,17 +245,21 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
                 const auto layer_count = layer_results[i].size();
                 for (std::size_t l = 0; l < layer_count; ++l) {
                     pool.submit([&spec, &jobs, &accelerators,
-                                 &layer_results, &jobOptions, i, l] {
+                                 &layer_results, &jobOptions, &timeInto,
+                                 i, l] {
                         const SweepJob &job = jobs[i];
-                        layer_results[i][l] =
-                            accelerators[job.archIndex].runLayer(
-                                spec.networks[job.networkIndex], l,
-                                spec.categories[job.categoryIndex],
-                                jobOptions(job));
+                        timeInto(i, [&] {
+                            layer_results[i][l] =
+                                accelerators[job.archIndex].runLayer(
+                                    spec.networks[job.networkIndex], l,
+                                    spec.categories[job.categoryIndex],
+                                    jobOptions(job));
+                        });
                     });
                 }
             }
             pool.wait();
+            pool_stats = pool.stats();
         }
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             const SweepJob &job = jobs[i];
@@ -234,19 +272,73 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
         ThreadPool pool(threads);
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             pool.submit([&spec, &jobs, &accelerators, &results,
-                         &jobOptions, i] {
+                         &jobOptions, &timeInto, i] {
                 const SweepJob &job = jobs[i];
-                results[i] = accelerators[job.archIndex].run(
-                    spec.networks[job.networkIndex],
-                    spec.categories[job.categoryIndex],
-                    jobOptions(job));
+                timeInto(i, [&] {
+                    results[i] = accelerators[job.archIndex].run(
+                        spec.networks[job.networkIndex],
+                        spec.categories[job.categoryIndex],
+                        jobOptions(job));
+                });
             });
         }
         pool.wait();
+        pool_stats = pool.stats();
+    }
+
+    const std::uint64_t sweep_ns = monotonicNowNs() - sweep_start_ns;
+
+    std::vector<double> job_elapsed_ms;
+    if (job_ns != nullptr) {
+        job_elapsed_ms.reserve(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            job_elapsed_ms.push_back(
+                static_cast<double>(
+                    job_ns[i].load(std::memory_order_relaxed)) /
+                1e6);
+    }
+
+    // Publish the sweep's execution profile to the process registry —
+    // the one source of truth the `--stats` line and `griffin_bench
+    // perf` both read.  Pure observation: nothing below feeds back into
+    // a result.
+    {
+        MetricsRegistry &reg = MetricsRegistry::instance();
+        const double wall_ms = static_cast<double>(sweep_ns) / 1e6;
+        const double wall_s = static_cast<double>(sweep_ns) / 1e9;
+        reg.gauge("sweep.jobs").set(static_cast<double>(jobs.size()));
+        reg.gauge("sweep.wall_ms").set(wall_ms);
+        reg.gauge("sweep.jobs_per_sec")
+            .set(wall_s > 0.0
+                     ? static_cast<double>(jobs.size()) / wall_s
+                     : 0.0);
+        reg.gauge("pool.threads").set(static_cast<double>(threads));
+        reg.gauge("pool.executed_jobs")
+            .set(static_cast<double>(pool_stats.executed));
+        reg.gauge("pool.steals")
+            .set(static_cast<double>(pool_stats.steals));
+        reg.gauge("pool.busy_ms")
+            .set(static_cast<double>(pool_stats.busyNs) / 1e6);
+        const double capacity_ns =
+            static_cast<double>(sweep_ns) * threads;
+        reg.gauge("pool.utilization")
+            .set(capacity_ns > 0.0
+                     ? static_cast<double>(pool_stats.busyNs) /
+                           capacity_ns
+                     : 0.0);
+        reg.publishCacheStats("schedule_cache", cache->stats());
+        reg.publishCacheStats("a_schedule_cache", a_cache.stats());
+        reg.publishCacheStats("workset_cache", worksets->stats());
+        if (!job_elapsed_ms.empty()) {
+            Histogram &h = reg.histogram("pool.job_us");
+            for (const double ms : job_elapsed_ms)
+                h.record(static_cast<std::uint64_t>(ms * 1e3));
+        }
     }
 
     return SweepResult(std::move(jobs), std::move(results),
-                       cache->stats(), worksets->stats());
+                       cache->stats(), worksets->stats(),
+                       a_cache.stats(), std::move(job_elapsed_ms));
 }
 
 } // namespace griffin

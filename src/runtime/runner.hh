@@ -158,6 +158,15 @@ struct SweepSpec
     std::function<bool(const SweepJob &)> jobFilter;
 
     /**
+     * When true, runSweep() wall-clocks every job (SweepResult::
+     * jobElapsedMs) so sinks can emit `elapsed_ms` rows (`--timings`).
+     * Timing is observation only — it never feeds back into any
+     * simulated result.  Default off keeps baseline outputs free of
+     * machine-dependent fields.
+     */
+    bool collectTimings = false;
+
+    /**
      * Fleet sharding: expandSweep() keeps only the shardIndex-th of
      * shardCount contiguous blocks of the (filtered) job list.  Blocks
      * partition the list in submission order, so the concatenation of
@@ -187,9 +196,13 @@ class SweepResult
     SweepResult(std::vector<SweepJob> jobs,
                 std::vector<NetworkResult> results,
                 ScheduleCache::Stats cache_stats,
-                WorksetCache::Stats workset_stats = {})
+                WorksetCache::Stats workset_stats = {},
+                AScheduleCache::Stats a_schedule_stats = {},
+                std::vector<double> job_elapsed_ms = {})
         : jobs_(std::move(jobs)), results_(std::move(results)),
-          cacheStats_(cache_stats), worksetStats_(workset_stats)
+          cacheStats_(cache_stats), worksetStats_(workset_stats),
+          aScheduleStats_(a_schedule_stats),
+          jobElapsedMs_(std::move(job_elapsed_ms))
     {
     }
 
@@ -224,11 +237,30 @@ class SweepResult
         return worksetStats_;
     }
 
+    /** A-side arbiter-schedule cache counters of the sweep. */
+    const AScheduleCache::Stats &aScheduleStats() const
+    {
+        return aScheduleStats_;
+    }
+
+    /**
+     * Per-job wall-time in milliseconds, parallel to jobs() — empty
+     * unless the sweep ran with SweepSpec::collectTimings.  Under
+     * layer sharding / arch batching a job's time is the sum of its
+     * sub-jobs' runLayer times (reduce excluded).
+     */
+    const std::vector<double> &jobElapsedMs() const
+    {
+        return jobElapsedMs_;
+    }
+
   private:
     std::vector<SweepJob> jobs_;
     std::vector<NetworkResult> results_;
     ScheduleCache::Stats cacheStats_;
     WorksetCache::Stats worksetStats_;
+    AScheduleCache::Stats aScheduleStats_;
+    std::vector<double> jobElapsedMs_;
 };
 
 /**

@@ -1,5 +1,7 @@
 #include "runtime/thread_pool.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 
 namespace griffin {
@@ -67,6 +69,16 @@ ThreadPool::pendingJobs() const
     return unfinished_;
 }
 
+ThreadPool::Stats
+ThreadPool::stats() const
+{
+    Stats s;
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.busyNs = busyNs_.load(std::memory_order_relaxed);
+    return s;
+}
+
 int
 ThreadPool::hardwareThreads()
 {
@@ -97,6 +109,7 @@ ThreadPool::steal(std::size_t self, std::function<void()> &job)
             continue;
         job = std::move(victim.jobs.front());
         victim.jobs.pop_front();
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -112,7 +125,15 @@ ThreadPool::workerLoop(std::size_t self)
                 std::lock_guard<std::mutex> lock(mu_);
                 --queued_;
             }
+            const auto start = std::chrono::steady_clock::now();
             job();
+            busyNs_.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count()),
+                std::memory_order_relaxed);
+            executed_.fetch_add(1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(mu_);
             --unfinished_;
             if (unfinished_ == 0) {

@@ -17,8 +17,10 @@
 #ifndef GRIFFIN_RUNTIME_THREAD_POOL_HH
 #define GRIFFIN_RUNTIME_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -58,6 +60,21 @@ class ThreadPool
     /** Jobs submitted but not yet finished (racy; for status lines). */
     std::size_t pendingJobs() const;
 
+    /**
+     * Execution totals since construction.  Reads are racy relaxed
+     * loads — call after wait() for a settled view.  busyNs is summed
+     * job wall-time across workers; busyNs / (threads * sweep wall)
+     * gives utilization.
+     */
+    struct Stats
+    {
+        std::uint64_t executed = 0; ///< jobs run to completion
+        std::uint64_t steals = 0;   ///< jobs taken from another deque
+        std::uint64_t busyNs = 0;   ///< summed job wall-time
+    };
+
+    Stats stats() const;
+
     /** std::thread::hardware_concurrency with a floor of 1. */
     static int hardwareThreads();
 
@@ -74,6 +91,10 @@ class ThreadPool
 
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
+
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> busyNs_{0};
 
     mutable std::mutex mu_;           ///< guards the fields below
     std::condition_variable workCv_;  ///< workers sleep here

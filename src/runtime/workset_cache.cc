@@ -1,5 +1,7 @@
 #include "runtime/workset_cache.hh"
 
+#include "runtime/telemetry.hh"
+
 namespace griffin {
 
 WorksetCache::Key
@@ -22,8 +24,12 @@ WorksetCache::contentKey(const WorksetParams &params)
 std::shared_ptr<const LayerWorkset>
 WorksetCache::obtain(const WorksetParams &params)
 {
-    return cache_.obtain(contentKey(params),
-                         [&] { return generateLayerWorkset(params); });
+    // Only the cache-miss generation is the operand_gen stage; a hit
+    // costs a hash lookup and should not inflate the stage total.
+    return cache_.obtain(contentKey(params), [&] {
+        ScopedSpan span("operand_gen");
+        return generateLayerWorkset(params);
+    });
 }
 
 std::shared_ptr<const LayerWorkset>
@@ -31,6 +37,7 @@ obtainWorkset(WorksetCache *cache, const WorksetParams &params)
 {
     if (cache != nullptr)
         return cache->obtain(params);
+    ScopedSpan span("operand_gen");
     return std::make_shared<const LayerWorkset>(
         generateLayerWorkset(params));
 }

@@ -7,6 +7,7 @@
 
 #include "arch/overhead.hh"
 #include "runtime/schedule_cache.hh"
+#include "runtime/telemetry.hh"
 #include "sched/a_arbiter.hh"
 #include "sched/b_preprocess.hh"
 #include "sched/dual_scheduler.hh"
@@ -39,6 +40,7 @@ std::shared_ptr<const BSchedule>
 obtainStream(ScheduleCache *cache, const TileViewB &vb, const Borrow &db,
              const Shuffler &shuffler)
 {
+    ScopedSpan span("b_schedule");
     if (cache != nullptr)
         return cache->obtain(vb, db, shuffler);
     return std::make_shared<const BSchedule>(
@@ -52,6 +54,7 @@ ScheduleStats
 obtainAStats(AScheduleCache *cache, const TileViewA &va, const Borrow &da,
              const Shuffler &shuffler, double advance_cap)
 {
+    ScopedSpan span("a_schedule");
     if (cache != nullptr)
         return cache->obtain(va, da, shuffler, advance_cap)->stats;
     return scheduleA(va, da, shuffler, advance_cap, false).stats;
@@ -193,6 +196,7 @@ applyMemoryModel(const GemmOperands &ops, const ArchConfig &arch,
                  std::int64_t k, std::int64_t n, const SimOptions &opt,
                  GemmSimResult &result)
 {
+    ScopedSpan span("memory_model");
     const auto hw = computeOverhead(routing, arch.tile);
     std::int64_t b_bytes = k * n;
     if (routing.preprocessB) {
@@ -276,20 +280,25 @@ simulateGemm(const GemmOperands &operands, const ArchConfig &arch,
     const ComputeStage stage{operands, opt,       shape,    routing,
                              shuffler, bw,        row_tiles, col_tiles};
 
-    switch (routing.mode) {
-      case SparsityMode::Dense:
-        result.computeCycles = result.denseCycles;
-        result.simulatedTiles = result.totalTiles;
-        break;
-      case SparsityMode::B:
-        simulateSparseB(stage, result);
-        break;
-      case SparsityMode::A:
-        simulateSparseA(stage, result);
-        break;
-      case SparsityMode::AB:
-        simulateDualSparse(stage, result);
-        break;
+    {
+        // b_schedule / a_schedule spans nest inside this one; the
+        // trace shows scheduling as sub-slices of tile simulation.
+        ScopedSpan span("tile_sim");
+        switch (routing.mode) {
+          case SparsityMode::Dense:
+            result.computeCycles = result.denseCycles;
+            result.simulatedTiles = result.totalTiles;
+            break;
+          case SparsityMode::B:
+            simulateSparseB(stage, result);
+            break;
+          case SparsityMode::A:
+            simulateSparseA(stage, result);
+            break;
+          case SparsityMode::AB:
+            simulateDualSparse(stage, result);
+            break;
+        }
     }
 
     applyMemoryModel(operands, arch, routing, m, k, n, opt, result);

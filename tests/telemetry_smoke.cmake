@@ -1,0 +1,114 @@
+# CTest script: end-to-end telemetry smoke.
+#
+#  (a) `run fig5 fig6 --trace` emits a Chrome-trace JSON covering all
+#      six pipeline stages (fig5 exercises the B-side five, fig6 adds
+#      a_schedule) while the --out row document stays byte-identical
+#      to an untraced run at a different thread count — telemetry must
+#      be observation only.
+#  (b) `run --timings` grows elapsed_ms fields; the default does not.
+#  (c) `perf` writes a BENCH_perf.json that `perf --compare` parses,
+#      schema-validates, and renders deltas for (self-compare: every
+#      delta is +0.0%).
+#
+# Invoked as:
+#   cmake -DGRIFFIN_BENCH=<path> -DWORK_DIR=<dir> -P telemetry_smoke.cmake
+
+if(NOT GRIFFIN_BENCH OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DGRIFFIN_BENCH=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(fidelity --sample 0.01 --rowcap 4)
+
+# -- (a) traced vs untraced rows --------------------------------------
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" run fig5 fig6 ${fidelity}
+            --threads 2 --out "${WORK_DIR}/plain.jsonl"
+    OUTPUT_VARIABLE out1 ERROR_VARIABLE err1 RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+    message(FATAL_ERROR "untraced run failed (${rc1}):\n${err1}")
+endif()
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" run fig5 fig6 ${fidelity}
+            --threads 4 --trace "${WORK_DIR}/trace.json"
+            --out "${WORK_DIR}/traced.jsonl"
+    OUTPUT_VARIABLE out2 ERROR_VARIABLE err2 RESULT_VARIABLE rc2)
+if(NOT rc2 EQUAL 0)
+    message(FATAL_ERROR "traced run failed (${rc2}):\n${err2}")
+endif()
+
+file(READ "${WORK_DIR}/plain.jsonl" rows_plain)
+file(READ "${WORK_DIR}/traced.jsonl" rows_traced)
+if(NOT rows_plain STREQUAL rows_traced)
+    message(FATAL_ERROR "--trace changed the result rows")
+endif()
+string(LENGTH "${rows_plain}" rows_len)
+if(rows_len EQUAL 0)
+    message(FATAL_ERROR "result row document is empty")
+endif()
+
+file(READ "${WORK_DIR}/trace.json" trace)
+if(NOT trace MATCHES "\"traceEvents\"")
+    message(FATAL_ERROR "trace file is not a Chrome trace document")
+endif()
+foreach(stage operand_gen b_schedule a_schedule tile_sim memory_model
+        reduce)
+    if(NOT trace MATCHES "\"${stage}\"")
+        message(FATAL_ERROR "trace has no '${stage}' spans")
+    endif()
+endforeach()
+
+# -- (b) --timings opt-in ---------------------------------------------
+
+if(rows_plain MATCHES "elapsed_ms")
+    message(FATAL_ERROR "default run emitted elapsed_ms — --timings "
+                        "must be opt-in")
+endif()
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" run fig6 ${fidelity} --threads 2
+            --timings --out "${WORK_DIR}/timed.jsonl"
+    OUTPUT_VARIABLE out3 ERROR_VARIABLE err3 RESULT_VARIABLE rc3)
+if(NOT rc3 EQUAL 0)
+    message(FATAL_ERROR "--timings run failed (${rc3}):\n${err3}")
+endif()
+file(READ "${WORK_DIR}/timed.jsonl" rows_timed)
+if(NOT rows_timed MATCHES "\"elapsed_ms\": ")
+    message(FATAL_ERROR "--timings run emitted no elapsed_ms fields")
+endif()
+
+# -- (c) perf artifact + compare --------------------------------------
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" perf fig6 ${fidelity} --threads 2
+            --out "${WORK_DIR}/BENCH_perf.json"
+    OUTPUT_VARIABLE out4 ERROR_VARIABLE err4 RESULT_VARIABLE rc4)
+if(NOT rc4 EQUAL 0)
+    message(FATAL_ERROR "perf run failed (${rc4}):\n${err4}")
+endif()
+file(READ "${WORK_DIR}/BENCH_perf.json" perf_doc)
+if(NOT perf_doc MATCHES "\"schema\": \"griffin_bench_perf\"")
+    message(FATAL_ERROR "perf artifact lacks the schema tag")
+endif()
+if(NOT perf_doc MATCHES "\"stages\": \\[")
+    message(FATAL_ERROR "perf artifact has no stage breakdown")
+endif()
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" perf --compare
+            "${WORK_DIR}/BENCH_perf.json" "${WORK_DIR}/BENCH_perf.json"
+    OUTPUT_VARIABLE out5 ERROR_VARIABLE err5 RESULT_VARIABLE rc5)
+if(NOT rc5 EQUAL 0)
+    message(FATAL_ERROR
+            "perf --compare rejected its own artifact (${rc5}):\n${err5}")
+endif()
+if(NOT out5 MATCHES "\\+0\\.0%")
+    message(FATAL_ERROR "self-compare rendered a nonzero delta:\n${out5}")
+endif()
+
+message(STATUS "telemetry smoke OK: identical rows, six-stage trace, "
+               "opt-in timings, valid perf artifact")

@@ -40,6 +40,16 @@ TEST(Logging, AssertPassesOnTrue)
     SUCCEED();
 }
 
+TEST(LoggingDeathTest, LinesCarryMonotonicTimestamp)
+{
+    // "severity: [+12.345s] msg" — monotonic seconds since process
+    // start, fixed three-decimal format, one line per record.
+    EXPECT_DEATH(panic("stamped"),
+                 "panic: \\[\\+[0-9]+\\.[0-9][0-9][0-9]s\\] stamped");
+    EXPECT_EXIT(fatal("stamped too"), testing::ExitedWithCode(1),
+                "fatal: \\[\\+[0-9]+\\.[0-9][0-9][0-9]s\\] stamped too");
+}
+
 TEST(Logging, WarnAndInformDoNotTerminate)
 {
     warn("just a warning ", 1);

@@ -670,6 +670,29 @@ TEST(Runner, CacheDoesNotChangeResults)
     EXPECT_EQ(direct.speedup, sweep.results()[3].speedup);
 }
 
+TEST(Runner, CollectTimingsProducesPerJobElapsed)
+{
+    auto spec = smallSweep();
+    const auto plain = runSweep(spec, 2);
+    EXPECT_TRUE(plain.jobElapsedMs().empty())
+        << "timings are strictly opt-in";
+
+    spec.collectTimings = true;
+    const auto timed = runSweep(spec, 2);
+    ASSERT_EQ(timed.jobElapsedMs().size(), timed.jobs().size());
+    for (const double ms : timed.jobElapsedMs())
+        EXPECT_GE(ms, 0.0);
+
+    // Timing is pure observation: result rows must not move.
+    ASSERT_EQ(timed.results().size(), plain.results().size());
+    for (std::size_t i = 0; i < plain.results().size(); ++i) {
+        EXPECT_EQ(timed.results()[i].totalCycles,
+                  plain.results()[i].totalCycles);
+        EXPECT_EQ(timed.results()[i].speedup,
+                  plain.results()[i].speedup);
+    }
+}
+
 TEST(Runner, PerArchSeedsDecoupleTensors)
 {
     auto spec = smallSweep();
@@ -884,6 +907,68 @@ TEST(ResultSink, PlainRowsKeepTheLegacyShape)
     writeJson(os, std::vector<NetworkResult>{tinyResult()});
     EXPECT_EQ(os.str().find("\"options\""), std::string::npos);
     EXPECT_EQ(os.str().find("\"coords\""), std::string::npos);
+}
+
+SweepResult
+tinyTimedSweep()
+{
+    // tinyAnnotatedSweep() plus per-job elapsed times, as runSweep
+    // would produce under SweepSpec::collectTimings.
+    SweepSpec spec;
+    spec.archs = {sparseBStar()};
+    spec.networks = {alexNet()};
+    spec.categories = {DnnCategory::B};
+    RunOptions lo, hi;
+    lo.weightLaneBias = 0.25;
+    hi.weightLaneBias = 0.75;
+    spec.optionVariants = {lo, hi};
+    spec.optionCoords = {{{"weight_lane_bias", "0.25"}},
+                         {{"weight_lane_bias", "0.75"}}};
+    auto jobs = expandSweep(spec);
+    return SweepResult(std::move(jobs), {tinyResult(), tinyResult()},
+                       ScheduleCache::Stats{}, WorksetCache::Stats{},
+                       AScheduleCache::Stats{}, {1.5, 2.5});
+}
+
+TEST(ResultSink, TimedRowsEmitElapsedMs)
+{
+    std::ostringstream os;
+    writeJsonLines(os, sweepRows(tinyTimedSweep()));
+    const auto doc = os.str();
+    EXPECT_NE(doc.find("\"elapsed_ms\": 1.5,"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find("\"elapsed_ms\": 2.5,"), std::string::npos)
+        << doc;
+
+    // An untimed document must not grow the field: `--timings` off is
+    // the byte-stable default.
+    std::ostringstream os2;
+    writeJsonLines(os2, sweepRows(tinyAnnotatedSweep()));
+    EXPECT_EQ(os2.str().find("elapsed_ms"), std::string::npos);
+}
+
+TEST(ResultSink, TimedCsvGrowsTrailingElapsedColumn)
+{
+    std::ostringstream os;
+    writeCsv(os, sweepRows(tinyTimedSweep()));
+    const auto doc = os.str();
+    // Header gains one trailing column...
+    EXPECT_NE(doc.find(",macs,speedup,elapsed_ms\n"),
+              std::string::npos)
+        << doc;
+    // ...total rows carry the value, layer rows leave the cell empty.
+    EXPECT_NE(doc.find(",total,100,,,50,,2,1.5\n"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find(",total,100,,,50,,2,2.5\n"), std::string::npos)
+        << doc;
+    EXPECT_NE(doc.find(",l1,100,50,0,50,1000,2,\n"), std::string::npos)
+        << doc;
+
+    // Untimed documents keep the legacy header byte-exactly.
+    std::ostringstream os2;
+    writeCsv(os2, sweepRows(tinyAnnotatedSweep()));
+    EXPECT_NE(os2.str().find(",macs,speedup\n"), std::string::npos);
+    EXPECT_EQ(os2.str().find("elapsed_ms"), std::string::npos);
 }
 
 TEST(ResultSink, TableJsonLineIsOneObjectPerLine)
