@@ -36,6 +36,8 @@
  * merged row document, --csv/--json apply as in run).
  */
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,6 +45,7 @@
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "sched/dag_schedule.hh"
 #include "runtime/cache_store.hh"
 #include "runtime/experiment.hh"
 #include "runtime/perf_report.hh"
@@ -73,6 +76,49 @@ experimentOrDie(const std::string &name)
               nearestName(name, registryNames()),
               "'? (see griffin_bench list)");
     return *exp;
+}
+
+/** Case-insensitive benchmark-network lookup; nullopt-style via an
+ *  empty name sentinel is avoided by returning a found flag. */
+bool
+findNetwork(const std::string &name, NetworkSpec &out)
+{
+    const auto fold = [](std::string s) {
+        std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+            return static_cast<char>(std::tolower(c));
+        });
+        return s;
+    };
+    const std::string wanted = fold(name);
+    for (auto &net : benchmarkSuite()) {
+        if (fold(net.name) == wanted) {
+            out = std::move(net);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** The `networks` subcommand: the benchmark suite as a table. */
+Table
+networkListTable()
+{
+    Table t("Benchmark networks (paper Table IV)",
+            {"network", "nodes", "edges", "macs", "dense cycles",
+             "B/A sparsity", "accuracy"});
+    const TileShape shape{};
+    for (const auto &net : benchmarkSuite()) {
+        std::size_t edges = 0;
+        for (const auto &node : net.nodes)
+            edges += node.inputs.size();
+        t.addRow({net.name, std::to_string(net.layerCount()),
+                  std::to_string(edges), std::to_string(net.macs()),
+                  std::to_string(net.denseCycles(shape)),
+                  Table::num(net.weightSparsity, 2) + "/" +
+                      Table::num(net.actSparsity, 2),
+                  net.accuracy});
+    }
+    return t;
 }
 
 /** bench-style table output: boxed or CSV on stdout, optional JSON
@@ -195,9 +241,11 @@ int
 main(int argc, char **argv)
 {
     Cli cli("griffin_bench: run registered paper experiments "
-            "(subcommands: list | describe <name...> | "
+            "(subcommands: list | networks | describe <name...> | "
             "run <name...|--all> | merge <shard.jsonl...> | "
-            "perf [name...] | perf --compare old.json new.json)");
+            "perf [name...] | perf --compare old.json new.json; "
+            "describe also takes a benchmark network name and renders "
+            "its dataflow DAG and schedules)");
     addFidelityFlags(cli);
     cli.addBool("all", false, "run every registered experiment");
     cli.addInt("threads", ThreadPool::hardwareThreads(),
@@ -246,7 +294,8 @@ main(int argc, char **argv)
     const auto positional = cli.parse(argc, argv);
 
     if (positional.empty())
-        fatal("missing subcommand (list | describe | run | merge)\n",
+        fatal("missing subcommand (list | networks | describe | run | "
+              "merge)\n",
               cli.usage());
     const std::string &command = positional.front();
     std::vector<std::string> names(positional.begin() + 1,
@@ -259,11 +308,37 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (command == "networks") {
+        if (!names.empty())
+            fatal("networks takes no arguments");
+        networkListTable().print(std::cout);
+        return 0;
+    }
+
     if (command == "describe") {
         if (names.empty())
-            fatal("describe needs at least one experiment name");
-        for (const auto &name : names)
-            std::cout << describeExperiment(experimentOrDie(name));
+            fatal("describe needs at least one experiment or network "
+                  "name");
+        for (const auto &name : names) {
+            const Experiment *exp = findExperiment(name);
+            if (exp != nullptr) {
+                std::cout << describeExperiment(*exp);
+                continue;
+            }
+            // Fall back to the benchmark networks: describe a DAG.
+            NetworkSpec net;
+            if (findNetwork(name, net)) {
+                std::cout << describeDag(net);
+                continue;
+            }
+            std::cout.flush();
+            auto candidates = registryNames();
+            for (const auto &net_name : networkNames())
+                candidates.push_back(net_name);
+            fatal("unknown experiment or network '", name,
+                  "'; did you mean '", nearestName(name, candidates),
+                  "'? (see griffin_bench list / networks)");
+        }
         return 0;
     }
 
@@ -325,9 +400,9 @@ main(int argc, char **argv)
     if (command != "run")
         fatal("unknown subcommand '", command, "'; did you mean '",
               nearestName(command,
-                          {"list", "describe", "run", "merge",
-                           "perf"}),
-              "'? (list | describe | run | merge | perf)\n",
+                          {"list", "networks", "describe", "run",
+                           "merge", "perf"}),
+              "'? (list | networks | describe | run | merge | perf)\n",
               cli.usage());
 
     if (cli.getBool("all")) {

@@ -46,9 +46,9 @@ main(int argc, char **argv)
     for (double wsp : {0.0, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95}) {
         auto sweep = net;
         sweep.weightSparsity = wsp;
-        for (auto &layer : sweep.layers)
-            if (layer.weightSparsity > 0.0)
-                layer.weightSparsity = -1.0; // sweep rules them all
+        for (auto &node : sweep.nodes)
+            if (node.layer.weightSparsity > 0.0)
+                node.layer.weightSparsity = -1.0; // sweep rules them all
         const auto cat = wsp > 0.0 ? DnnCategory::B : DnnCategory::Dense;
         const double eb =
             b_star.run(sweep, cat, opt).topsPerWatt;

@@ -58,11 +58,11 @@ Accelerator::layerWorksetParams(const NetworkSpec &net,
     net.validate();
     if (opt.rowCap <= 0)
         fatal("rowCap must be positive, got ", opt.rowCap);
-    if (layerIndex >= net.layers.size())
+    if (layerIndex >= net.layerCount())
         fatal("layer index ", layerIndex, " out of range for ", net.name,
-              " (", net.layers.size(), " layers)");
+              " (", net.layerCount(), " layers)");
 
-    const LayerSpec &layer = net.layers[layerIndex];
+    const LayerSpec &layer = net.layer(layerIndex);
 
     WorksetParams params;
     // Simulate a statistically-equivalent row slice of one group.
@@ -101,11 +101,11 @@ Accelerator::runLayer(const NetworkSpec &net, std::size_t layerIndex,
                       const LayerWorkset &workset) const
 {
     net.validate();
-    if (layerIndex >= net.layers.size())
+    if (layerIndex >= net.layerCount())
         fatal("layer index ", layerIndex, " out of range for ", net.name,
-              " (", net.layers.size(), " layers)");
+              " (", net.layerCount(), " layers)");
 
-    const LayerSpec &layer = net.layers[layerIndex];
+    const LayerSpec &layer = net.layer(layerIndex);
     const TileShape &shape = config_.tile;
     const double wsp = net.layerWeightSparsity(layer, cat);
 
@@ -153,9 +153,17 @@ NetworkResult
 Accelerator::reduceLayers(const NetworkSpec &net, DnnCategory cat,
                           std::vector<LayerResult> layers) const
 {
-    if (layers.size() != net.layers.size())
+    return reduceLayers(net, cat, std::move(layers), RunOptions{});
+}
+
+NetworkResult
+Accelerator::reduceLayers(const NetworkSpec &net, DnnCategory cat,
+                          std::vector<LayerResult> layers,
+                          const RunOptions &opt) const
+{
+    if (layers.size() != net.layerCount())
         fatal("reduceLayers got ", layers.size(), " layer results for ",
-              net.name, " (", net.layers.size(), " layers)");
+              net.name, " (", net.layerCount(), " layers)");
 
     ScopedSpan span("reduce");
     NetworkResult result;
@@ -167,6 +175,39 @@ Accelerator::reduceLayers(const NetworkSpec &net, DnnCategory cat,
         result.totalCycles += lr.totalCycles;
     }
     result.layers = std::move(layers);
+
+    // Schedule-derived accounting is opt-in: the default (declaration
+    // policy, no budget) takes the legacy path exactly, leaving
+    // scheduleLabel empty so result serialization is byte-identical.
+    const bool scheduled =
+        opt.schedulePolicy != SchedulePolicy::Declaration ||
+        opt.sramBudgetBytes > 0;
+    if (scheduled) {
+        ScopedSpan schedule_span("schedule");
+        const DagSchedule schedule =
+            scheduleFor(net, opt.schedulePolicy);
+        result.scheduleLabel = schedule.label;
+        result.peakSramBytes = schedule.peakBytes;
+        for (std::size_t p = 0; p < schedule.entries.size(); ++p) {
+            const ScheduleEntry &entry = schedule.entries[p];
+            if (entry.recompute)
+                result.recomputeCycles +=
+                    result.layers[entry.node].totalCycles;
+            if (opt.sramBudgetBytes > 0) {
+                const std::int64_t over =
+                    schedule.entryLiveBytes[p] - opt.sramBudgetBytes;
+                if (over > 0) {
+                    // Round trip: spilled bytes go out and come back.
+                    result.spillCycles += static_cast<std::int64_t>(
+                        std::ceil(2.0 * static_cast<double>(over) /
+                                  config_.mem.dramBytesPerCycle()));
+                }
+            }
+        }
+        result.totalCycles +=
+            result.recomputeCycles + result.spillCycles;
+    }
+
     result.speedup = result.totalCycles > 0
                          ? static_cast<double>(result.denseCycles) /
                                static_cast<double>(result.totalCycles)
@@ -186,10 +227,10 @@ Accelerator::run(const NetworkSpec &net, DnnCategory cat,
     // own check (the loop body never runs).
     net.validate();
     std::vector<LayerResult> layers;
-    layers.reserve(net.layers.size());
-    for (std::size_t l = 0; l < net.layers.size(); ++l)
+    layers.reserve(net.layerCount());
+    for (std::size_t l = 0; l < net.layerCount(); ++l)
         layers.push_back(runLayer(net, l, cat, opt));
-    return reduceLayers(net, cat, std::move(layers));
+    return reduceLayers(net, cat, std::move(layers), opt);
 }
 
 std::vector<NetworkResult>

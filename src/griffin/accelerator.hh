@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "arch/arch_config.hh"
+#include "sched/dag_schedule.hh"
 #include "sim/gemm_sim.hh"
 #include "tensor/workset.hh"
 #include "workloads/network.hh"
@@ -58,6 +59,26 @@ struct RunOptions
      * fully-connected layers).
      */
     bool enforceDramBound = false;
+
+    /**
+     * Layer execution order over the network DAG
+     * (sched/dag_schedule.hh).  Declaration order is the historical
+     * behaviour; the optimized policies reorder execution to minimise
+     * peak on-chip buffer bytes.  Per-layer cycle results are
+     * schedule-independent (each layer's seed depends only on its node
+     * index), so the policy affects only the schedule-derived fields
+     * of NetworkResult.
+     */
+    SchedulePolicy schedulePolicy = SchedulePolicy::Declaration;
+
+    /**
+     * On-chip buffer budget in bytes for the spill model.  When
+     * positive, every schedule step whose live bytes exceed the budget
+     * pays DRAM round-trip cycles for the excess
+     * (2 * excess / dramBytesPerCycle), added to the network total.
+     * Zero (the default) disables spill accounting entirely.
+     */
+    std::int64_t sramBudgetBytes = 0;
 
     /**
      * Optional shared memoization of layer operand generation (not
@@ -93,6 +114,17 @@ struct NetworkResult
     double topsPerWatt = 0.0;  ///< effective, Definition V.1
     double topsPerMm2 = 0.0;   ///< effective, Definition V.1
     std::vector<LayerResult> layers;
+
+    /**
+     * Schedule-derived fields, populated only when the run used a
+     * non-declaration policy or a positive SRAM budget (scheduleLabel
+     * empty otherwise, and none of them serialized — the opt-in keeps
+     * default-run artifacts byte-identical).
+     */
+    std::string scheduleLabel;
+    std::int64_t peakSramBytes = 0;  ///< peak live buffer bytes
+    std::int64_t spillCycles = 0;    ///< DRAM round-trips over budget
+    std::int64_t recomputeCycles = 0; ///< re-executed cheap layers
 };
 
 /**
@@ -146,13 +178,26 @@ class Accelerator
                          const LayerWorkset &workset) const;
 
     /**
-     * Deterministic reduce step: assemble per-layer outcomes (in layer
-     * order, one per net.layers entry) into the NetworkResult run()
-     * would have produced.  run(net, cat, opt) is exactly
-     * reduceLayers(net, cat, {runLayer(net, 0..L-1, cat, opt)}).
+     * Deterministic reduce step: assemble per-layer outcomes (in node
+     * order, one per net node) into the NetworkResult run() would have
+     * produced.  run(net, cat, opt) is exactly
+     * reduceLayers(net, cat, {runLayer(net, 0..L-1, cat, opt)}, opt).
+     * The two-argument overload reduces under default RunOptions
+     * (declaration schedule, no budget).
      */
     NetworkResult reduceLayers(const NetworkSpec &net, DnnCategory cat,
                                std::vector<LayerResult> layers) const;
+
+    /**
+     * Schedule-aware reduce: additionally prices the layer-execution
+     * schedule opt.schedulePolicy selects (peak live bytes, spill
+     * cycles against opt.sramBudgetBytes, recompute cycles) and folds
+     * the overhead cycles into the network totals.  A declaration
+     * policy with no budget reduces exactly like the legacy overload.
+     */
+    NetworkResult reduceLayers(const NetworkSpec &net, DnnCategory cat,
+                               std::vector<LayerResult> layers,
+                               const RunOptions &opt) const;
 
     /**
      * Run the whole benchmark suite in one category and also return

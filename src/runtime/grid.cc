@@ -22,7 +22,8 @@ enum class AxisKind
     Category, ///< replaces SweepSpec::categories (categoryFromString)
     Double,   ///< RunOptions double field
     Int,      ///< RunOptions integer field
-    Bool      ///< RunOptions bool field
+    Bool,     ///< RunOptions bool field
+    Schedule  ///< RunOptions SchedulePolicy field
 };
 
 struct AxisDesc
@@ -93,6 +94,14 @@ const AxisDesc kAxes[] = {
     {"enforce_dram_bound", AxisKind::Bool,
      [](RunOptions &o, const std::string &v) {
          o.enforceDramBound = parseBoolToken(v);
+     }},
+    {"schedule_policy", AxisKind::Schedule,
+     [](RunOptions &o, const std::string &v) {
+         o.schedulePolicy = schedulePolicyFromString(v);
+     }},
+    {"sram_budget_kb", AxisKind::Int,
+     [](RunOptions &o, const std::string &v) {
+         o.sramBudgetBytes = parseIntToken(v) * 1024;
      }},
 };
 
@@ -204,6 +213,8 @@ checkLiteralToken(const AxisDesc &desc, const std::string &token)
         return token;
       case AxisKind::Bool:
         return parseBoolToken(token) ? "true" : "false";
+      case AxisKind::Schedule:
+        return toString(schedulePolicyFromString(token));
       default:
         panic("literal check on numeric axis ", desc.name);
     }

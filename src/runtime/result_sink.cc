@@ -136,6 +136,19 @@ writeJsonRow(std::ostream &os, const NetworkResult &result,
        << "," << nl
        << in1 << "\"tops_per_mm2\": " << jsonNumber(result.topsPerMm2)
        << "," << nl;
+    // Schedule fields are opt-in (like elapsed_ms): only runs that
+    // priced a schedule emit them, so default artifacts stay
+    // byte-identical.
+    if (!result.scheduleLabel.empty()) {
+        os << in1 << "\"schedule\": \""
+           << jsonEscape(result.scheduleLabel) << "\"," << nl
+           << in1 << "\"peak_sram_bytes\": " << result.peakSramBytes
+           << "," << nl
+           << in1 << "\"spill_cycles\": " << result.spillCycles << ","
+           << nl
+           << in1 << "\"recompute_cycles\": " << result.recomputeCycles
+           << "," << nl;
+    }
     if (row != nullptr && row->timed)
         os << in1 << "\"elapsed_ms\": " << jsonNumber(row->elapsedMs)
            << "," << nl;
@@ -266,9 +279,11 @@ writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
     // elapsed_ms: only `--timings` documents grow the column.
     bool labeled = false;
     bool timed = false;
+    bool scheduled = false;
     for (const auto &row : rows) {
         labeled = labeled || !row.experiment.empty();
         timed = timed || row.timed;
+        scheduled = scheduled || !row.result.scheduleLabel.empty();
     }
     if (labeled)
         os << "experiment,";
@@ -276,6 +291,10 @@ writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
           "act_run_length,sample_fraction,enforce_dram_bound,layer,"
           "dense_cycles,compute_cycles,dram_cycles,total_cycles,macs,"
           "speedup";
+    // Schedule columns are whole-network quantities; like elapsed_ms
+    // they only appear when some row priced a schedule.
+    if (scheduled)
+        os << ",schedule,peak_sram_bytes,spill_cycles,recompute_cycles";
     if (timed)
         os << ",elapsed_ms";
     os << '\n';
@@ -286,18 +305,30 @@ writeCsv(std::ostream &os, const std::vector<ResultRow> &rows)
             csvEscape(r.network) + ',' + csvEscape(r.arch) + ',' +
             toString(r.category) + ',' + optionsCsvCells(row) + ',';
         // elapsed_ms is a whole-job quantity: the total row carries it,
-        // layer rows leave the cell empty.
+        // layer rows leave the cell empty.  Same for the schedule
+        // columns.
         for (const auto &l : r.layers) {
             os << prefix << csvEscape(l.name) << ',' << l.denseCycles
                << ',' << l.computeCycles << ',' << l.dramCycles << ','
                << l.totalCycles << ',' << l.macs << ','
                << jsonNumber(l.speedup);
+            if (scheduled)
+                os << ",,,,";
             if (timed)
                 os << ',';
             os << '\n';
         }
         os << prefix << "total," << r.denseCycles << ",,,"
            << r.totalCycles << ",," << jsonNumber(r.speedup);
+        if (scheduled) {
+            if (r.scheduleLabel.empty()) {
+                os << ",,,,";
+            } else {
+                os << ',' << csvEscape(r.scheduleLabel) << ','
+                   << r.peakSramBytes << ',' << r.spillCycles << ','
+                   << r.recomputeCycles;
+            }
+        }
         if (timed)
             os << ',' << (row.timed ? jsonNumber(row.elapsedMs) : "");
         os << '\n';

@@ -194,7 +194,7 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
         std::vector<std::vector<LayerResult>> layer_results(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i)
             layer_results[i].resize(
-                spec.networks[jobs[i].networkIndex].layers.size());
+                spec.networks[jobs[i].networkIndex].layerCount());
         {
             ThreadPool pool(threads);
             for (const auto &batch : batches) {
@@ -229,7 +229,7 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
             results[i] = accelerators[job.archIndex].reduceLayers(
                 spec.networks[job.networkIndex],
                 spec.categories[job.categoryIndex],
-                std::move(layer_results[i]));
+                std::move(layer_results[i]), jobOptions(job));
         }
     } else if (spec.shardLayers) {
         // Layer granularity: one sub-job per (job, layer) pair, all
@@ -238,7 +238,7 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
         std::vector<std::vector<LayerResult>> layer_results(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); ++i)
             layer_results[i].resize(
-                spec.networks[jobs[i].networkIndex].layers.size());
+                spec.networks[jobs[i].networkIndex].layerCount());
         {
             ThreadPool pool(threads);
             for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -266,7 +266,7 @@ runSweep(const SweepSpec &spec, int threads, ScheduleCache *cache,
             results[i] = accelerators[job.archIndex].reduceLayers(
                 spec.networks[job.networkIndex],
                 spec.categories[job.categoryIndex],
-                std::move(layer_results[i]));
+                std::move(layer_results[i]), jobOptions(job));
         }
     } else {
         ThreadPool pool(threads);

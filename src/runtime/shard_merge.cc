@@ -51,6 +51,18 @@ parseRow(const JsonValue &doc, const std::string &where)
     r.topsPerWatt =
         requireMember(doc, "tops_per_watt", where).asDouble();
     r.topsPerMm2 = requireMember(doc, "tops_per_mm2", where).asDouble();
+    // Opt-in schedule fields (schedule-aware runs only); the label's
+    // presence implies the other three.
+    const JsonValue *schedule = doc.find("schedule");
+    if (schedule != nullptr) {
+        r.scheduleLabel = schedule->asString();
+        r.peakSramBytes =
+            requireMember(doc, "peak_sram_bytes", where).asInt();
+        r.spillCycles =
+            requireMember(doc, "spill_cycles", where).asInt();
+        r.recomputeCycles =
+            requireMember(doc, "recompute_cycles", where).asInt();
+    }
     const JsonValue &layers = requireMember(doc, "layers", where);
     if (!layers.isArray())
         fatal(where, ": 'layers' is not an array");

@@ -26,14 +26,14 @@ alexNet()
     // less aggressively than the rest of the model [20].
     conv1.actSparsity = 0.0;
     conv1.weightSparsity = 0.4;
-    net.layers.push_back(conv1);
-    net.layers.push_back(conv("conv2", 96, 27, 5, 5, 256, 2));
-    net.layers.push_back(conv("conv3", 256, 13, 3, 3, 384));
-    net.layers.push_back(conv("conv4", 384, 13, 3, 3, 384, 2));
-    net.layers.push_back(conv("conv5", 384, 13, 3, 3, 256, 2));
-    net.layers.push_back(fcLayer("fc6", 9216, 4096));
-    net.layers.push_back(fcLayer("fc7", 4096, 4096));
-    net.layers.push_back(fcLayer("fc8", 4096, 1000));
+    net.chainLayer(conv1);
+    net.chainLayer(conv("conv2", 96, 27, 5, 5, 256, 2));
+    net.chainLayer(conv("conv3", 256, 13, 3, 3, 384));
+    net.chainLayer(conv("conv4", 384, 13, 3, 3, 384, 2));
+    net.chainLayer(conv("conv5", 384, 13, 3, 3, 256, 2));
+    net.chainLayer(fcLayer("fc6", 9216, 4096));
+    net.chainLayer(fcLayer("fc7", 4096, 4096));
+    net.chainLayer(fcLayer("fc8", 4096, 1000));
     net.validate();
     return net;
 }

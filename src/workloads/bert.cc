@@ -29,7 +29,7 @@ bertBase()
 
     auto repeat = [&](LayerSpec layer) {
         layer.repeat = blocks;
-        net.layers.push_back(layer);
+        net.chainLayer(layer);
     };
 
     repeat(fcLayer("attn/query", hidden, hidden, seq));
@@ -58,7 +58,7 @@ bertBase()
     repeat(fcLayer("ffn/intermediate", hidden, ffn, seq));
     repeat(fcLayer("ffn/output", ffn, hidden, seq));
 
-    net.layers.push_back(fcLayer("classifier", hidden, 3, 1));
+    net.chainLayer(fcLayer("classifier", hidden, 3, 1));
     net.validate();
     return net;
 }

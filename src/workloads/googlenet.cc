@@ -12,20 +12,47 @@ namespace griffin {
 namespace {
 
 /**
- * One inception module: four parallel branches over the same grid.
- * Branch channel counts follow the original paper's Table 1.
+ * One inception module: four parallel branches over the same grid,
+ * every branch head consuming the concatenated block input `from`.
+ * Branch channel counts follow the original paper's Table 1.  Returns
+ * the four branch terminals — the concat the next block consumes.
+ *
+ * Buffer-byte conventions (sched/dag_schedule.hh prices these):
+ * pooling between stages is line-buffered into the producing layer's
+ * output stream, so a terminal's resident buffer is the *pooled*
+ * consumer-visible map (`hw_next` is the next stage's grid; equal to
+ * `hw` when no pool follows).  Branch-internal tensors (the reduces)
+ * materialise at full size — their consumers are schedulable at any
+ * later position, which is exactly the freedom the schedule optimizer
+ * exploits.
  */
-void
-inception(NetworkSpec &net, const std::string &name, int hw, int cin,
-          int c1x1, int c3r, int c3, int c5r, int c5, int cpool)
+std::vector<std::size_t>
+inception(NetworkSpec &net, const std::string &name,
+          const std::vector<std::size_t> &from, int hw, int hw_next,
+          int cin, int c1x1, int c3r, int c3, int c5r, int c5, int cpool)
 {
     using netutil::conv;
-    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, c1x1));
-    net.layers.push_back(conv(name + "/3x3_reduce", cin, hw, 1, 1, c3r));
-    net.layers.push_back(conv(name + "/3x3", c3r, hw, 3, 3, c3));
-    net.layers.push_back(conv(name + "/5x5_reduce", cin, hw, 1, 1, c5r));
-    net.layers.push_back(conv(name + "/5x5", c5r, hw, 5, 5, c5));
-    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, cpool));
+    const auto pooled = [&net, hw_next](std::size_t node, int channels) {
+        net.nodes[node].outputBytes =
+            static_cast<std::int64_t>(hw_next) * hw_next * channels;
+        return node;
+    };
+    const auto b1 = pooled(
+        net.addLayer(conv(name + "/1x1", cin, hw, 1, 1, c1x1), from),
+        c1x1);
+    const auto r3 =
+        net.addLayer(conv(name + "/3x3_reduce", cin, hw, 1, 1, c3r), from);
+    const auto b3 = pooled(
+        net.addLayer(conv(name + "/3x3", c3r, hw, 3, 3, c3), {r3}), c3);
+    const auto r5 =
+        net.addLayer(conv(name + "/5x5_reduce", cin, hw, 1, 1, c5r), from);
+    const auto b5 = pooled(
+        net.addLayer(conv(name + "/5x5", c5r, hw, 5, 5, c5), {r5}), c5);
+    const auto bp = pooled(
+        net.addLayer(conv(name + "/pool_proj", cin, hw, 1, 1, cpool),
+                     from),
+        cpool);
+    return {b1, b3, b5, bp};
 }
 
 } // namespace
@@ -41,24 +68,44 @@ googleNet()
     net.accuracy = "68.2% (top-1)";
     net.paperDenseCycles = 2'200'000;
 
+    // Stem: a pure chain whose producer→consumer adjacency is forced in
+    // every topological order, so each hand-off executes as a fused
+    // pipeline stage — only a three-row sliding window of the (pooled)
+    // map is ever resident, never the full tensor.  conv2 feeds the
+    // 3a branch heads, whose schedule positions are free, so it
+    // materialises fully at the pooled 28x28 consumer-visible size.
     auto stem = conv("conv1/7x7_s2", 3, 112, 7, 7, 64);
     stem.actSparsity = 0.0;
     stem.weightSparsity = 0.4;
-    net.layers.push_back(stem);
-    net.layers.push_back(conv("conv2/3x3_reduce", 64, 56, 1, 1, 64));
-    net.layers.push_back(conv("conv2/3x3", 64, 56, 3, 3, 192));
+    net.nodes[net.chainLayer(stem)].outputBytes = 3 * 56 * 64;
+    net.nodes[net.chainLayer(conv("conv2/3x3_reduce", 64, 56, 1, 1, 64))]
+        .outputBytes = 3 * 56 * 64;
+    const auto conv2 = net.chainLayer(conv("conv2/3x3", 64, 56, 3, 3, 192));
+    net.nodes[conv2].outputBytes = 28 * 28 * 192;
 
-    inception(net, "inception_3a", 28, 192, 64, 96, 128, 16, 32, 32);
-    inception(net, "inception_3b", 28, 256, 128, 128, 192, 32, 96, 64);
-    inception(net, "inception_4a", 14, 480, 192, 96, 208, 16, 48, 64);
-    inception(net, "inception_4b", 14, 512, 160, 112, 224, 24, 64, 64);
-    inception(net, "inception_4c", 14, 512, 128, 128, 256, 24, 64, 64);
-    inception(net, "inception_4d", 14, 512, 112, 144, 288, 32, 64, 64);
-    inception(net, "inception_4e", 14, 528, 256, 160, 320, 32, 128, 128);
-    inception(net, "inception_5a", 7, 832, 256, 160, 320, 32, 128, 128);
-    inception(net, "inception_5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    std::vector<std::size_t> concat{conv2};
+    concat = inception(net, "inception_3a", concat, 28, 28, 192, 64, 96,
+                       128, 16, 32, 32);
+    concat = inception(net, "inception_3b", concat, 28, 14, 256, 128, 128,
+                       192, 32, 96, 64);
+    concat = inception(net, "inception_4a", concat, 14, 14, 480, 192, 96,
+                       208, 16, 48, 64);
+    concat = inception(net, "inception_4b", concat, 14, 14, 512, 160, 112,
+                       224, 24, 64, 64);
+    concat = inception(net, "inception_4c", concat, 14, 14, 512, 128, 128,
+                       256, 24, 64, 64);
+    concat = inception(net, "inception_4d", concat, 14, 14, 512, 112, 144,
+                       288, 32, 64, 64);
+    concat = inception(net, "inception_4e", concat, 14, 7, 528, 256, 160,
+                       320, 32, 128, 128);
+    concat = inception(net, "inception_5a", concat, 7, 7, 832, 256, 160,
+                       320, 32, 128, 128);
+    // 5b's terminals feed the global average pool into the classifier:
+    // the consumer-visible map is 1x1 per channel.
+    concat = inception(net, "inception_5b", concat, 7, 1, 832, 384, 192,
+                       384, 48, 128, 128);
 
-    net.layers.push_back(fcLayer("loss3/classifier", 1024, 1000));
+    net.addLayer(fcLayer("loss3/classifier", 1024, 1000), concat);
     net.validate();
     return net;
 }

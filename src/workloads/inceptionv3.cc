@@ -2,6 +2,13 @@
  * @file
  * Inception-V3 (Szegedy et al.), pruned per [73] (Table IV row 4).
  * Branch channel counts follow the reference TensorFlow slim model.
+ *
+ * Modules are explicit DAGs: every branch head consumes the previous
+ * block's concatenated frontier, and each module returns its branch
+ * terminals as the next frontier.  Grid reductions additionally pass
+ * the incoming frontier through (the pooled branch of the concat has
+ * no conv node), which is exactly what makes the channel counts add
+ * up: mixed_b's 768 = 384 + 96 + the pooled 288.
  */
 
 #include "workloads/net_util.hh"
@@ -12,54 +19,87 @@ namespace griffin {
 namespace {
 
 using netutil::conv;
+using Frontier = std::vector<std::size_t>;
 
 /** 35x35 module: 1x1, 5x5 (factor 48), double-3x3 (64->96->96),
  *  pool-proj. */
-void
-inceptionA(NetworkSpec &net, const std::string &name, int cin,
-           int cpool)
+Frontier
+inceptionA(NetworkSpec &net, const std::string &name,
+           const Frontier &from, int cin, int cpool)
 {
     const int hw = 35;
-    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 64));
-    net.layers.push_back(conv(name + "/5x5_reduce", cin, hw, 1, 1, 48));
-    net.layers.push_back(conv(name + "/5x5", 48, hw, 5, 5, 64));
-    net.layers.push_back(conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 64));
-    net.layers.push_back(conv(name + "/3x3dbl_1", 64, hw, 3, 3, 96));
-    net.layers.push_back(conv(name + "/3x3dbl_2", 96, hw, 3, 3, 96));
-    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, cpool));
+    const auto b1 = net.addLayer(conv(name + "/1x1", cin, hw, 1, 1, 64),
+                                 from);
+    const auto r5 =
+        net.addLayer(conv(name + "/5x5_reduce", cin, hw, 1, 1, 48), from);
+    const auto b5 = net.addLayer(conv(name + "/5x5", 48, hw, 5, 5, 64),
+                                 {r5});
+    const auto rd = net.addLayer(
+        conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 64), from);
+    const auto d1 = net.addLayer(conv(name + "/3x3dbl_1", 64, hw, 3, 3, 96),
+                                 {rd});
+    const auto d2 = net.addLayer(conv(name + "/3x3dbl_2", 96, hw, 3, 3, 96),
+                                 {d1});
+    const auto bp = net.addLayer(
+        conv(name + "/pool_proj", cin, hw, 1, 1, cpool), from);
+    return {b1, b5, d2, bp};
 }
 
 /** 17x17 module with factorized 7x7 convolutions of width c7. */
-void
-inceptionB(NetworkSpec &net, const std::string &name, int c7)
+Frontier
+inceptionB(NetworkSpec &net, const std::string &name,
+           const Frontier &from, int c7)
 {
     const int hw = 17, cin = 768;
-    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 192));
-    net.layers.push_back(conv(name + "/7x7_reduce", cin, hw, 1, 1, c7));
-    net.layers.push_back(conv(name + "/1x7", c7, hw, 1, 7, c7));
-    net.layers.push_back(conv(name + "/7x1", c7, hw, 7, 1, 192));
-    net.layers.push_back(conv(name + "/7x7dbl_reduce", cin, hw, 1, 1, c7));
-    net.layers.push_back(conv(name + "/7x7dbl_1", c7, hw, 7, 1, c7));
-    net.layers.push_back(conv(name + "/7x7dbl_2", c7, hw, 1, 7, c7));
-    net.layers.push_back(conv(name + "/7x7dbl_3", c7, hw, 7, 1, c7));
-    net.layers.push_back(conv(name + "/7x7dbl_4", c7, hw, 1, 7, 192));
-    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, 192));
+    const auto b1 = net.addLayer(conv(name + "/1x1", cin, hw, 1, 1, 192),
+                                 from);
+    const auto r7 =
+        net.addLayer(conv(name + "/7x7_reduce", cin, hw, 1, 1, c7), from);
+    const auto s1 = net.addLayer(conv(name + "/1x7", c7, hw, 1, 7, c7),
+                                 {r7});
+    const auto s2 = net.addLayer(conv(name + "/7x1", c7, hw, 7, 1, 192),
+                                 {s1});
+    const auto rd = net.addLayer(
+        conv(name + "/7x7dbl_reduce", cin, hw, 1, 1, c7), from);
+    const auto d1 = net.addLayer(conv(name + "/7x7dbl_1", c7, hw, 7, 1, c7),
+                                 {rd});
+    const auto d2 = net.addLayer(conv(name + "/7x7dbl_2", c7, hw, 1, 7, c7),
+                                 {d1});
+    const auto d3 = net.addLayer(conv(name + "/7x7dbl_3", c7, hw, 7, 1, c7),
+                                 {d2});
+    const auto d4 = net.addLayer(
+        conv(name + "/7x7dbl_4", c7, hw, 1, 7, 192), {d3});
+    const auto bp = net.addLayer(
+        conv(name + "/pool_proj", cin, hw, 1, 1, 192), from);
+    return {b1, s2, d4, bp};
 }
 
-/** 8x8 module with split 3x3 branches. */
-void
-inceptionC(NetworkSpec &net, const std::string &name, int cin)
+/** 8x8 module with split 3x3 branches: the reduce convs each fan out
+ *  into two consumers (the 1x3 / 3x1 pair). */
+Frontier
+inceptionC(NetworkSpec &net, const std::string &name,
+           const Frontier &from, int cin)
 {
     const int hw = 8;
-    net.layers.push_back(conv(name + "/1x1", cin, hw, 1, 1, 320));
-    net.layers.push_back(conv(name + "/3x3_reduce", cin, hw, 1, 1, 384));
-    net.layers.push_back(conv(name + "/3x3_a", 384, hw, 1, 3, 384));
-    net.layers.push_back(conv(name + "/3x3_b", 384, hw, 3, 1, 384));
-    net.layers.push_back(conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 448));
-    net.layers.push_back(conv(name + "/3x3dbl_1", 448, hw, 3, 3, 384));
-    net.layers.push_back(conv(name + "/3x3dbl_2a", 384, hw, 1, 3, 384));
-    net.layers.push_back(conv(name + "/3x3dbl_2b", 384, hw, 3, 1, 384));
-    net.layers.push_back(conv(name + "/pool_proj", cin, hw, 1, 1, 192));
+    const auto b1 = net.addLayer(conv(name + "/1x1", cin, hw, 1, 1, 320),
+                                 from);
+    const auto r3 = net.addLayer(
+        conv(name + "/3x3_reduce", cin, hw, 1, 1, 384), from);
+    const auto sa = net.addLayer(conv(name + "/3x3_a", 384, hw, 1, 3, 384),
+                                 {r3});
+    const auto sb = net.addLayer(conv(name + "/3x3_b", 384, hw, 3, 1, 384),
+                                 {r3});
+    const auto rd = net.addLayer(
+        conv(name + "/3x3dbl_reduce", cin, hw, 1, 1, 448), from);
+    const auto d1 = net.addLayer(
+        conv(name + "/3x3dbl_1", 448, hw, 3, 3, 384), {rd});
+    const auto da = net.addLayer(
+        conv(name + "/3x3dbl_2a", 384, hw, 1, 3, 384), {d1});
+    const auto db = net.addLayer(
+        conv(name + "/3x3dbl_2b", 384, hw, 3, 1, 384), {d1});
+    const auto bp = net.addLayer(
+        conv(name + "/pool_proj", cin, hw, 1, 1, 192), from);
+    return {b1, sa, sb, da, db, bp};
 }
 
 } // namespace
@@ -74,43 +114,82 @@ inceptionV3()
     net.accuracy = "75.1% (top-1)";
     net.paperDenseCycles = 6'900'000;
 
-    // Stem on a 299x299 input.
+    // Stem on a 299x299 input.  The chain's producer→consumer adjacency
+    // is forced in every topological order, so each hand-off executes
+    // as a fused pipeline stage: only a three-row sliding window of the
+    // (pooled) map is resident, never the full tensor.  conv5 feeds
+    // mixed_a1's four branch heads, whose schedule positions are free,
+    // so it materialises fully at the pooled 35x35 consumer-visible
+    // size (pooling is line-buffered into the producer's output
+    // stream).
     auto stem = conv("conv1_3x3_s2", 3, 149, 3, 3, 32);
     stem.actSparsity = 0.0;
     stem.weightSparsity = 0.4;
-    net.layers.push_back(stem);
-    net.layers.push_back(conv("conv2_3x3", 32, 147, 3, 3, 32));
-    net.layers.push_back(conv("conv3_3x3", 32, 147, 3, 3, 64));
-    net.layers.push_back(conv("conv4_1x1", 64, 73, 1, 1, 80));
-    net.layers.push_back(conv("conv5_3x3", 80, 71, 3, 3, 192));
+    net.nodes[net.chainLayer(stem)].outputBytes = 3 * 149 * 32;
+    net.nodes[net.chainLayer(conv("conv2_3x3", 32, 147, 3, 3, 32))]
+        .outputBytes = 3 * 147 * 32;
+    net.nodes[net.chainLayer(conv("conv3_3x3", 32, 147, 3, 3, 64))]
+        .outputBytes = 3 * 73 * 64;
+    net.nodes[net.chainLayer(conv("conv4_1x1", 64, 73, 1, 1, 80))]
+        .outputBytes = 3 * 73 * 80;
+    const auto conv5 = net.chainLayer(conv("conv5_3x3", 80, 71, 3, 3, 192));
+    net.nodes[conv5].outputBytes = 35 * 35 * 192;
 
-    inceptionA(net, "mixed_a1", 192, 32);
-    inceptionA(net, "mixed_a2", 256, 64);
-    inceptionA(net, "mixed_a3", 288, 64);
+    Frontier concat{conv5};
+    concat = inceptionA(net, "mixed_a1", concat, 192, 32);
+    concat = inceptionA(net, "mixed_a2", concat, 256, 64);
+    concat = inceptionA(net, "mixed_a3", concat, 288, 64);
 
-    // Reduction A: 35 -> 17.
-    net.layers.push_back(conv("red_a/3x3_s2", 288, 17, 3, 3, 384));
-    net.layers.push_back(conv("red_a/3x3dbl_reduce", 288, 35, 1, 1, 64));
-    net.layers.push_back(conv("red_a/3x3dbl_1", 64, 35, 3, 3, 96));
-    net.layers.push_back(conv("red_a/3x3dbl_2_s2", 96, 17, 3, 3, 96));
+    // Reduction A: 35 -> 17.  The pooled branch of the concat has no
+    // conv, so the incoming frontier passes through.
+    {
+        const auto s1 = net.addLayer(
+            conv("red_a/3x3_s2", 288, 17, 3, 3, 384), concat);
+        const auto rd = net.addLayer(
+            conv("red_a/3x3dbl_reduce", 288, 35, 1, 1, 64), concat);
+        const auto d1 = net.addLayer(
+            conv("red_a/3x3dbl_1", 64, 35, 3, 3, 96), {rd});
+        const auto d2 = net.addLayer(
+            conv("red_a/3x3dbl_2_s2", 96, 17, 3, 3, 96), {d1});
+        Frontier next{s1, d2};
+        next.insert(next.end(), concat.begin(), concat.end());
+        concat = std::move(next);
+    }
 
-    inceptionB(net, "mixed_b1", 128);
-    inceptionB(net, "mixed_b2", 160);
-    inceptionB(net, "mixed_b3", 160);
-    inceptionB(net, "mixed_b4", 192);
+    concat = inceptionB(net, "mixed_b1", concat, 128);
+    concat = inceptionB(net, "mixed_b2", concat, 160);
+    concat = inceptionB(net, "mixed_b3", concat, 160);
+    concat = inceptionB(net, "mixed_b4", concat, 192);
 
-    // Reduction B: 17 -> 8.
-    net.layers.push_back(conv("red_b/3x3_reduce", 768, 17, 1, 1, 192));
-    net.layers.push_back(conv("red_b/3x3_s2", 192, 8, 3, 3, 320));
-    net.layers.push_back(conv("red_b/7x7_reduce", 768, 17, 1, 1, 192));
-    net.layers.push_back(conv("red_b/1x7", 192, 17, 1, 7, 192));
-    net.layers.push_back(conv("red_b/7x1", 192, 17, 7, 1, 192));
-    net.layers.push_back(conv("red_b/3x3dbl_s2", 192, 8, 3, 3, 192));
+    // Reduction B: 17 -> 8, same pooled pass-through.
+    {
+        const auto r3 = net.addLayer(
+            conv("red_b/3x3_reduce", 768, 17, 1, 1, 192), concat);
+        const auto s3 = net.addLayer(
+            conv("red_b/3x3_s2", 192, 8, 3, 3, 320), {r3});
+        const auto r7 = net.addLayer(
+            conv("red_b/7x7_reduce", 768, 17, 1, 1, 192), concat);
+        const auto f1 = net.addLayer(
+            conv("red_b/1x7", 192, 17, 1, 7, 192), {r7});
+        const auto f2 = net.addLayer(
+            conv("red_b/7x1", 192, 17, 7, 1, 192), {f1});
+        const auto s7 = net.addLayer(
+            conv("red_b/3x3dbl_s2", 192, 8, 3, 3, 192), {f2});
+        Frontier next{s3, s7};
+        next.insert(next.end(), concat.begin(), concat.end());
+        concat = std::move(next);
+    }
 
-    inceptionC(net, "mixed_c1", 1280);
-    inceptionC(net, "mixed_c2", 2048);
+    concat = inceptionC(net, "mixed_c1", concat, 1280);
+    concat = inceptionC(net, "mixed_c2", concat, 2048);
 
-    net.layers.push_back(fcLayer("fc", 2048, 1000));
+    // mixed_c2's terminals feed the global average pool into the
+    // classifier: the consumer-visible map is 1x1 per channel.
+    const int c2Channels[] = {320, 384, 384, 384, 384, 192};
+    for (std::size_t i = 0; i < concat.size(); ++i)
+        net.nodes[concat[i]].outputBytes = c2Channels[i];
+
+    net.addLayer(fcLayer("fc", 2048, 1000), concat);
     net.validate();
     return net;
 }

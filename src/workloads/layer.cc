@@ -1,5 +1,7 @@
 #include "workloads/layer.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace griffin {
@@ -14,6 +16,25 @@ LayerSpec::validate() const
         fatal("layer '", name, "' has non-positive groups/repeat");
     if (weightSparsity > 1.0 || actSparsity > 1.0)
         fatal("layer '", name, "' has sparsity above 1");
+    // macs() and denseCycles() multiply the five extents as plain
+    // int64; catch the silent wraparound here so a bad layer table
+    // fails by name instead of reporting garbage cycle counts.
+    // denseCycles() rounds each GEMM dim up to its tile quantum, so
+    // demand headroom beyond the raw product for the padded one.
+    std::int64_t product = m;
+    const std::int64_t factors[] = {k, n, static_cast<std::int64_t>(groups),
+                                    repeat};
+    for (const std::int64_t f : factors) {
+        if (__builtin_mul_overflow(product, f, &product))
+            fatal("layer '", name, "' MAC count overflows int64 (",
+                  m, " x ", k, " x ", n, " x ", groups, " x ", repeat,
+                  ")");
+    }
+    constexpr std::int64_t kTilePaddingHeadroom = 1 << 12;
+    if (product > std::numeric_limits<std::int64_t>::max() /
+                      kTilePaddingHeadroom)
+        fatal("layer '", name, "' MAC count ", product,
+              " leaves no headroom for tile-padded cycle counts");
 }
 
 LayerSpec

@@ -28,15 +28,15 @@ invertedResidual(NetworkSpec &net, const std::string &name, int hw_in,
     const int expanded = cin * t;
     const int hw_out = hw_in / stride;
     if (t != 1) {
-        net.layers.push_back(
+        net.chainLayer(
             conv(name + "/expand", cin, hw_in, 1, 1, expanded));
     }
     auto dw = conv(name + "/depthwise", expanded, hw_out, 3, 3, expanded,
                    /*groups=*/expanded);
     dw.weightSparsity = 0.0;
-    net.layers.push_back(dw);
+    net.chainLayer(dw);
     auto project = conv(name + "/project", expanded, hw_out, 1, 1, cout);
-    net.layers.push_back(project);
+    net.chainLayer(project);
 }
 
 } // namespace
@@ -54,7 +54,7 @@ mobileNetV2()
     auto stem = conv("conv0", 3, 112, 3, 3, 32);
     stem.actSparsity = 0.0;
     stem.weightSparsity = 0.4;
-    net.layers.push_back(stem);
+    net.chainLayer(stem);
 
     invertedResidual(net, "block1", 112, 32, 16, 1, 1);
     invertedResidual(net, "block2", 112, 16, 24, 2, 6);
@@ -74,8 +74,8 @@ mobileNetV2()
     invertedResidual(net, "block16", 7, 160, 160, 1, 6);
     invertedResidual(net, "block17", 7, 160, 320, 1, 6);
 
-    net.layers.push_back(conv("conv_last", 320, 7, 1, 1, 1280));
-    net.layers.push_back(fcLayer("fc", 1280, 1000));
+    net.chainLayer(conv("conv_last", 320, 7, 1, 1, 1280));
+    net.chainLayer(fcLayer("fc", 1280, 1000));
     net.validate();
     return net;
 }

@@ -4,15 +4,44 @@
 #include <cctype>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace griffin {
+
+std::size_t
+NetworkSpec::addLayer(LayerSpec layer, std::vector<std::size_t> inputs)
+{
+    const std::size_t index = nodes.size();
+    for (const std::size_t input : inputs) {
+        if (input >= index)
+            fatal("network '", name, "': node '", layer.name,
+                  "' (index ", index, ") consumes node ", input,
+                  " which is not an earlier node");
+    }
+    NetworkNode node;
+    node.outputBytes =
+        layer.m * layer.n * static_cast<std::int64_t>(layer.groups);
+    node.layer = std::move(layer);
+    node.inputs = std::move(inputs);
+    nodes.push_back(std::move(node));
+    return index;
+}
+
+std::size_t
+NetworkSpec::chainLayer(LayerSpec layer)
+{
+    std::vector<std::size_t> inputs;
+    if (!nodes.empty())
+        inputs.push_back(nodes.size() - 1);
+    return addLayer(std::move(layer), std::move(inputs));
+}
 
 std::int64_t
 NetworkSpec::macs() const
 {
     std::int64_t total = 0;
-    for (const auto &layer : layers)
-        total += layer.macs();
+    for (const auto &node : nodes)
+        total += node.layer.macs();
     return total;
 }
 
@@ -20,8 +49,8 @@ std::int64_t
 NetworkSpec::denseCycles(const TileShape &shape) const
 {
     std::int64_t total = 0;
-    for (const auto &layer : layers)
-        total += layer.denseCycles(shape);
+    for (const auto &node : nodes)
+        total += node.layer.denseCycles(shape);
     return total;
 }
 
@@ -51,10 +80,20 @@ NetworkSpec::layerActSparsity(const LayerSpec &layer,
 void
 NetworkSpec::validate() const
 {
-    if (layers.empty())
+    if (nodes.empty())
         fatal("network '", name, "' has no layers");
-    for (const auto &layer : layers)
-        layer.validate();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NetworkNode &node = nodes[i];
+        node.layer.validate();
+        if (node.outputBytes < 0)
+            fatal("network '", name, "': node '", node.layer.name,
+                  "' has negative output bytes");
+        for (const std::size_t input : node.inputs)
+            if (input >= i)
+                fatal("network '", name, "': node '", node.layer.name,
+                      "' (index ", i, ") consumes node ", input,
+                      " which is not an earlier node");
+    }
     if (weightSparsity < 0.0 || weightSparsity > 1.0 ||
         actSparsity < 0.0 || actSparsity > 1.0) {
         fatal("network '", name, "' sparsity outside [0,1]");
@@ -66,6 +105,13 @@ benchmarkSuite()
 {
     return {alexNet(),     googleNet(),    resNet50(),
             inceptionV3(), mobileNetV2(),  bertBase()};
+}
+
+std::vector<std::string>
+networkNames()
+{
+    return {"AlexNet",     "GoogLeNet",   "ResNet50",
+            "InceptionV3", "MobileNetV2", "BERT"};
 }
 
 NetworkSpec
@@ -82,9 +128,9 @@ networkByName(const std::string &name)
         if (candidate == lower)
             return net;
     }
-    fatal("unknown network '", name,
-          "' (want AlexNet|GoogLeNet|ResNet50|InceptionV3|MobileNetV2|"
-          "BERT)");
+    fatal("unknown network '", name, "'; did you mean '",
+          nearestName(name, networkNames()),
+          "'? (see griffin_bench networks)");
 }
 
 } // namespace griffin

@@ -22,11 +22,11 @@ bottleneck(NetworkSpec &net, const std::string &name, int hw_in, int cin,
 {
     using netutil::conv;
     const int hw_out = hw_in / stride;
-    net.layers.push_back(conv(name + "/conv1", cin, hw_in, 1, 1, mid));
-    net.layers.push_back(conv(name + "/conv2", mid, hw_out, 3, 3, mid));
-    net.layers.push_back(conv(name + "/conv3", mid, hw_out, 1, 1, cout));
+    net.chainLayer(conv(name + "/conv1", cin, hw_in, 1, 1, mid));
+    net.chainLayer(conv(name + "/conv2", mid, hw_out, 3, 3, mid));
+    net.chainLayer(conv(name + "/conv3", mid, hw_out, 1, 1, cout));
     if (project) {
-        net.layers.push_back(
+        net.chainLayer(
             conv(name + "/shortcut", cin, hw_out, 1, 1, cout));
     }
 }
@@ -60,13 +60,13 @@ resNet50()
     auto stem = conv("conv1", 3, 112, 7, 7, 64);
     stem.actSparsity = 0.0;
     stem.weightSparsity = 0.4;
-    net.layers.push_back(stem);
+    net.chainLayer(stem);
     // Max pool takes 112 -> 56 before the first stage.
     stage(net, "conv2_x", 56, 64, 64, 256, 3, 1);
     stage(net, "conv3_x", 56, 256, 128, 512, 4, 2);
     stage(net, "conv4_x", 28, 512, 256, 1024, 6, 2);
     stage(net, "conv5_x", 14, 1024, 512, 2048, 3, 2);
-    net.layers.push_back(fcLayer("fc", 2048, 1000));
+    net.chainLayer(fcLayer("fc", 2048, 1000));
     net.validate();
     return net;
 }

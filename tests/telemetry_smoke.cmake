@@ -4,7 +4,8 @@
 #      six pipeline stages (fig5 exercises the B-side five, fig6 adds
 #      a_schedule) while the --out row document stays byte-identical
 #      to an untraced run at a different thread count — telemetry must
-#      be observation only.
+#      be observation only.  A schedule-aware run (ablation_memory_peak)
+#      additionally emits the nested 'schedule' span.
 #  (b) `run --timings` grows elapsed_ms fields; the default does not.
 #  (c) `perf` writes a BENCH_perf.json that `perf --compare` parses,
 #      schema-validates, and renders deltas for (self-compare: every
@@ -61,6 +62,22 @@ foreach(stage operand_gen b_schedule a_schedule tile_sim memory_model
         message(FATAL_ERROR "trace has no '${stage}' spans")
     endif()
 endforeach()
+
+# -- (a2) schedule-aware runs add the nested schedule span ------------
+
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" run ablation_memory_peak ${fidelity}
+            --threads 2 --trace "${WORK_DIR}/sched_trace.json"
+    OUTPUT_VARIABLE out_s ERROR_VARIABLE err_s RESULT_VARIABLE rc_s)
+if(NOT rc_s EQUAL 0)
+    message(FATAL_ERROR "traced ablation_memory_peak run failed "
+                        "(${rc_s}):\n${err_s}")
+endif()
+file(READ "${WORK_DIR}/sched_trace.json" sched_trace)
+if(NOT sched_trace MATCHES "\"schedule\"")
+    message(FATAL_ERROR
+            "schedule-aware trace has no 'schedule' spans")
+endif()
 
 # -- (b) --timings opt-in ---------------------------------------------
 

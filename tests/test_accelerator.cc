@@ -93,7 +93,7 @@ TEST(Accelerator, LayerResultsCoverTheNetwork)
     Accelerator acc(sparseBStar());
     const auto net = networkByName("alexnet");
     auto r = acc.run(net, DnnCategory::B, opt);
-    ASSERT_EQ(r.layers.size(), net.layers.size());
+    ASSERT_EQ(r.layers.size(), net.layerCount());
     std::int64_t dense = 0, total = 0;
     for (const auto &layer : r.layers) {
         dense += layer.denseCycles;
@@ -143,7 +143,7 @@ TEST(Accelerator, RunLayerPlusReduceEqualsRun)
     Accelerator acc(griffinArch());
     const auto net = networkByName("alexnet");
     std::vector<LayerResult> layers;
-    for (std::size_t l = 0; l < net.layers.size(); ++l)
+    for (std::size_t l = 0; l < net.layerCount(); ++l)
         layers.push_back(acc.runLayer(net, l, DnnCategory::AB, opt));
     const auto reduced =
         acc.reduceLayers(net, DnnCategory::AB, std::move(layers));
@@ -164,7 +164,7 @@ TEST(AcceleratorDeathTest, RunLayerIndexOutOfRangeIsFatal)
 {
     Accelerator acc(denseBaseline());
     const auto net = networkByName("alexnet");
-    EXPECT_EXIT(acc.runLayer(net, net.layers.size(),
+    EXPECT_EXIT(acc.runLayer(net, net.layerCount(),
                              DnnCategory::Dense, fastOptions()),
                 testing::ExitedWithCode(1), "out of range");
 }

@@ -587,7 +587,7 @@ TEST(Runner, BatchedArchsAreBitIdenticalToSerial)
         // share a layer's effective sparsity pair.
         std::size_t layer_total = 0;
         for (const auto &net : spec.networks)
-            layer_total += net.layers.size();
+            layer_total += net.layerCount();
         EXPECT_LE(batched.worksetStats().misses,
                   layer_total * spec.categories.size());
     }
@@ -641,9 +641,9 @@ TEST(Runner, RunLayerIsOrderIndependent)
     Accelerator acc(spec.archs[0]);
 
     const auto last_first = acc.runLayer(
-        net, net.layers.size() - 1, DnnCategory::B, opt);
+        net, net.layerCount() - 1, DnnCategory::B, opt);
     std::vector<LayerResult> in_order;
-    for (std::size_t l = 0; l < net.layers.size(); ++l)
+    for (std::size_t l = 0; l < net.layerCount(); ++l)
         in_order.push_back(acc.runLayer(net, l, DnnCategory::B, opt));
     EXPECT_EQ(last_first.totalCycles, in_order.back().totalCycles);
     EXPECT_EQ(last_first.computeCycles, in_order.back().computeCycles);

@@ -78,12 +78,12 @@ TEST(Workloads, FirstConvsAreDenseActivationOverride)
          {"AlexNet", "GoogLeNet", "ResNet50", "InceptionV3",
           "MobileNetV2"}) {
         const auto net = networkByName(name);
-        const auto &first = net.layers.front();
+        const auto &first = net.layer(0);
         EXPECT_DOUBLE_EQ(
             net.layerActSparsity(first, DnnCategory::AB), 0.0)
             << name;
         // But later layers follow the network rate.
-        const auto &later = net.layers[3];
+        const auto &later = net.layer(3);
         EXPECT_GT(net.layerActSparsity(later, DnnCategory::AB), 0.3)
             << name;
     }
@@ -92,7 +92,7 @@ TEST(Workloads, FirstConvsAreDenseActivationOverride)
 TEST(Workloads, CategoryGatesSparsity)
 {
     const auto net = networkByName("resnet50");
-    const auto &layer = net.layers[5];
+    const auto &layer = net.layer(5);
     EXPECT_DOUBLE_EQ(net.layerWeightSparsity(layer, DnnCategory::Dense),
                      0.0);
     EXPECT_DOUBLE_EQ(net.layerActSparsity(layer, DnnCategory::Dense),
@@ -108,7 +108,8 @@ TEST(Workloads, CategoryGatesSparsity)
 TEST(Workloads, BertAttentionGemmsAreUnpruned)
 {
     const auto net = networkByName("bert");
-    for (const auto &layer : net.layers) {
+    for (const auto &node : net.nodes) {
+        const auto &layer = node.layer;
         if (layer.name.find("scores") != std::string::npos ||
             layer.name.find("context") != std::string::npos) {
             EXPECT_DOUBLE_EQ(
@@ -123,7 +124,8 @@ TEST(Workloads, DepthwiseLayersAreGroupedAndUnpruned)
 {
     const auto net = networkByName("mobilenetv2");
     int depthwise = 0;
-    for (const auto &layer : net.layers) {
+    for (const auto &node : net.nodes) {
+        const auto &layer = node.layer;
         if (layer.name.find("depthwise") == std::string::npos)
             continue;
         ++depthwise;
@@ -144,10 +146,84 @@ TEST(Workloads, RepeatAndGroupsMultiplyCounts)
     EXPECT_EQ(layer.denseCycles(kShape), 3 * 2 * 2 * 1);
 }
 
+TEST(Workloads, DagShapesArePinned)
+{
+    // (name, nodes, edges): the four chains have n-1 edges; the two
+    // branching networks pin their module fan-out.
+    const struct
+    {
+        const char *name;
+        std::size_t nodes;
+        std::size_t edges;
+    } expected[] = {
+        {"alexnet", 8, 7},       {"googlenet", 58, 156},
+        {"resnet50", 54, 53},    {"inceptionv3", 95, 231},
+        {"mobilenetv2", 53, 52}, {"bert", 9, 8},
+    };
+    for (const auto &e : expected) {
+        const auto net = networkByName(e.name);
+        EXPECT_EQ(net.layerCount(), e.nodes) << e.name;
+        std::size_t edges = 0;
+        for (const auto &node : net.nodes)
+            edges += node.inputs.size();
+        EXPECT_EQ(edges, e.edges) << e.name;
+    }
+}
+
+TEST(Workloads, GoogLeNetBranchesShareTheBlockInput)
+{
+    const auto net = networkByName("googlenet");
+    // All four inception_3a heads consume conv2/3x3 (node 2); the
+    // 3x3/5x5 tails consume their reduces.
+    for (const std::size_t head : {3u, 4u, 6u, 8u})
+        EXPECT_EQ(net.nodes[head].inputs, std::vector<std::size_t>{2})
+            << net.layer(head).name;
+    EXPECT_EQ(net.nodes[5].inputs, std::vector<std::size_t>{4});
+    EXPECT_EQ(net.nodes[7].inputs, std::vector<std::size_t>{6});
+    // The classifier consumes 5b's four branch terminals.
+    EXPECT_EQ(net.nodes.back().inputs.size(), 4u);
+}
+
+TEST(Workloads, InceptionV3ReducesFanOut)
+{
+    const auto net = networkByName("inceptionv3");
+    // mixed_c blocks split each 3x3 reduce into a 1x3/3x1 pair: two
+    // distinct consumers of one producer.
+    std::size_t splits = 0;
+    for (std::size_t v = 0; v < net.layerCount(); ++v) {
+        if (net.layer(v).name.find("/3x3_a") == std::string::npos)
+            continue;
+        const auto producer = net.nodes[v].inputs.at(0);
+        EXPECT_EQ(net.nodes[v + 1].inputs.at(0), producer)
+            << net.layer(v).name;
+        ++splits;
+    }
+    EXPECT_EQ(splits, 2u);
+    // The classifier consumes mixed_c2's six branch terminals.
+    EXPECT_EQ(net.nodes.back().inputs.size(), 6u);
+}
+
 TEST(WorkloadsDeathTest, UnknownNetworkIsFatal)
 {
     EXPECT_EXIT(networkByName("VGG16"), testing::ExitedWithCode(1),
                 "unknown network");
+}
+
+TEST(WorkloadsDeathTest, UnknownNetworkSuggestsTheNearestName)
+{
+    EXPECT_EXIT(networkByName("goglenet"), testing::ExitedWithCode(1),
+                "did you mean 'GoogLeNet'");
+}
+
+TEST(WorkloadsDeathTest, MacOverflowIsFatal)
+{
+    LayerSpec huge;
+    huge.name = "huge";
+    huge.m = std::int64_t{1} << 31;
+    huge.k = std::int64_t{1} << 31;
+    huge.n = 4;
+    EXPECT_EXIT(huge.validate(), testing::ExitedWithCode(1),
+                "overflows int64");
 }
 
 TEST(WorkloadsDeathTest, InvalidLayerIsFatal)
