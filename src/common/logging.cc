@@ -88,7 +88,14 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     emit(errorRecord("fatal", file, line, msg));
-    std::exit(1);
+    std::exit(exitUsageError);
+}
+
+void
+fatalRunImpl(const char *file, int line, const std::string &msg)
+{
+    emit(errorRecord("error", file, line, msg));
+    std::exit(exitRunFailure);
 }
 
 void

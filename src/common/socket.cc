@@ -1,0 +1,355 @@
+#include "common/socket.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+/** poll one fd for POLLIN; 1 ready, 0 timeout, -1 error. */
+int
+pollOne(int fd, int timeout_ms)
+{
+    struct pollfd p;
+    p.fd = fd;
+    p.events = POLLIN;
+    p.revents = 0;
+    for (;;) {
+        const int rc = ::poll(&p, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return rc;
+    }
+}
+
+} // namespace
+
+void
+closeFd(int fd)
+{
+    if (fd < 0)
+        return;
+    // Retrying close on EINTR is unsafe (the fd may already be gone);
+    // one call, result ignored, is the portable idiom.
+    ::close(fd);
+}
+
+TcpStream::TcpStream(TcpStream &&o) noexcept
+    : fd_(o.fd_), buffer_(std::move(o.buffer_)),
+      error_(std::move(o.error_))
+{
+    o.fd_ = -1;
+}
+
+TcpStream &
+TcpStream::operator=(TcpStream &&o) noexcept
+{
+    if (this != &o) {
+        close();
+        fd_ = o.fd_;
+        buffer_ = std::move(o.buffer_);
+        error_ = std::move(o.error_);
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+void
+TcpStream::close()
+{
+    closeFd(fd_);
+    fd_ = -1;
+    buffer_.clear();
+}
+
+bool
+TcpStream::connect(const std::string &host, std::uint16_t port)
+{
+    close();
+    error_.clear();
+
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *res = nullptr;
+    const std::string service = std::to_string(port);
+    const int gai = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                  &res);
+    if (gai != 0) {
+        error_ = std::string("getaddrinfo: ") + ::gai_strerror(gai);
+        return false;
+    }
+
+    for (struct addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol);
+        if (fd < 0) {
+            error_ = "socket: " + errnoText();
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            // Lease/heartbeat messages are small and latency-bound;
+            // never batch them behind Nagle.
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+            fd_ = fd;
+            break;
+        }
+        error_ = "connect: " + errnoText();
+        closeFd(fd);
+    }
+    ::freeaddrinfo(res);
+    return fd_ >= 0;
+}
+
+bool
+TcpStream::sendLine(const std::string &line)
+{
+    if (line.find('\n') != std::string::npos)
+        panic("sendLine payload contains the '\\n' frame delimiter");
+    if (fd_ < 0) {
+        error_ = "send on a closed stream";
+        return false;
+    }
+    std::string frame = line;
+    frame.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd_, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = "send: " + errnoText();
+            close();
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+TcpStream::ReadStatus
+TcpStream::readIntoBuffer(int timeout_ms)
+{
+    if (fd_ < 0) {
+        error_ = "read on a closed stream";
+        return ReadStatus::Error;
+    }
+    const int ready = pollOne(fd_, timeout_ms);
+    if (ready < 0) {
+        error_ = "poll: " + errnoText();
+        close();
+        return ReadStatus::Error;
+    }
+    if (ready == 0)
+        return ReadStatus::Ok; // nothing yet; not an error
+    char chunk[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = "recv: " + errnoText();
+            close();
+            return ReadStatus::Error;
+        }
+        if (n == 0)
+            return ReadStatus::Eof;
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+        return ReadStatus::Ok;
+    }
+}
+
+bool
+TcpStream::nextLine(std::string &out)
+{
+    const auto nl = buffer_.find('\n');
+    if (nl == std::string::npos)
+        return false;
+    out.assign(buffer_, 0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+}
+
+bool
+TcpStream::recvLine(std::string &out, int timeout_ms)
+{
+    if (nextLine(out))
+        return true;
+    const auto start = std::chrono::steady_clock::now();
+    for (;;) {
+        int wait_ms = timeout_ms;
+        if (timeout_ms >= 0) {
+            const auto elapsed_ms =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            if (elapsed_ms >= timeout_ms) {
+                error_ = "timed out waiting for a message";
+                return false;
+            }
+            wait_ms = timeout_ms - static_cast<int>(elapsed_ms);
+        }
+        const ReadStatus status = readIntoBuffer(wait_ms);
+        if (status == ReadStatus::Eof) {
+            error_ = "peer closed the connection";
+            return false;
+        }
+        if (status == ReadStatus::Error)
+            return false;
+        if (nextLine(out))
+            return true;
+    }
+}
+
+void
+TcpListener::close()
+{
+    closeFd(fd_);
+    fd_ = -1;
+    port_ = 0;
+}
+
+bool
+TcpListener::listen(std::uint16_t port, int backlog)
+{
+    close();
+    error_.clear();
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error_ = "socket: " + errnoText();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error_ = "bind: " + errnoText();
+        closeFd(fd);
+        return false;
+    }
+    if (::listen(fd, backlog) != 0) {
+        error_ = "listen: " + errnoText();
+        closeFd(fd);
+        return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0) {
+        error_ = "getsockname: " + errnoText();
+        closeFd(fd);
+        return false;
+    }
+    fd_ = fd;
+    port_ = ntohs(addr.sin_port);
+    return true;
+}
+
+bool
+TcpListener::accept(TcpStream &out, int timeout_ms)
+{
+    error_.clear();
+    if (fd_ < 0) {
+        error_ = "accept on a closed listener";
+        return false;
+    }
+    const int ready = pollOne(fd_, timeout_ms);
+    if (ready <= 0) {
+        if (ready < 0)
+            error_ = "poll: " + errnoText();
+        return false;
+    }
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = "accept: " + errnoText();
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        out = TcpStream(fd);
+        return true;
+    }
+}
+
+std::vector<std::size_t>
+pollReadable(const std::vector<int> &fds, int timeout_ms)
+{
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(fds.size());
+    for (const int fd : fds) {
+        struct pollfd p;
+        p.fd = fd;
+        p.events = POLLIN;
+        p.revents = 0;
+        pfds.push_back(p);
+    }
+    for (;;) {
+        const int rc =
+            ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                   timeout_ms);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        std::vector<std::size_t> ready;
+        if (rc > 0)
+            for (std::size_t i = 0; i < pfds.size(); ++i)
+                if (pfds[i].revents != 0)
+                    ready.push_back(i);
+        return ready;
+    }
+}
+
+bool
+parseHostPort(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        return false;
+    const std::string port_text = spec.substr(colon + 1);
+    try {
+        std::size_t pos = 0;
+        const unsigned long value = std::stoul(port_text, &pos);
+        if (pos != port_text.size() || value == 0 || value > 65535)
+            return false;
+        port = static_cast<std::uint16_t>(value);
+    } catch (...) {
+        return false;
+    }
+    host = spec.substr(0, colon);
+    return true;
+}
+
+} // namespace griffin

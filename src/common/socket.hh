@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Small portable TCP wrapper for the fleet coordinator/worker pair.
+ *
+ * Deliberately minimal: blocking POSIX sockets behind two RAII types —
+ * TcpListener (bind/listen/accept) and TcpStream (connect/send/recv)
+ * — plus a newline-framed message layer (sendLine / receive buffer /
+ * nextLine) matching the fleet protocol's one-JSON-object-per-line
+ * framing.  Readiness is poll(2)-based so a single-threaded server
+ * can multiplex a listener and many client streams without ever
+ * blocking on one of them.
+ *
+ * Error reporting is by return value (+ lastError() text), never
+ * fatal(): connection loss is an expected event in a fleet — the
+ * callers own the retry/re-lease policy.  SIGPIPE is suppressed per
+ * send (MSG_NOSIGNAL), so a peer death surfaces as a send error, not
+ * a process kill.
+ */
+
+#ifndef GRIFFIN_COMMON_SOCKET_HH
+#define GRIFFIN_COMMON_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace griffin {
+
+/** Close an open fd, ignoring EINTR; no-op on -1. */
+void closeFd(int fd);
+
+/**
+ * One connected, blocking TCP stream with a newline-framed receive
+ * buffer.  Movable, not copyable; the destructor closes the fd.
+ */
+class TcpStream
+{
+  public:
+    TcpStream() = default;
+    /** Adopt an already-connected fd (e.g. from TcpListener::accept). */
+    explicit TcpStream(int fd) : fd_(fd) {}
+    ~TcpStream() { close(); }
+
+    TcpStream(TcpStream &&o) noexcept;
+    TcpStream &operator=(TcpStream &&o) noexcept;
+    TcpStream(const TcpStream &) = delete;
+    TcpStream &operator=(const TcpStream &) = delete;
+
+    /**
+     * Connect to host:port (numeric or resolvable host).  Returns
+     * false with lastError() set on failure; an already-open stream is
+     * closed first.
+     */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    bool open() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    void close();
+
+    /**
+     * Send `line` plus a trailing '\n', looping until fully written.
+     * Returns false (and closes the stream) on any send error — the
+     * peer is gone.  `line` must not itself contain '\n' (the framing
+     * delimiter); that is a caller bug and panics.
+     */
+    bool sendLine(const std::string &line);
+
+    /** Outcome of one readIntoBuffer() call. */
+    enum class ReadStatus
+    {
+        Ok,   ///< bytes arrived (or nothing ready yet)
+        Eof,  ///< orderly peer close
+        Error ///< read error; stream closed
+    };
+
+    /**
+     * Wait up to `timeout_ms` for readability (-1 = forever, 0 = no
+     * wait) and append whatever is available to the receive buffer.
+     * One poll + one read; call in a loop for more.
+     */
+    ReadStatus readIntoBuffer(int timeout_ms);
+
+    /**
+     * Pop the next complete '\n'-terminated line (delimiter stripped)
+     * off the receive buffer.  False when no complete line is
+     * buffered.
+     */
+    bool nextLine(std::string &out);
+
+    /**
+     * Blocking convenience: poll/read until a full line, EOF, error,
+     * or the deadline elapses (re-polling with the remaining budget,
+     * so a line split across segments is not a spurious timeout).
+     * -1 waits forever.  False on anything but a complete line
+     * (lastError() distinguishes).
+     */
+    bool recvLine(std::string &out, int timeout_ms);
+
+    const std::string &lastError() const { return error_; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+    std::string error_;
+};
+
+/**
+ * Listening TCP socket.  Binds 0.0.0.0; port 0 picks an ephemeral
+ * port, readable afterwards via port() — tests and scripts hand it to
+ * workers through a --port-file.
+ */
+class TcpListener
+{
+  public:
+    TcpListener() = default;
+    ~TcpListener() { close(); }
+    TcpListener(const TcpListener &) = delete;
+    TcpListener &operator=(const TcpListener &) = delete;
+
+    /** Bind + listen.  False with lastError() set on failure. */
+    bool listen(std::uint16_t port, int backlog = 16);
+
+    bool open() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+    /** The bound port (resolves ephemeral port 0 requests). */
+    std::uint16_t port() const { return port_; }
+    void close();
+
+    /**
+     * Wait up to `timeout_ms` (-1 = forever) for a pending connection
+     * and accept it.  False when nothing arrived (or on error; check
+     * lastError()).
+     */
+    bool accept(TcpStream &out, int timeout_ms);
+
+    const std::string &lastError() const { return error_; }
+
+  private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::string error_;
+};
+
+/**
+ * poll(2) a set of fds for readability; returns the indices of the
+ * ready ones (empty on timeout).  -1 waits forever.
+ */
+std::vector<std::size_t> pollReadable(const std::vector<int> &fds,
+                                      int timeout_ms);
+
+/**
+ * Split "host:port" into its parts; false on a malformed spec (no
+ * colon, empty host, or a port outside 1..65535).
+ */
+bool parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port);
+
+} // namespace griffin
+
+#endif // GRIFFIN_COMMON_SOCKET_HH

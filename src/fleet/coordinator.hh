@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The fleet coordinator: `griffin_bench serve`.
+ *
+ * One long-running process owns a fleet run end to end: it expands
+ * every requested experiment's grid into the job queue, listens for
+ * workers on a TCP port, hands out contiguous job slices as leases
+ * (fleet/lease_queue.hh), tracks lease heartbeats, re-leases slices
+ * whose worker dies or goes silent past the timeout, validates and
+ * stores the result rows workers stream back, and renders the final
+ * aggregate tables once — and only once — every expanded job has been
+ * acked exactly once.
+ *
+ * That completion rule is shard_merge's offline disjoint-and-complete
+ * coverage validation turned into an online invariant: every streamed
+ * row is parsed with the same parser (parseResultRowLine) and checked
+ * against the same expanded job (validateRowAgainstJob) the merge
+ * subcommand would have used after the fact, so the rendered tables
+ * and the --out row document of a fleet run are byte-identical to the
+ * unsharded `griffin_bench run` — including runs where workers died
+ * mid-sweep and their leases were stolen.
+ *
+ * The server is single-threaded: one poll(2) loop multiplexes the
+ * listener and every worker stream, so the lease queue needs no lock
+ * and message handling is deterministic.  Row mismatches (a worker
+ * that expanded a different grid — version or flag skew) are
+ * fatalRun(): the run is unsalvageable and CI must distinguish that
+ * from a usage error.
+ */
+
+#ifndef GRIFFIN_FLEET_COORDINATOR_HH
+#define GRIFFIN_FLEET_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/lease_queue.hh"
+#include "runtime/experiment.hh"
+
+namespace griffin {
+
+/** One experiment the fleet run covers, at its resolved fidelity. */
+struct FleetServeSpec
+{
+    const Experiment *experiment = nullptr;
+    RunOptions run;
+};
+
+/** `serve` knobs (defaults match the bench flags). */
+struct CoordinatorConfig
+{
+    /** Listen port; 0 binds an ephemeral port (see portFile). */
+    std::uint16_t port = 0;
+    /** When non-empty, the resolved port is written here (atomically,
+     *  via rename) so scripts can start workers against port 0. */
+    std::string portFile;
+    /** --grid override forwarded to every worker verbatim. */
+    std::string gridOverride;
+    /** Jobs per lease (the work-stealing granularity). */
+    std::size_t leaseJobs = 4;
+    /** A lease not heartbeat for this long is re-leased. */
+    int leaseTimeoutMs = 10000;
+    /** Server tick: poll window, and the expiry check cadence. */
+    int pollMs = 50;
+    /** Wait.retry_ms hint sent when every chunk is leased out. */
+    int waitRetryMs = 200;
+    /** Live progress-table cadence on stderr; 0 disables. */
+    int progressEveryMs = 2000;
+};
+
+/** One experiment's reassembled results. */
+struct FleetExperimentOutcome
+{
+    const Experiment *experiment = nullptr;
+    RunOptions run;
+    SweepSpec spec;
+    SweepResult sweep;
+};
+
+/** The whole run's outcome plus its fault-tolerance counters. */
+struct FleetOutcome
+{
+    std::vector<FleetExperimentOutcome> experiments;
+    LeaseQueue::Stats leases;
+    std::size_t rowsStreamed = 0;  ///< accepted result rows
+    std::size_t workersSeen = 0;   ///< distinct hello'd connections
+    std::size_t workerDeaths = 0;  ///< disconnects holding live leases
+};
+
+/**
+ * Run the coordinator until every job of every spec is acked exactly
+ * once, then broadcast `done` and return the reassembled sweeps in
+ * spec order, ready for each experiment's render().  Also publishes
+ * the run's fleet.* counters to MetricsRegistry::instance().
+ * fatal() on render-only experiments or an unbindable port;
+ * fatalRun() when a worker streams rows that do not match the
+ * expanded grid (coordinator/worker skew).
+ */
+FleetOutcome serveFleet(const std::vector<FleetServeSpec> &specs,
+                        const CoordinatorConfig &config);
+
+} // namespace griffin
+
+#endif // GRIFFIN_FLEET_COORDINATOR_HH

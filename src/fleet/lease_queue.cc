@@ -1,0 +1,160 @@
+#include "fleet/lease_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace griffin {
+
+LeaseQueue::LeaseQueue(const std::vector<std::size_t> &jobCounts,
+                       std::size_t chunkJobs,
+                       std::uint64_t leaseTimeoutNs)
+    : leaseTimeoutNs_(leaseTimeoutNs)
+{
+    if (chunkJobs == 0)
+        fatal("lease chunk size must be positive");
+    for (std::size_t e = 0; e < jobCounts.size(); ++e) {
+        for (std::size_t begin = 0; begin < jobCounts[e];
+             begin += chunkJobs) {
+            Chunk chunk;
+            chunk.experimentIndex = e;
+            chunk.begin = begin;
+            chunk.end = std::min(begin + chunkJobs, jobCounts[e]);
+            pending_.push_back(chunks_.size());
+            chunks_.push_back(chunk);
+        }
+    }
+    states_.resize(chunks_.size());
+}
+
+bool
+LeaseQueue::grant(const std::string &worker, std::uint64_t now_ns,
+                  Grant &out)
+{
+    if (pending_.empty())
+        return false;
+    const std::size_t index = pending_.front();
+    pending_.pop_front();
+    ChunkState &state = states_[index];
+    GRIFFIN_ASSERT(state.state == State::Pending,
+                   "pending queue holds a non-pending chunk");
+    const std::uint64_t lease_id = nextLeaseId_++;
+    leaseChunk_.push_back(index);
+    state.state = State::Leased;
+    state.currentLease = lease_id;
+    state.worker = worker;
+    state.deadlineNs = now_ns + leaseTimeoutNs_;
+    ++stats_.leasesGranted;
+    if (state.everLeased)
+        ++stats_.reLeases;
+    state.everLeased = true;
+    out.leaseId = lease_id;
+    out.chunk = chunks_[index];
+    return true;
+}
+
+std::size_t
+LeaseQueue::chunkOfLease(std::uint64_t leaseId) const
+{
+    if (leaseId == 0 || leaseId >= nextLeaseId_)
+        return static_cast<std::size_t>(-1);
+    return leaseChunk_[leaseId - 1];
+}
+
+bool
+LeaseQueue::heartbeat(std::uint64_t leaseId, std::uint64_t now_ns)
+{
+    const std::size_t index = chunkOfLease(leaseId);
+    if (index == static_cast<std::size_t>(-1))
+        return false;
+    ChunkState &state = states_[index];
+    if (state.state != State::Leased || state.currentLease != leaseId)
+        return false;
+    state.deadlineNs = now_ns + leaseTimeoutNs_;
+    return true;
+}
+
+LeaseQueue::AckResult
+LeaseQueue::ack(std::uint64_t leaseId)
+{
+    const std::size_t index = chunkOfLease(leaseId);
+    if (index == static_cast<std::size_t>(-1)) {
+        ++stats_.duplicateAcks;
+        return AckResult::Unknown;
+    }
+    ChunkState &state = states_[index];
+    if (state.state == State::Done) {
+        ++stats_.duplicateAcks;
+        return AckResult::Duplicate;
+    }
+    if (state.currentLease != leaseId) {
+        // The lease lapsed and the chunk was re-granted (or is back in
+        // the pending queue): the presumed-dead worker resurfaced.
+        // Its rows are discarded — the live lease owns the chunk.
+        ++stats_.duplicateAcks;
+        return AckResult::Stale;
+    }
+    if (state.state == State::Pending) {
+        // Expired but not yet re-granted; the original holder was
+        // merely slow.  Still reject: once expired, the grant is void
+        // (the rows may race a future re-grant's) — the chunk will be
+        // re-leased and recomputed.
+        ++stats_.duplicateAcks;
+        return AckResult::Stale;
+    }
+    state.state = State::Done;
+    ++doneChunks_;
+    doneJobs_ += chunks_[index].end - chunks_[index].begin;
+    return AckResult::Accepted;
+}
+
+std::vector<LeaseQueue::Grant>
+LeaseQueue::expire(std::uint64_t now_ns)
+{
+    std::vector<Grant> expired;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        ChunkState &state = states_[i];
+        if (state.state != State::Leased || state.deadlineNs > now_ns)
+            continue;
+        Grant grant;
+        grant.leaseId = state.currentLease;
+        grant.chunk = chunks_[i];
+        expired.push_back(grant);
+        state.state = State::Pending;
+        pending_.push_back(i);
+        ++stats_.expired;
+    }
+    return expired;
+}
+
+std::size_t
+LeaseQueue::abandon(const std::vector<std::uint64_t> &leaseIds)
+{
+    std::size_t requeued = 0;
+    for (const std::uint64_t lease_id : leaseIds) {
+        const std::size_t index = chunkOfLease(lease_id);
+        if (index == static_cast<std::size_t>(-1))
+            continue;
+        ChunkState &state = states_[index];
+        if (state.state != State::Leased ||
+            state.currentLease != lease_id)
+            continue;
+        state.state = State::Pending;
+        pending_.push_back(index);
+        ++stats_.abandoned;
+        ++requeued;
+    }
+    return requeued;
+}
+
+std::size_t
+LeaseQueue::activeLeases() const
+{
+    std::size_t active = 0;
+    for (const ChunkState &state : states_)
+        if (state.state == State::Leased)
+            ++active;
+    return active;
+}
+
+} // namespace griffin

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fault-tolerant work-stealing lease queue of a fleet run.
+ *
+ * The coordinator expands every experiment's grid into an ordered job
+ * list and carves it into contiguous chunks; this queue owns the
+ * chunk state machine, free of any socket or clock dependency (time
+ * is passed in as nanoseconds, so tests drive it deterministically):
+ *
+ *     Pending --grant()--> Leased --ack()--> Done
+ *        ^                   |
+ *        +---expire()/abandon()---+
+ *
+ * Every grant mints a fresh, monotonically-increasing lease id.  A
+ * leased chunk whose holder stops heartbeating past the timeout is
+ * expired back to Pending and re-granted to the next hungry worker
+ * (work stealing); the superseded lease id stays on record so a late
+ * ack from the presumed-dead worker is recognised as Stale and
+ * rejected — a chunk is acked exactly *once*, which is the online
+ * form of shard_merge's disjoint-and-complete coverage validation.
+ * complete() is true only when every chunk is Done, i.e. every
+ * expanded job has exactly one accepted result.
+ */
+
+#ifndef GRIFFIN_FLEET_LEASE_QUEUE_HH
+#define GRIFFIN_FLEET_LEASE_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace griffin {
+
+class LeaseQueue
+{
+  public:
+    /** One leasable slice: jobs [begin, end) of one experiment. */
+    struct Chunk
+    {
+        std::size_t experimentIndex = 0;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    /** One granted lease. */
+    struct Grant
+    {
+        std::uint64_t leaseId = 0;
+        Chunk chunk;
+    };
+
+    /** Outcome of an ack. */
+    enum class AckResult
+    {
+        Accepted,  ///< first ack of the current lease; chunk is Done
+        Duplicate, ///< chunk already Done (double ack / replay)
+        Stale,     ///< lease was expired and re-granted to another
+        Unknown    ///< lease id never granted
+    };
+
+    /** Lifetime counters (mirrored into fleet.* metrics). */
+    struct Stats
+    {
+        std::uint64_t leasesGranted = 0;
+        std::uint64_t reLeases = 0; ///< grants of a previously-leased chunk
+        std::uint64_t expired = 0;  ///< leases timed out (heartbeat lapse)
+        std::uint64_t abandoned = 0; ///< leases returned on worker death
+        std::uint64_t duplicateAcks = 0; ///< Duplicate + Stale + Unknown
+    };
+
+    /**
+     * Build the queue: `jobCounts[i]` jobs for experiment i, carved
+     * into chunks of up to `chunkJobs` jobs (the final chunk of each
+     * experiment may be short; chunks never span experiments).  A
+     * lease not heartbeat within `leaseTimeoutNs` is eligible for
+     * expiry.  fatal() on chunkJobs == 0.
+     */
+    LeaseQueue(const std::vector<std::size_t> &jobCounts,
+               std::size_t chunkJobs, std::uint64_t leaseTimeoutNs);
+
+    /**
+     * Lease the next pending chunk to `worker`.  False when nothing
+     * is pending (either all Done, or all currently leased — check
+     * complete() to tell the cases apart).
+     */
+    bool grant(const std::string &worker, std::uint64_t now_ns,
+               Grant &out);
+
+    /** Refresh a lease's deadline; false when the lease is not the
+     *  live lease of a still-Leased chunk (expired, superseded, done,
+     *  or never granted). */
+    bool heartbeat(std::uint64_t leaseId, std::uint64_t now_ns);
+
+    /** Account one completed lease. */
+    AckResult ack(std::uint64_t leaseId);
+
+    /**
+     * Return every lease whose deadline predates `now_ns` to Pending.
+     * Returns the expired leases (for logging / metrics).
+     */
+    std::vector<Grant> expire(std::uint64_t now_ns);
+
+    /**
+     * A worker died or disconnected: return its live leases to
+     * Pending immediately (no need to wait out the timeout).  Lease
+     * ids are matched against `leaseIds`; unknown or finished ids are
+     * ignored.  Returns the number of chunks re-queued.
+     */
+    std::size_t abandon(const std::vector<std::uint64_t> &leaseIds);
+
+    /** Every chunk Done — the completion invariant. */
+    bool complete() const { return doneChunks_ == chunks_.size(); }
+
+    const std::vector<Chunk> &chunks() const { return chunks_; }
+    std::size_t pendingChunks() const { return pending_.size(); }
+    std::size_t activeLeases() const;
+    std::size_t doneChunks() const { return doneChunks_; }
+    /** Jobs covered by Done chunks (progress reporting). */
+    std::size_t doneJobs() const { return doneJobs_; }
+    const Stats &stats() const { return stats_; }
+
+  private:
+    enum class State
+    {
+        Pending,
+        Leased,
+        Done
+    };
+
+    struct ChunkState
+    {
+        State state = State::Pending;
+        std::uint64_t currentLease = 0; ///< live lease id when Leased
+        std::string worker;
+        std::uint64_t deadlineNs = 0;
+        bool everLeased = false;
+    };
+
+    /** Index of the chunk a lease id was granted for; npos sentinel
+     *  when unknown. */
+    std::size_t chunkOfLease(std::uint64_t leaseId) const;
+
+    std::vector<Chunk> chunks_;
+    std::vector<ChunkState> states_;
+    std::deque<std::size_t> pending_; ///< chunk indices, FIFO
+    std::vector<std::size_t> leaseChunk_; ///< leaseChunk_[id-1] = chunk
+    std::uint64_t nextLeaseId_ = 1;
+    std::uint64_t leaseTimeoutNs_ = 0;
+    std::size_t doneChunks_ = 0;
+    std::size_t doneJobs_ = 0;
+    Stats stats_;
+};
+
+} // namespace griffin
+
+#endif // GRIFFIN_FLEET_LEASE_QUEUE_HH

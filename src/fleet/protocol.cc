@@ -1,0 +1,327 @@
+#include "fleet/protocol.hh"
+
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "runtime/experiment.hh"
+#include "runtime/result_sink.hh"
+
+namespace griffin {
+
+namespace {
+
+const char *
+typeName(FleetMessage::Type type)
+{
+    switch (type) {
+      case FleetMessage::Type::Hello:
+        return "hello";
+      case FleetMessage::Type::Welcome:
+        return "welcome";
+      case FleetMessage::Type::LeaseRequest:
+        return "lease_request";
+      case FleetMessage::Type::Lease:
+        return "lease";
+      case FleetMessage::Type::Wait:
+        return "wait";
+      case FleetMessage::Type::Done:
+        return "done";
+      case FleetMessage::Type::Rows:
+        return "rows";
+      case FleetMessage::Type::RowsAck:
+        return "rows_ack";
+      case FleetMessage::Type::Heartbeat:
+        return "heartbeat";
+      case FleetMessage::Type::Error:
+        return "error";
+    }
+    panic("unhandled fleet message type ", static_cast<int>(type));
+}
+
+bool
+typeFromName(const std::string &name, FleetMessage::Type &out)
+{
+    for (const auto type :
+         {FleetMessage::Type::Hello, FleetMessage::Type::Welcome,
+          FleetMessage::Type::LeaseRequest, FleetMessage::Type::Lease,
+          FleetMessage::Type::Wait, FleetMessage::Type::Done,
+          FleetMessage::Type::Rows, FleetMessage::Type::RowsAck,
+          FleetMessage::Type::Heartbeat, FleetMessage::Type::Error}) {
+        if (name == typeName(type)) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Typed field accessors: a wire peer is another process, possibly of
+ * another build, so a missing or mistyped field must fail the decode
+ * — never fatal() (which JsonValue's own accessors do on mismatch).
+ */
+bool
+getString(const JsonValue &doc, const char *key, std::string &dst,
+          std::string &error)
+{
+    const JsonValue *value = doc.find(key);
+    if (value == nullptr || !value->isString()) {
+        error = std::string("missing or non-string '") + key +
+                "' field";
+        return false;
+    }
+    dst = value->text;
+    return true;
+}
+
+bool
+getNumber(const JsonValue &doc, const char *key,
+          const JsonValue *&out, std::string &error)
+{
+    const JsonValue *value = doc.find(key);
+    if (value == nullptr || !value->isNumber()) {
+        error = std::string("missing or non-numeric '") + key +
+                "' field";
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+bool
+getUint(const JsonValue &doc, const char *key, std::uint64_t &dst,
+        std::string &error)
+{
+    const JsonValue *value = nullptr;
+    if (!getNumber(doc, key, value, error))
+        return false;
+    dst = value->asUint();
+    return true;
+}
+
+bool
+getInt(const JsonValue &doc, const char *key, std::int64_t &dst,
+       std::string &error)
+{
+    const JsonValue *value = nullptr;
+    if (!getNumber(doc, key, value, error))
+        return false;
+    dst = value->asInt();
+    return true;
+}
+
+bool
+getDouble(const JsonValue &doc, const char *key, double &dst,
+          std::string &error)
+{
+    const JsonValue *value = nullptr;
+    if (!getNumber(doc, key, value, error))
+        return false;
+    dst = value->asDouble();
+    return true;
+}
+
+bool
+getBool(const JsonValue &doc, const char *key, bool &dst,
+        std::string &error)
+{
+    const JsonValue *value = doc.find(key);
+    if (value == nullptr || !value->isBool()) {
+        error = std::string("missing or non-boolean '") + key +
+                "' field";
+        return false;
+    }
+    dst = value->boolean;
+    return true;
+}
+
+bool
+getSize(const JsonValue &doc, const char *key, std::size_t &dst,
+        std::string &error)
+{
+    std::uint64_t value = 0;
+    if (!getUint(doc, key, value, error))
+        return false;
+    dst = static_cast<std::size_t>(value);
+    return true;
+}
+
+} // namespace
+
+std::string
+encodeFleetMessage(const FleetMessage &msg)
+{
+    std::ostringstream os;
+    os << "{\"type\": \"" << typeName(msg.type) << '"';
+    switch (msg.type) {
+      case FleetMessage::Type::Hello:
+        os << ", \"protocol\": " << msg.protocol << ", \"worker\": \""
+           << jsonEscape(msg.worker) << '"';
+        break;
+      case FleetMessage::Type::Welcome:
+        os << ", \"protocol\": " << msg.protocol;
+        break;
+      case FleetMessage::Type::LeaseRequest:
+      case FleetMessage::Type::Done:
+        break;
+      case FleetMessage::Type::Lease:
+        os << ", \"lease_id\": " << msg.leaseId
+           << ", \"experiment\": \"" << jsonEscape(msg.experiment)
+           << "\", \"job_begin\": " << msg.jobBegin
+           << ", \"job_end\": " << msg.jobEnd << ", \"options\": {"
+           << "\"seed\": " << msg.options.seed
+           << ", \"row_cap\": " << msg.options.rowCap
+           << ", \"weight_lane_bias\": "
+           << jsonNumber(msg.options.weightLaneBias)
+           << ", \"act_run_length\": "
+           << jsonNumber(msg.options.actRunLength)
+           << ", \"sample_fraction\": "
+           << jsonNumber(msg.options.sim.sampleFraction)
+           << ", \"enforce_dram_bound\": "
+           << (msg.options.enforceDramBound ? "true" : "false") << "}"
+           << ", \"grid\": \"" << jsonEscape(msg.gridOverride) << '"';
+        break;
+      case FleetMessage::Type::Wait:
+        os << ", \"retry_ms\": " << msg.retryMs;
+        break;
+      case FleetMessage::Type::Rows:
+        os << ", \"lease_id\": " << msg.leaseId << ", \"rows\": [";
+        for (std::size_t i = 0; i < msg.rows.size(); ++i) {
+            if (i != 0)
+                os << ", ";
+            os << '"' << jsonEscape(msg.rows[i]) << '"';
+        }
+        os << ']';
+        break;
+      case FleetMessage::Type::RowsAck:
+        os << ", \"lease_id\": " << msg.leaseId << ", \"accepted\": "
+           << (msg.accepted ? "true" : "false") << ", \"reason\": \""
+           << jsonEscape(msg.reason) << '"';
+        break;
+      case FleetMessage::Type::Heartbeat:
+        os << ", \"lease_id\": " << msg.leaseId;
+        break;
+      case FleetMessage::Type::Error:
+        os << ", \"reason\": \"" << jsonEscape(msg.reason) << '"';
+        break;
+    }
+    os << '}';
+    return os.str();
+}
+
+bool
+decodeFleetMessage(const std::string &line, FleetMessage &out,
+                   std::string &error)
+{
+    JsonValue doc;
+    if (!parseJson(line, doc, error))
+        return false;
+    if (!doc.isObject()) {
+        error = "message is not a JSON object";
+        return false;
+    }
+    std::string type_name;
+    if (!getString(doc, "type", type_name, error))
+        return false;
+    out = FleetMessage{};
+    if (!typeFromName(type_name, out.type)) {
+        error = "unknown message type '" + type_name + "'";
+        return false;
+    }
+
+    switch (out.type) {
+      case FleetMessage::Type::Hello: {
+        std::int64_t protocol = 0;
+        if (!getInt(doc, "protocol", protocol, error) ||
+            !getString(doc, "worker", out.worker, error))
+            return false;
+        out.protocol = static_cast<int>(protocol);
+        break;
+      }
+      case FleetMessage::Type::Welcome: {
+        std::int64_t protocol = 0;
+        if (!getInt(doc, "protocol", protocol, error))
+            return false;
+        out.protocol = static_cast<int>(protocol);
+        break;
+      }
+      case FleetMessage::Type::LeaseRequest:
+      case FleetMessage::Type::Done:
+        break;
+      case FleetMessage::Type::Lease: {
+        if (!getUint(doc, "lease_id", out.leaseId, error) ||
+            !getString(doc, "experiment", out.experiment, error) ||
+            !getSize(doc, "job_begin", out.jobBegin, error) ||
+            !getSize(doc, "job_end", out.jobEnd, error) ||
+            !getString(doc, "grid", out.gridOverride, error))
+            return false;
+        const JsonValue *options = doc.find("options");
+        if (options == nullptr || !options->isObject()) {
+            error = "missing or non-object 'options' field";
+            return false;
+        }
+        if (!getUint(*options, "seed", out.options.seed, error) ||
+            !getInt(*options, "row_cap", out.options.rowCap, error) ||
+            !getDouble(*options, "weight_lane_bias",
+                       out.options.weightLaneBias, error) ||
+            !getDouble(*options, "act_run_length",
+                       out.options.actRunLength, error) ||
+            !getDouble(*options, "sample_fraction",
+                       out.options.sim.sampleFraction, error) ||
+            !getBool(*options, "enforce_dram_bound",
+                     out.options.enforceDramBound, error))
+            return false;
+        // Not on the wire (result rows do not carry it either); both
+        // sides share the driver constant, exactly like shard_merge's
+        // reconstruction of a shard run's fidelity.
+        out.options.sim.minSampledTiles = defaultMinSampledTiles;
+        break;
+      }
+      case FleetMessage::Type::Wait: {
+        std::int64_t retry = 0;
+        if (!getInt(doc, "retry_ms", retry, error))
+            return false;
+        out.retryMs = static_cast<int>(retry);
+        break;
+      }
+      case FleetMessage::Type::Rows: {
+        if (!getUint(doc, "lease_id", out.leaseId, error))
+            return false;
+        const JsonValue *rows = doc.find("rows");
+        if (rows == nullptr || !rows->isArray()) {
+            error = "missing or non-array 'rows' field";
+            return false;
+        }
+        out.rows.reserve(rows->items.size());
+        for (const JsonValue &row : rows->items) {
+            if (!row.isString()) {
+                error = "'rows' holds a non-string element";
+                return false;
+            }
+            out.rows.push_back(row.text);
+        }
+        break;
+      }
+      case FleetMessage::Type::RowsAck: {
+        if (!getUint(doc, "lease_id", out.leaseId, error) ||
+            !getBool(doc, "accepted", out.accepted, error) ||
+            !getString(doc, "reason", out.reason, error))
+            return false;
+        break;
+      }
+      case FleetMessage::Type::Heartbeat: {
+        if (!getUint(doc, "lease_id", out.leaseId, error))
+            return false;
+        break;
+      }
+      case FleetMessage::Type::Error: {
+        if (!getString(doc, "reason", out.reason, error))
+            return false;
+        break;
+      }
+    }
+    return true;
+}
+
+} // namespace griffin

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Wire protocol of the fleet coordinator/worker pair.
+ *
+ * One JSON object per '\n'-terminated line over a TCP stream
+ * (common/socket.hh handles the framing); every message carries a
+ * "type" member.  The conversation:
+ *
+ *   worker                         coordinator
+ *   ------                         -----------
+ *   hello {worker, protocol}  ->
+ *                             <-   welcome {protocol}
+ *   lease_request             ->
+ *                             <-   lease {lease_id, experiment,
+ *                                         job_begin, job_end,
+ *                                         options, grid}
+ *                                  | wait {retry_ms}   (all leased out)
+ *                                  | done              (run complete)
+ *   heartbeat {lease_id}      ->                       (while working)
+ *   rows {lease_id, rows[]}   ->
+ *                             <-   rows_ack {lease_id, accepted,
+ *                                            reason}
+ *   ... lease_request again until done.
+ *
+ * A lease names a half-open [job_begin, job_end) slice of one
+ * experiment's expanded job list plus everything the worker needs to
+ * re-expand that list identically: the coordinator's resolved
+ * RunOptions fidelity fields (the same six fields result rows
+ * serialize — shard_merge reconstructs specs from exactly these) and
+ * the --grid override text.  The rows of a completed lease travel as
+ * the verbatim JSONL lines the worker's sink would have written, so
+ * the coordinator can assemble a byte-identical --out document by
+ * concatenating them in job order.
+ *
+ * Versioning: hello/welcome carry fleetProtocolVersion; a mismatch is
+ * rejected before any work is leased.
+ */
+
+#ifndef GRIFFIN_FLEET_PROTOCOL_HH
+#define GRIFFIN_FLEET_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "griffin/accelerator.hh"
+
+namespace griffin {
+
+constexpr int fleetProtocolVersion = 1;
+
+struct FleetMessage
+{
+    enum class Type
+    {
+        Hello,        ///< worker -> server: identify + version check
+        Welcome,      ///< server -> worker: version accepted
+        LeaseRequest, ///< worker -> server: give me work
+        Lease,        ///< server -> worker: one job slice
+        Wait,         ///< server -> worker: nothing leasable now
+        Done,         ///< server -> worker: run complete, disconnect
+        Rows,         ///< worker -> server: a lease's result rows
+        RowsAck,      ///< server -> worker: rows accepted / rejected
+        Heartbeat,    ///< worker -> server: lease still being worked
+        Error         ///< either side: protocol violation, hang up
+    };
+
+    Type type = Type::Error;
+
+    int protocol = fleetProtocolVersion; ///< Hello / Welcome
+    std::string worker;                  ///< Hello: display name
+
+    std::uint64_t leaseId = 0; ///< Lease / Rows / RowsAck / Heartbeat
+    std::string experiment;    ///< Lease: registry name
+    std::size_t jobBegin = 0;  ///< Lease: slice start (inclusive)
+    std::size_t jobEnd = 0;    ///< Lease: slice end (exclusive)
+    /** Lease: the coordinator's resolved fidelity (wire fields only;
+     *  decode re-applies defaultMinSampledTiles like shard_merge). */
+    RunOptions options{};
+    std::string gridOverride; ///< Lease: --grid text (may be empty)
+
+    std::vector<std::string> rows; ///< Rows: verbatim JSONL lines
+
+    bool accepted = false; ///< RowsAck
+    int retryMs = 0;       ///< Wait
+    std::string reason;    ///< RowsAck rejection / Error text
+};
+
+/** The message as its one-line wire form (no trailing newline). */
+std::string encodeFleetMessage(const FleetMessage &msg);
+
+/**
+ * Parse one wire line.  False with `error` set on malformed JSON, an
+ * unknown type, or missing/mistyped fields for the given type.
+ */
+bool decodeFleetMessage(const std::string &line, FleetMessage &out,
+                        std::string &error);
+
+} // namespace griffin
+
+#endif // GRIFFIN_FLEET_PROTOCOL_HH

@@ -178,6 +178,21 @@ struct SweepSpec
     std::size_t shardCount = 1;
 
     /**
+     * Fleet leases: run only the half-open [rangeBegin, rangeEnd)
+     * slice of the (filtered, sharded) job list.  Unlike the
+     * equal-block --grid-shard split, the bounds are explicit job
+     * indices, so a coordinator can lease arbitrary contiguous chunks
+     * and re-lease them after a worker death.  npos (the default
+     * rangeEnd) means "to the end"; out-of-range bounds are a fatal()
+     * — they mean the two sides expanded different grids (version or
+     * flag skew between coordinator and worker).
+     */
+    static constexpr std::size_t rangeNpos =
+        static_cast<std::size_t>(-1);
+    std::size_t rangeBegin = 0;
+    std::size_t rangeEnd = rangeNpos;
+
+    /**
      * Expanded job count of the full cartesian product
      * (archs * networks * categories * options) — before jobFilter
      * and fleet sharding are applied; expandSweep().size() is the

@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <map>
+#include <sstream>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -113,36 +114,103 @@ parseRow(const JsonValue &doc, const std::string &where)
     return row;
 }
 
+template <typename T>
+std::string
+mismatchText(const char *field, const T &got, const T &expected)
+{
+    std::ostringstream os;
+    os << field << " " << got << " does not match the expanded job's "
+       << expected;
+    return os.str();
+}
+
 /** The serialized RunOptions fields, compared one by one so coverage
  *  errors name the differing knob. */
-void
+bool
 checkOptionsMatch(const RunOptions &expected, const RunOptions &got,
-                  const std::string &where)
+                  std::string &error)
 {
-    if (expected.seed != got.seed)
-        fatal(where, ": seed ", got.seed, " does not match the ",
-              "expanded job's ", expected.seed);
-    if (expected.rowCap != got.rowCap)
-        fatal(where, ": row_cap ", got.rowCap,
-              " does not match the expanded job's ", expected.rowCap);
-    if (expected.weightLaneBias != got.weightLaneBias)
-        fatal(where, ": weight_lane_bias ", got.weightLaneBias,
-              " does not match the expanded job's ",
-              expected.weightLaneBias);
-    if (expected.actRunLength != got.actRunLength)
-        fatal(where, ": act_run_length ", got.actRunLength,
-              " does not match the expanded job's ",
-              expected.actRunLength);
-    if (expected.sim.sampleFraction != got.sim.sampleFraction)
-        fatal(where, ": sample_fraction ", got.sim.sampleFraction,
-              " does not match the expanded job's ",
-              expected.sim.sampleFraction);
-    if (expected.enforceDramBound != got.enforceDramBound)
-        fatal(where, ": enforce_dram_bound does not match the "
-                     "expanded job's");
+    if (expected.seed != got.seed) {
+        error = mismatchText("seed", got.seed, expected.seed);
+        return false;
+    }
+    if (expected.rowCap != got.rowCap) {
+        error = mismatchText("row_cap", got.rowCap, expected.rowCap);
+        return false;
+    }
+    if (expected.weightLaneBias != got.weightLaneBias) {
+        error = mismatchText("weight_lane_bias", got.weightLaneBias,
+                             expected.weightLaneBias);
+        return false;
+    }
+    if (expected.actRunLength != got.actRunLength) {
+        error = mismatchText("act_run_length", got.actRunLength,
+                             expected.actRunLength);
+        return false;
+    }
+    if (expected.sim.sampleFraction != got.sim.sampleFraction) {
+        error = mismatchText("sample_fraction",
+                             got.sim.sampleFraction,
+                             expected.sim.sampleFraction);
+        return false;
+    }
+    if (expected.enforceDramBound != got.enforceDramBound) {
+        error = "enforce_dram_bound does not match the expanded "
+                "job's";
+        return false;
+    }
+    return true;
 }
 
 } // namespace
+
+ResultRow
+parseResultRowLine(const std::string &line, const std::string &where)
+{
+    JsonValue doc;
+    std::string error;
+    if (!parseJson(line, doc, error))
+        fatal(where, ": malformed JSON (", error,
+              ") — is this a --out .jsonl document?");
+    return parseRow(doc, where);
+}
+
+bool
+validateRowAgainstJob(const ResultRow &row, const SweepSpec &spec,
+                      const SweepJob &job, std::string &error)
+{
+    const auto &net = spec.networks[job.networkIndex];
+    if (row.result.network != net.name) {
+        error = "network '" + row.result.network +
+                "' does not match the expanded job's '" + net.name +
+                "' — rows out of order or overlapping?";
+        return false;
+    }
+    const auto &arch = spec.archs[job.archIndex];
+    if (row.result.arch != arch.name) {
+        error = "arch '" + row.result.arch +
+                "' does not match the expanded job's '" + arch.name +
+                "' — rows out of order or overlapping?";
+        return false;
+    }
+    const auto cat = spec.categories[job.categoryIndex];
+    if (row.result.category != cat) {
+        error = std::string("category '") +
+                toString(row.result.category) +
+                "' does not match the expanded job's '" +
+                toString(cat) + "'";
+        return false;
+    }
+    if (row.coords != job.coords) {
+        error = "grid coordinates (" + coordsLabel(row.coords) +
+                ") do not match the expanded job's (" +
+                coordsLabel(job.coords) +
+                ") — was the run given a --grid override? pass the "
+                "same text";
+        return false;
+    }
+    return checkOptionsMatch(job.options, row.options, error);
+}
 
 std::vector<ResultRow>
 readShardRows(const std::vector<std::string> &paths)
@@ -160,12 +228,7 @@ readShardRows(const std::vector<std::string> &paths)
                 continue;
             const std::string where =
                 path + ":" + std::to_string(line_no);
-            JsonValue doc;
-            std::string error;
-            if (!parseJson(line, doc, error))
-                fatal(where, ": malformed JSON (", error,
-                      ") — is this a --out .jsonl document?");
-            ResultRow row = parseRow(doc, where);
+            ResultRow row = parseResultRowLine(line, where);
             if (row.experiment.empty())
                 fatal(where, ": row carries no experiment label; "
                              "merge validates against the experiment "
@@ -237,31 +300,9 @@ mergeShardRows(const std::vector<ResultRow> &rows,
             const std::string where = "experiment '" + names[g] +
                                       "', merged row " +
                                       std::to_string(i);
-            const auto &net = me.spec.networks[job.networkIndex];
-            if (row.result.network != net.name)
-                fatal(where, ": network '", row.result.network,
-                      "' does not match the expanded job's '", net.name,
-                      "' — shard files out of order or overlapping?");
-            const auto &arch = me.spec.archs[job.archIndex];
-            if (row.result.arch != arch.name)
-                fatal(where, ": arch '", row.result.arch,
-                      "' does not match the expanded job's '",
-                      arch.name,
-                      "' — shard files out of order or overlapping?");
-            const auto cat = me.spec.categories[job.categoryIndex];
-            if (row.result.category != cat)
-                fatal(where, ": category '",
-                      toString(row.result.category),
-                      "' does not match the expanded job's '",
-                      toString(cat), "'");
-            if (row.coords != job.coords)
-                fatal(where, ": grid coordinates (",
-                      coordsLabel(row.coords),
-                      ") do not match the expanded job's (",
-                      coordsLabel(job.coords),
-                      ") — was the fleet run with a --grid override? "
-                      "pass the same text to merge");
-            checkOptionsMatch(job.options, row.options, where);
+            std::string error;
+            if (!validateRowAgainstJob(row, me.spec, job, error))
+                fatal(where, ": ", error);
             results.push_back(row.result);
         }
         me.sweep = SweepResult(std::move(jobs), std::move(results),

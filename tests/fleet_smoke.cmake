@@ -1,0 +1,138 @@
+# CTest script: the acceptance bar for fleet mode.  One experiment
+# (fig5, narrowed by a --grid override to three design points on one
+# network) is run
+#   (a) unsharded (`run`)                      -> the baseline bytes
+#   (b) `serve` + two workers                  -> rows and tables
+#       byte-identical to (a)
+#   (c) `serve` + a worker that abandons its first lease without
+#       acking (--abandon-after 1, the deterministic stand-in for a
+#       mid-run kill) + one survivor           -> the dropped lease is
+#       re-queued and stolen, every process exits 0, and the output
+#       is STILL byte-identical to (a)
+#
+# The worker processes must run concurrently with the coordinator, so
+# the process choreography lives in a generated POSIX sh script
+# (execute_process is synchronous); the byte comparisons happen here.
+#
+# Invoked as:
+#   cmake -DGRIFFIN_BENCH=<path> -DWORK_DIR=<dir> -P fleet_smoke.cmake
+
+if(NOT GRIFFIN_BENCH OR NOT WORK_DIR)
+    message(FATAL_ERROR "need -DGRIFFIN_BENCH=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(grid "arch=Sparse.B*,AB(2,0,0,4,0,1,on),AB(1,0,0,4,0,1,on),network=alexnet")
+
+# (a) the unsharded baseline: rows to base.jsonl, tables to stdout.
+execute_process(
+    COMMAND "${GRIFFIN_BENCH}" run fig5 --grid "${grid}"
+            --sample 0.01 --rowcap 4 --out "${WORK_DIR}/base.jsonl"
+    OUTPUT_FILE "${WORK_DIR}/base_tables.txt"
+    ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "baseline run failed (${rc}):\n${err}")
+endif()
+
+# (b)+(c) fleet choreography.  The script waits on every pid, so a
+# nonzero exit from any process fails the test.
+file(WRITE "${WORK_DIR}/fleet_run.sh" "#!/bin/sh
+set -u
+cd '${WORK_DIR}'
+B='${GRIFFIN_BENCH}'
+GRID='${grid}'
+
+# One job per lease so the dying worker's abandonment provably strands
+# work for the survivor to steal.
+start_serve() {
+    rm -f port.txt
+    \"$B\" serve fig5 --grid \"$GRID\" --sample 0.01 --rowcap 4 \\
+        --lease-jobs 1 --port-file port.txt --out \"$1.jsonl\" \\
+        > \"$1_tables.txt\" 2> \"$1_err.txt\" &
+    SERVE=$!
+    i=0
+    while [ ! -f port.txt ] && [ \"$i\" -lt 100 ]; do
+        sleep 0.1; i=$((i+1))
+    done
+    if [ ! -f port.txt ]; then
+        echo 'coordinator never wrote its port file' >&2
+        kill \"$SERVE\" 2>/dev/null
+        exit 1
+    fi
+    PORT=$(cat port.txt)
+}
+
+check() { # pid name
+    wait \"$1\"
+    rc=$?
+    if [ \"$rc\" -ne 0 ]; then
+        echo \"$2 exited with status $rc\" >&2
+        exit 1
+    fi
+}
+
+# (b) happy path: two workers split the run.
+start_serve fleet
+\"$B\" worker --connect \"127.0.0.1:$PORT\" --worker-name w1 > w1.log 2>&1 &
+W1=$!
+\"$B\" worker --connect \"127.0.0.1:$PORT\" --worker-name w2 > w2.log 2>&1 &
+W2=$!
+check \"$W1\" 'worker w1'
+check \"$W2\" 'worker w2'
+check \"$SERVE\" 'coordinator (happy path)'
+
+# (c) fault path: the first worker walks away from its first lease
+# without acking; the survivor must steal and finish it.
+start_serve fleet_death
+\"$B\" worker --connect \"127.0.0.1:$PORT\" --worker-name dying \\
+    --abandon-after 1 > dying.log 2>&1 &
+WD=$!
+\"$B\" worker --connect \"127.0.0.1:$PORT\" --worker-name survivor \\
+    > survivor.log 2>&1 &
+WS=$!
+check \"$WD\" 'worker dying'
+check \"$WS\" 'worker survivor'
+check \"$SERVE\" 'coordinator (fault path)'
+")
+
+execute_process(
+    COMMAND sh "${WORK_DIR}/fleet_run.sh"
+    OUTPUT_VARIABLE out ERROR_VARIABLE err RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "fleet choreography failed (${rc}):\n${out}\n${err}")
+endif()
+
+file(READ "${WORK_DIR}/base.jsonl" base_rows)
+file(READ "${WORK_DIR}/base_tables.txt" base_tables)
+string(LENGTH "${base_rows}" base_len)
+if(base_len EQUAL 0)
+    message(FATAL_ERROR "baseline .jsonl document is empty")
+endif()
+
+foreach(variant fleet fleet_death)
+    file(READ "${WORK_DIR}/${variant}.jsonl" rows)
+    if(NOT rows STREQUAL base_rows)
+        message(FATAL_ERROR
+                "${variant}.jsonl differs from the unsharded baseline")
+    endif()
+    file(READ "${WORK_DIR}/${variant}_tables.txt" tables)
+    if(NOT tables STREQUAL base_tables)
+        message(FATAL_ERROR
+                "${variant} tables differ from the unsharded baseline")
+    endif()
+endforeach()
+
+# The fault run must actually have exercised the re-lease path.
+file(READ "${WORK_DIR}/fleet_death_err.txt" death_log)
+if(NOT death_log MATCHES "re-queued")
+    message(FATAL_ERROR
+            "fault run never re-queued a lease — the dying worker's "
+            "abandonment was not observed:\n${death_log}")
+endif()
+
+message(STATUS
+        "fleet smoke OK: 2-worker and worker-death runs both "
+        "byte-identical to the unsharded baseline, dropped lease "
+        "re-queued and stolen")

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/presets.hh"
+#include "common/logging.hh"
 #include "griffin/accelerator.hh"
 
 namespace griffin {
@@ -166,7 +167,7 @@ TEST(AcceleratorDeathTest, RunLayerIndexOutOfRangeIsFatal)
     const auto net = networkByName("alexnet");
     EXPECT_EXIT(acc.runLayer(net, net.layerCount(),
                              DnnCategory::Dense, fastOptions()),
-                testing::ExitedWithCode(1), "out of range");
+                testing::ExitedWithCode(exitUsageError), "out of range");
 }
 
 TEST(AcceleratorDeathTest, ReduceLayerCountMismatchIsFatal)
@@ -174,7 +175,7 @@ TEST(AcceleratorDeathTest, ReduceLayerCountMismatchIsFatal)
     Accelerator acc(denseBaseline());
     const auto net = networkByName("alexnet");
     EXPECT_EXIT(acc.reduceLayers(net, DnnCategory::Dense, {}),
-                testing::ExitedWithCode(1), "layer results");
+                testing::ExitedWithCode(exitUsageError), "layer results");
 }
 
 TEST(Accelerator, DeterministicAcrossRuns)
@@ -226,7 +227,7 @@ TEST(AcceleratorDeathTest, BadRowCapIsFatal)
     opt.rowCap = 0;
     EXPECT_EXIT(acc.run(networkByName("alexnet"), DnnCategory::Dense,
                         opt),
-                testing::ExitedWithCode(1), "rowCap");
+                testing::ExitedWithCode(exitUsageError), "rowCap");
 }
 
 } // namespace

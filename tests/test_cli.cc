@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 
 namespace griffin {
 namespace {
@@ -122,7 +123,7 @@ TEST(CliDeathTest, UnknownFlagIsFatal)
 {
     auto cli = makeCli();
     const char *argv[] = {"prog", "--bogus=1"};
-    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(exitUsageError),
                 "unknown flag --bogus");
 }
 
@@ -131,7 +132,7 @@ TEST(CliDeathTest, NonNumericIntIsFatal)
     auto cli = makeCli();
     const char *argv[] = {"prog", "--iters=abc"};
     cli.parse(2, argv);
-    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(exitUsageError),
                 "expects an integer");
 }
 
@@ -142,7 +143,7 @@ TEST(CliDeathTest, EmptyIntValueIsFatal)
     auto cli = makeCli();
     const char *argv[] = {"prog", "--iters="};
     cli.parse(2, argv);
-    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.getInt("iters"), testing::ExitedWithCode(exitUsageError),
                 "expects an integer");
 }
 
@@ -151,7 +152,7 @@ TEST(CliDeathTest, EmptyDoubleValueIsFatal)
     auto cli = makeCli();
     const char *argv[] = {"prog", "--sparsity="};
     cli.parse(2, argv);
-    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(exitUsageError),
                 "expects a number");
 }
 
@@ -160,7 +161,7 @@ TEST(CliDeathTest, TrailingGarbageDoubleIsFatal)
     auto cli = makeCli();
     const char *argv[] = {"prog", "--sparsity=0.5x"};
     cli.parse(2, argv);
-    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.getDouble("sparsity"), testing::ExitedWithCode(exitUsageError),
                 "expects a number");
 }
 
@@ -168,7 +169,7 @@ TEST(CliDeathTest, MissingValueIsFatal)
 {
     auto cli = makeCli();
     const char *argv[] = {"prog", "--iters"};
-    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(exitUsageError),
                 "expects a value");
 }
 

@@ -18,6 +18,7 @@
 #include <sstream>
 
 #include "arch/presets.hh"
+#include "common/logging.hh"
 #include "runtime/experiment.hh"
 #include "runtime/result_sink.hh"
 #include "workloads/network.hh"
@@ -101,17 +102,17 @@ TEST(ExperimentRegistryDeathTest, DuplicateNameIsFatal)
 {
     EXPECT_EXIT(registerExperiment({"zz_tiny", "again", 0.02, 8,
                                     tinyPlan, tinyRender}),
-                testing::ExitedWithCode(1), "registered twice");
+                testing::ExitedWithCode(exitUsageError), "registered twice");
 }
 
 TEST(ExperimentRegistryDeathTest, MissingNameOrRenderIsFatal)
 {
     EXPECT_EXIT(registerExperiment({"", "anonymous", 0.02, 8, nullptr,
                                     tinyRender}),
-                testing::ExitedWithCode(1), "needs a name");
+                testing::ExitedWithCode(exitUsageError), "needs a name");
     EXPECT_EXIT(registerExperiment({"zz_norender", "no render", 0.02,
                                     8, nullptr, nullptr}),
-                testing::ExitedWithCode(1), "no render");
+                testing::ExitedWithCode(exitUsageError), "no render");
 }
 
 // ---- list / describe ------------------------------------------------
@@ -203,7 +204,7 @@ TEST(ShardSpecDeathTest, MalformedSpecsAreFatal)
     for (const char *bad : {"3", "a/b", "1/", "/2", "2/2", "5/3",
                             "1/0", "1/2x"})
         EXPECT_EXIT(parseShardSpec(bad, index, count),
-                    testing::ExitedWithCode(1), "grid-shard")
+                    testing::ExitedWithCode(exitUsageError), "grid-shard")
             << bad;
 }
 
@@ -265,11 +266,11 @@ TEST(FleetShardDeathTest, OutOfRangeShardIsFatal)
     auto spec = shardableSpec();
     spec.shardIndex = 3;
     spec.shardCount = 3;
-    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(exitUsageError),
                 "out of range");
     spec.shardIndex = 0;
     spec.shardCount = 0;
-    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(exitUsageError),
                 "shard count");
 }
 
@@ -379,7 +380,7 @@ TEST(RunExperimentDeathTest, OverridingALockedAxisIsFatal)
     config.run.rowCap = 8;
     config.gridOverride = "arch=Griffin";
     EXPECT_EXIT(runExperiment(exp, config),
-                testing::ExitedWithCode(1), "structural");
+                testing::ExitedWithCode(exitUsageError), "structural");
 }
 
 TEST(RunExperiment, RenderOnlyExperimentHasNoSweep)

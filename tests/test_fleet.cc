@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the fleet subsystem: the lease-queue state machine
+ * (grant/ack/expiry, work stealing, the exactly-once completion
+ * invariant), the wire protocol's encode/decode round trip and its
+ * rejection of malformed messages, and the TCP wrapper's loopback
+ * framing.  Time is injected as nanoseconds, so every timeout case
+ * here is deterministic — no sleeps, no real clocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/socket.hh"
+#include "fleet/lease_queue.hh"
+#include "fleet/protocol.hh"
+#include "runtime/experiment.hh"
+
+namespace griffin {
+namespace {
+
+constexpr std::uint64_t kTimeoutNs = 1000;
+
+TEST(LeaseQueue, CarvesChunksPerExperimentWithoutSpanning)
+{
+    // 5 + 3 jobs in chunks of 2: the final chunk of each experiment
+    // is short, and no chunk crosses the experiment boundary.
+    LeaseQueue q({5, 3}, 2, kTimeoutNs);
+    const auto &chunks = q.chunks();
+    ASSERT_EQ(chunks.size(), 5u);
+    EXPECT_EQ(chunks[0].experimentIndex, 0u);
+    EXPECT_EQ(chunks[0].begin, 0u);
+    EXPECT_EQ(chunks[0].end, 2u);
+    EXPECT_EQ(chunks[1].begin, 2u);
+    EXPECT_EQ(chunks[1].end, 4u);
+    EXPECT_EQ(chunks[2].begin, 4u);
+    EXPECT_EQ(chunks[2].end, 5u);
+    EXPECT_EQ(chunks[3].experimentIndex, 1u);
+    EXPECT_EQ(chunks[3].begin, 0u);
+    EXPECT_EQ(chunks[3].end, 2u);
+    EXPECT_EQ(chunks[4].begin, 2u);
+    EXPECT_EQ(chunks[4].end, 3u);
+    EXPECT_EQ(q.pendingChunks(), 5u);
+    EXPECT_FALSE(q.complete());
+}
+
+TEST(LeaseQueueDeathTest, ZeroChunkJobsIsAUsageError)
+{
+    EXPECT_EXIT(LeaseQueue({4}, 0, kTimeoutNs),
+                testing::ExitedWithCode(exitUsageError),
+                "chunk size must be positive");
+}
+
+TEST(LeaseQueue, GrantAckDrivesCompletion)
+{
+    LeaseQueue q({3}, 2, kTimeoutNs);
+    LeaseQueue::Grant a, b;
+    ASSERT_TRUE(q.grant("w1", 0, a));
+    ASSERT_TRUE(q.grant("w2", 0, b));
+    EXPECT_EQ(a.leaseId, 1u);
+    EXPECT_EQ(b.leaseId, 2u);
+    EXPECT_EQ(q.activeLeases(), 2u);
+
+    LeaseQueue::Grant c;
+    EXPECT_FALSE(q.grant("w3", 0, c)) << "nothing pending";
+    EXPECT_FALSE(q.complete());
+
+    EXPECT_EQ(q.ack(a.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_EQ(q.doneJobs(), 2u);
+    EXPECT_FALSE(q.complete());
+    EXPECT_EQ(q.ack(b.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_EQ(q.doneJobs(), 3u);
+    EXPECT_TRUE(q.complete());
+    EXPECT_EQ(q.stats().leasesGranted, 2u);
+    EXPECT_EQ(q.stats().reLeases, 0u);
+}
+
+TEST(LeaseQueue, DuplicateAndUnknownAcksAreRejected)
+{
+    LeaseQueue q({2}, 2, kTimeoutNs);
+    LeaseQueue::Grant g;
+    ASSERT_TRUE(q.grant("w", 0, g));
+    EXPECT_EQ(q.ack(g.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_EQ(q.ack(g.leaseId), LeaseQueue::AckResult::Duplicate);
+    EXPECT_EQ(q.ack(99), LeaseQueue::AckResult::Unknown);
+    EXPECT_EQ(q.ack(0), LeaseQueue::AckResult::Unknown);
+    EXPECT_EQ(q.stats().duplicateAcks, 3u);
+    EXPECT_TRUE(q.complete()) << "rejected acks must not un-complete";
+}
+
+TEST(LeaseQueue, ExpiryRequeuesAndTheStolenChunkIsReLeased)
+{
+    LeaseQueue q({2}, 2, kTimeoutNs);
+    LeaseQueue::Grant first;
+    ASSERT_TRUE(q.grant("slow", 0, first));
+
+    // Not yet lapsed: deadline is grant time + timeout.
+    EXPECT_TRUE(q.expire(kTimeoutNs - 1).empty());
+    const auto expired = q.expire(kTimeoutNs);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].leaseId, first.leaseId);
+    EXPECT_EQ(q.pendingChunks(), 1u);
+    EXPECT_EQ(q.activeLeases(), 0u);
+    EXPECT_EQ(q.stats().expired, 1u);
+
+    // An ack from the presumed-dead worker before the re-grant: the
+    // grant is void, the chunk stays queued for stealing.
+    EXPECT_EQ(q.ack(first.leaseId), LeaseQueue::AckResult::Stale);
+    EXPECT_EQ(q.pendingChunks(), 1u);
+
+    LeaseQueue::Grant second;
+    ASSERT_TRUE(q.grant("thief", 2 * kTimeoutNs, second));
+    EXPECT_NE(second.leaseId, first.leaseId);
+    EXPECT_EQ(second.chunk.begin, first.chunk.begin);
+    EXPECT_EQ(q.stats().reLeases, 1u);
+
+    // The resurfaced original holder acks after the steal: stale.
+    EXPECT_EQ(q.ack(first.leaseId), LeaseQueue::AckResult::Stale);
+    EXPECT_EQ(q.ack(second.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_TRUE(q.complete());
+}
+
+TEST(LeaseQueue, HeartbeatExtendsTheDeadline)
+{
+    LeaseQueue q({1}, 1, kTimeoutNs);
+    LeaseQueue::Grant g;
+    ASSERT_TRUE(q.grant("w", 0, g));
+    EXPECT_TRUE(q.heartbeat(g.leaseId, 500));
+    EXPECT_TRUE(q.expire(kTimeoutNs).empty())
+        << "heartbeat at 500 moved the deadline to 1500";
+    EXPECT_EQ(q.expire(500 + kTimeoutNs).size(), 1u);
+
+    // Dead, unknown, and superseded leases cannot heartbeat.
+    EXPECT_FALSE(q.heartbeat(g.leaseId, 2000));
+    EXPECT_FALSE(q.heartbeat(42, 2000));
+}
+
+TEST(LeaseQueue, AbandonRequeuesImmediately)
+{
+    LeaseQueue q({4}, 2, kTimeoutNs);
+    LeaseQueue::Grant a, b;
+    ASSERT_TRUE(q.grant("doomed", 0, a));
+    ASSERT_TRUE(q.grant("doomed", 0, b));
+    EXPECT_EQ(q.pendingChunks(), 0u);
+
+    // Worker died on disconnect: both leases return without waiting out
+    // the timeout; unknown ids are ignored.
+    EXPECT_EQ(q.abandon({a.leaseId, b.leaseId, 77}), 2u);
+    EXPECT_EQ(q.pendingChunks(), 2u);
+    EXPECT_EQ(q.stats().abandoned, 2u);
+    EXPECT_EQ(q.ack(a.leaseId), LeaseQueue::AckResult::Stale);
+
+    LeaseQueue::Grant a2, b2;
+    ASSERT_TRUE(q.grant("w2", 0, a2));
+    ASSERT_TRUE(q.grant("w2", 0, b2));
+    EXPECT_EQ(q.ack(a2.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_EQ(q.ack(b2.leaseId), LeaseQueue::AckResult::Accepted);
+    EXPECT_TRUE(q.complete());
+    EXPECT_EQ(q.stats().reLeases, 2u);
+}
+
+TEST(FleetProtocol, HelloWelcomeRoundTrip)
+{
+    FleetMessage hello;
+    hello.type = FleetMessage::Type::Hello;
+    hello.protocol = fleetProtocolVersion;
+    hello.worker = "w\"1\"";
+
+    FleetMessage decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeFleetMessage(encodeFleetMessage(hello), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.type, FleetMessage::Type::Hello);
+    EXPECT_EQ(decoded.protocol, fleetProtocolVersion);
+    EXPECT_EQ(decoded.worker, "w\"1\"");
+
+    FleetMessage welcome;
+    welcome.type = FleetMessage::Type::Welcome;
+    welcome.protocol = 7;
+    ASSERT_TRUE(decodeFleetMessage(encodeFleetMessage(welcome),
+                                   decoded, error))
+        << error;
+    EXPECT_EQ(decoded.type, FleetMessage::Type::Welcome);
+    EXPECT_EQ(decoded.protocol, 7);
+}
+
+TEST(FleetProtocol, LeaseRoundTripRestoresOptionsAndFloor)
+{
+    FleetMessage lease;
+    lease.type = FleetMessage::Type::Lease;
+    lease.leaseId = 42;
+    lease.experiment = "fig5";
+    lease.jobBegin = 8;
+    lease.jobEnd = 12;
+    lease.options.seed = 3;
+    lease.options.rowCap = 16;
+    lease.options.weightLaneBias = 0.25;
+    lease.options.actRunLength = 1.5;
+    lease.options.sim.sampleFraction = 0.02;
+    lease.options.enforceDramBound = true;
+    lease.gridOverride = "network=alexnet";
+
+    FleetMessage decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeFleetMessage(encodeFleetMessage(lease), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.type, FleetMessage::Type::Lease);
+    EXPECT_EQ(decoded.leaseId, 42u);
+    EXPECT_EQ(decoded.experiment, "fig5");
+    EXPECT_EQ(decoded.jobBegin, 8u);
+    EXPECT_EQ(decoded.jobEnd, 12u);
+    EXPECT_EQ(decoded.options.seed, 3u);
+    EXPECT_EQ(decoded.options.rowCap, 16);
+    EXPECT_EQ(decoded.options.weightLaneBias, 0.25);
+    EXPECT_EQ(decoded.options.actRunLength, 1.5);
+    EXPECT_EQ(decoded.options.sim.sampleFraction, 0.02);
+    EXPECT_TRUE(decoded.options.enforceDramBound);
+    EXPECT_EQ(decoded.gridOverride, "network=alexnet");
+    // Not on the wire; re-applied from the shared driver constant,
+    // exactly like shard_merge's row reconstruction.
+    EXPECT_EQ(decoded.options.sim.minSampledTiles,
+              defaultMinSampledTiles);
+}
+
+TEST(FleetProtocol, RowsAndAcksRoundTrip)
+{
+    FleetMessage rows;
+    rows.type = FleetMessage::Type::Rows;
+    rows.leaseId = 9;
+    rows.rows = {"{\"network\": \"alexnet\"}", "{\"b\": 2}"};
+
+    FleetMessage decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeFleetMessage(encodeFleetMessage(rows), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.type, FleetMessage::Type::Rows);
+    EXPECT_EQ(decoded.leaseId, 9u);
+    ASSERT_EQ(decoded.rows.size(), 2u);
+    EXPECT_EQ(decoded.rows[0], "{\"network\": \"alexnet\"}")
+        << "row lines must survive the wire verbatim — the "
+           "coordinator concatenates them byte-for-byte";
+    EXPECT_EQ(decoded.rows[1], "{\"b\": 2}");
+
+    FleetMessage ack;
+    ack.type = FleetMessage::Type::RowsAck;
+    ack.leaseId = 9;
+    ack.accepted = false;
+    ack.reason = "lease expired";
+    ASSERT_TRUE(
+        decodeFleetMessage(encodeFleetMessage(ack), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.type, FleetMessage::Type::RowsAck);
+    EXPECT_FALSE(decoded.accepted);
+    EXPECT_EQ(decoded.reason, "lease expired");
+}
+
+TEST(FleetProtocol, SimpleMessagesRoundTrip)
+{
+    for (const auto type :
+         {FleetMessage::Type::LeaseRequest, FleetMessage::Type::Done}) {
+        FleetMessage msg;
+        msg.type = type;
+        FleetMessage decoded;
+        std::string error;
+        ASSERT_TRUE(decodeFleetMessage(encodeFleetMessage(msg),
+                                       decoded, error))
+            << error;
+        EXPECT_EQ(decoded.type, type);
+    }
+
+    FleetMessage wait;
+    wait.type = FleetMessage::Type::Wait;
+    wait.retryMs = 250;
+    FleetMessage decoded;
+    std::string error;
+    ASSERT_TRUE(
+        decodeFleetMessage(encodeFleetMessage(wait), decoded, error))
+        << error;
+    EXPECT_EQ(decoded.retryMs, 250);
+
+    FleetMessage heartbeat;
+    heartbeat.type = FleetMessage::Type::Heartbeat;
+    heartbeat.leaseId = 6;
+    ASSERT_TRUE(decodeFleetMessage(encodeFleetMessage(heartbeat),
+                                   decoded, error))
+        << error;
+    EXPECT_EQ(decoded.leaseId, 6u);
+}
+
+TEST(FleetProtocol, MalformedMessagesAreRejectedNotFatal)
+{
+    // A wire peer may be another build: every malformed case must
+    // come back as a decode failure with a diagnostic, never fatal().
+    FleetMessage out;
+    std::string error;
+    EXPECT_FALSE(decodeFleetMessage("not json", out, error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(decodeFleetMessage("[1, 2]", out, error));
+    EXPECT_FALSE(decodeFleetMessage("{}", out, error));
+    EXPECT_FALSE(decodeFleetMessage("{\"type\": \"warp\"}", out, error));
+    EXPECT_NE(error.find("warp"), std::string::npos);
+    // Missing and mistyped fields.
+    EXPECT_FALSE(decodeFleetMessage("{\"type\": \"hello\"}", out, error));
+    EXPECT_FALSE(decodeFleetMessage(
+        "{\"type\": \"hello\", \"protocol\": \"x\", \"worker\": \"w\"}",
+        out, error));
+    EXPECT_FALSE(decodeFleetMessage(
+        "{\"type\": \"heartbeat\", \"lease_id\": \"nine\"}", out,
+        error));
+    EXPECT_FALSE(decodeFleetMessage(
+        "{\"type\": \"rows\", \"lease_id\": 1, \"rows\": [3]}", out,
+        error));
+    EXPECT_FALSE(decodeFleetMessage(
+        "{\"type\": \"lease\", \"lease_id\": 1}", out, error));
+}
+
+TEST(Socket, LoopbackLineFraming)
+{
+    TcpListener listener;
+    ASSERT_TRUE(listener.listen(0)) << listener.lastError();
+    ASSERT_NE(listener.port(), 0) << "ephemeral port must resolve";
+
+    TcpStream client;
+    ASSERT_TRUE(client.connect("127.0.0.1", listener.port()))
+        << client.lastError();
+    TcpStream server;
+    ASSERT_TRUE(listener.accept(server, 1000))
+        << listener.lastError();
+
+    ASSERT_TRUE(client.sendLine("hello"));
+    ASSERT_TRUE(client.sendLine("{\"k\": \"v\"}"));
+    std::string line;
+    ASSERT_TRUE(server.recvLine(line, 1000)) << server.lastError();
+    EXPECT_EQ(line, "hello");
+    ASSERT_TRUE(server.recvLine(line, 1000)) << server.lastError();
+    EXPECT_EQ(line, "{\"k\": \"v\"}");
+
+    ASSERT_TRUE(server.sendLine("reply"));
+    ASSERT_TRUE(client.recvLine(line, 1000)) << client.lastError();
+    EXPECT_EQ(line, "reply");
+
+    // Orderly close surfaces as a recv failure, not a crash.
+    client.close();
+    EXPECT_FALSE(server.recvLine(line, 1000));
+}
+
+TEST(Socket, ParseHostPort)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    EXPECT_TRUE(parseHostPort("127.0.0.1:8080", host, port));
+    EXPECT_EQ(host, "127.0.0.1");
+    EXPECT_EQ(port, 8080);
+    EXPECT_TRUE(parseHostPort("box:1", host, port));
+    EXPECT_EQ(host, "box");
+    EXPECT_EQ(port, 1);
+    EXPECT_FALSE(parseHostPort("nohost", host, port));
+    EXPECT_FALSE(parseHostPort(":80", host, port));
+    EXPECT_FALSE(parseHostPort("h:", host, port));
+    EXPECT_FALSE(parseHostPort("h:0", host, port));
+    EXPECT_FALSE(parseHostPort("h:70000", host, port));
+    EXPECT_FALSE(parseHostPort("h:12x", host, port));
+}
+
+} // namespace
+} // namespace griffin

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/presets.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "runtime/schedule_cache.hh"
 #include "sim/gemm_sim.hh"
@@ -189,7 +190,7 @@ TEST(GemmSimDeathTest, MacGridIsRejected)
 {
     auto t = makeTensors(8, 32, 16, 0.5, 0.5, 22);
     EXPECT_EXIT(simulateGemm(t.a, t.b, sparTenAB(), DnnCategory::AB),
-                testing::ExitedWithCode(1), "SparTen simulator");
+                testing::ExitedWithCode(exitUsageError), "SparTen simulator");
 }
 
 TEST(GemmSimDeathTest, BadSampleFractionIsFatal)
@@ -199,7 +200,7 @@ TEST(GemmSimDeathTest, BadSampleFractionIsFatal)
     opt.sampleFraction = 0.0;
     EXPECT_EXIT(simulateGemm(t.a, t.b, denseBaseline(),
                              DnnCategory::Dense, opt),
-                testing::ExitedWithCode(1), "sample fraction");
+                testing::ExitedWithCode(exitUsageError), "sample fraction");
 }
 
 TEST(GemmSim, DegenerateShapes)

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "arch/presets.hh"
+#include "common/logging.hh"
 #include "runtime/grid.hh"
 #include "runtime/result_sink.hh"
 #include "runtime/runner.hh"
@@ -239,50 +240,50 @@ TEST(GridDeathTest, UnknownAxisSuggestsNearestName)
 {
     GridSpec grid;
     EXPECT_EXIT(grid.axis("weight_lane_bis", {"0.5"}),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "did you mean 'weight_lane_bias'");
     EXPECT_EXIT(GridSpec::parse("sed=1..4"),
-                testing::ExitedWithCode(1), "did you mean 'seed'");
+                testing::ExitedWithCode(exitUsageError), "did you mean 'seed'");
 }
 
 TEST(GridDeathTest, MalformedRangesReportTheToken)
 {
     EXPECT_EXIT(GridSpec::parse("seed=8..1"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "malformed range '8..1' on axis 'seed'");
     EXPECT_EXIT(GridSpec::parse("row_cap=1:64:0"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "malformed range '1:64:0'");
     EXPECT_EXIT(GridSpec::parse("weight_lane_bias=0:1"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "expected <lo>:<hi>:<step>");
     EXPECT_EXIT(GridSpec::parse("seed=1..x"),
-                testing::ExitedWithCode(1), "not an integer");
+                testing::ExitedWithCode(exitUsageError), "not an integer");
     EXPECT_EXIT(GridSpec::parse("weight_lane_bias=0.5..1.5"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "'..' ranges are integer-only");
 }
 
 TEST(GridDeathTest, BadValuesReportTheToken)
 {
     EXPECT_EXIT(GridSpec::parse("weight_lane_bias=fast"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "'fast' is not a number");
     EXPECT_EXIT(GridSpec::parse("enforce_dram_bound=maybe"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "'maybe' is not a boolean");
 }
 
 TEST(GridDeathTest, StructuralErrorsAreFatal)
 {
-    EXPECT_EXIT(GridSpec::parse(""), testing::ExitedWithCode(1),
+    EXPECT_EXIT(GridSpec::parse(""), testing::ExitedWithCode(exitUsageError),
                 "empty grid spec");
     EXPECT_EXIT(GridSpec::parse("0.5,seed=1"),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "before any 'axis=value' item");
     EXPECT_EXIT(GridSpec::parse("seed=1,seed=2"),
-                testing::ExitedWithCode(1), "declared twice");
-    EXPECT_EXIT(GridSpec::parse("seed="), testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError), "declared twice");
+    EXPECT_EXIT(GridSpec::parse("seed="), testing::ExitedWithCode(exitUsageError),
                 "has no values");
 
     GridSpec grid;
@@ -291,7 +292,7 @@ TEST(GridDeathTest, StructuralErrorsAreFatal)
     two_variants.optionVariants.push_back(
         two_variants.optionVariants[0]);
     EXPECT_EXIT(grid.toSweepSpec(two_variants),
-                testing::ExitedWithCode(1),
+                testing::ExitedWithCode(exitUsageError),
                 "exactly one base RunOptions");
 }
 

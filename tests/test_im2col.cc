@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "tensor/im2col.hh"
 #include "tensor/sparsity.hh"
@@ -130,14 +131,14 @@ TEST(Im2colDeathTest, InvalidShapesAreFatal)
     ConvShape bad_stride{.cin = 1, .h = 4, .w = 4, .r = 3, .s = 3,
                          .cout = 1, .stride = 0};
     EXPECT_EXIT(convRef(fm, kernels, bad_stride),
-                testing::ExitedWithCode(1), "stride");
+                testing::ExitedWithCode(exitUsageError), "stride");
     ConvShape bad_groups{.cin = 3, .h = 4, .w = 4, .r = 1, .s = 1,
                          .cout = 4, .stride = 1, .pad = 0, .groups = 2};
-    EXPECT_EXIT(im2col(fm, bad_groups), testing::ExitedWithCode(1),
+    EXPECT_EXIT(im2col(fm, bad_groups), testing::ExitedWithCode(exitUsageError),
                 "groups");
     ConvShape big_filter{.cin = 1, .h = 4, .w = 4, .r = 9, .s = 9,
                          .cout = 1};
-    EXPECT_EXIT(big_filter.validate(), testing::ExitedWithCode(1),
+    EXPECT_EXIT(big_filter.validate(), testing::ExitedWithCode(exitUsageError),
                 "larger than");
 }
 

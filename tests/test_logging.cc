@@ -22,10 +22,25 @@ TEST(LoggingDeathTest, PanicAborts)
     EXPECT_DEATH(panic("invariant ", 42, " broken"), "invariant 42 broken");
 }
 
-TEST(LoggingDeathTest, FatalExitsWithCodeOne)
+TEST(LoggingDeathTest, FatalExitsWithUsageErrorStatus)
 {
-    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
-                "bad config");
+    // fatal() is the user-error path; its status is distinct from
+    // fatalRun()'s so fleet scripts can branch on $? alone.
+    EXPECT_EXIT(fatal("bad config"),
+                testing::ExitedWithCode(exitUsageError), "bad config");
+}
+
+TEST(LoggingDeathTest, FatalRunExitsWithRunFailureStatus)
+{
+    EXPECT_EXIT(fatalRun("worker died"),
+                testing::ExitedWithCode(exitRunFailure), "worker died");
+}
+
+TEST(Logging, ExitStatusesAreDistinctAndDocumented)
+{
+    EXPECT_EQ(exitSuccess, 0);
+    EXPECT_EQ(exitRunFailure, 1);
+    EXPECT_EQ(exitUsageError, 2);
 }
 
 TEST(LoggingDeathTest, AssertFiresOnFalse)
@@ -46,7 +61,7 @@ TEST(LoggingDeathTest, LinesCarryMonotonicTimestamp)
     // start, fixed three-decimal format, one line per record.
     EXPECT_DEATH(panic("stamped"),
                  "panic: \\[\\+[0-9]+\\.[0-9][0-9][0-9]s\\] stamped");
-    EXPECT_EXIT(fatal("stamped too"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(fatal("stamped too"), testing::ExitedWithCode(exitUsageError),
                 "fatal: \\[\\+[0-9]+\\.[0-9][0-9][0-9]s\\] stamped too");
 }
 

@@ -11,6 +11,7 @@
 #include "arch/dse.hh"
 #include "arch/overhead.hh"
 #include "arch/presets.hh"
+#include "common/logging.hh"
 
 namespace griffin {
 namespace {
@@ -44,7 +45,7 @@ TEST(Presets, LookupByName)
 
 TEST(PresetsDeathTest, UnknownNameIsFatal)
 {
-    EXPECT_EXIT(presetByName("NoSuchArch"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(presetByName("NoSuchArch"), testing::ExitedWithCode(exitUsageError),
                 "unknown architecture preset");
 }
 
@@ -73,14 +74,14 @@ TEST(Presets, ArchByNamePrefersPresets)
 
 TEST(PresetsDeathTest, ArchByNameRejectsMalformedSpecs)
 {
-    EXPECT_EXIT(archByName("B(4,0,1)"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(archByName("B(4,0,1)"), testing::ExitedWithCode(exitUsageError),
                 "unknown architecture");
-    EXPECT_EXIT(archByName("C(1,0,0,on)"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(archByName("C(1,0,0,on)"), testing::ExitedWithCode(exitUsageError),
                 "unknown architecture");
-    EXPECT_EXIT(archByName("B(4,0,x,on)"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(archByName("B(4,0,x,on)"), testing::ExitedWithCode(exitUsageError),
                 "bad routing distance");
     EXPECT_EXIT(archByName("B(4,0,1,maybe)"),
-                testing::ExitedWithCode(1), "bad shuffle flag");
+                testing::ExitedWithCode(exitUsageError), "bad shuffle flag");
 }
 
 TEST(Presets, SparTenIsMacGridWithDeepBuffers)
@@ -148,11 +149,11 @@ TEST(ArchConfigDeathTest, ValidationCatchesUserErrors)
 {
     auto cfg = denseBaseline();
     cfg.tile.k0 = 0;
-    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(exitUsageError),
                 "non-positive tile geometry");
     auto mac = sparTenAB();
     mac.macBufferDepth = 0;
-    EXPECT_EXIT(mac.validate(), testing::ExitedWithCode(1),
+    EXPECT_EXIT(mac.validate(), testing::ExitedWithCode(exitUsageError),
                 "positive buffer depth");
 }
 

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "arch/presets.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "runtime/cache_store.hh"
 #include "runtime/result_sink.hh"
@@ -103,7 +104,7 @@ TEST(ThreadPool, HardwareThreadsIsPositive)
 
 TEST(ThreadPoolDeathTest, ZeroThreadsIsFatal)
 {
-    EXPECT_EXIT(ThreadPool pool(0), testing::ExitedWithCode(1),
+    EXPECT_EXIT(ThreadPool pool(0), testing::ExitedWithCode(exitUsageError),
                 "at least 1 thread");
 }
 
@@ -484,7 +485,7 @@ TEST(RunnerDeathTest, MismatchedOptionCoordsAreFatal)
 {
     auto spec = smallSweep();
     spec.optionCoords = {{}, {}};
-    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(exitUsageError),
                 "axis-coordinate records");
 }
 
@@ -707,7 +708,7 @@ TEST(Runner, PerArchSeedsDecoupleTensors)
 TEST(RunnerDeathTest, EmptySpecIsFatal)
 {
     SweepSpec spec;
-    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(1),
+    EXPECT_EXIT(expandSweep(spec), testing::ExitedWithCode(exitUsageError),
                 "no architectures");
 }
 

@@ -7,6 +7,7 @@
 
 #include "arch/presets.hh"
 #include "baselines/sparten.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "tensor/sparsity.hh"
 
@@ -103,7 +104,7 @@ TEST(SparTenDeathTest, VectorCoreConfigRejected)
     auto a = mk(8, 32, 0.0, 12);
     auto b = mk(32, 8, 0.0, 13);
     EXPECT_EXIT(simulateSparTen(a, b, griffinArch(), DnnCategory::AB),
-                testing::ExitedWithCode(1), "MacGrid");
+                testing::ExitedWithCode(exitUsageError), "MacGrid");
 }
 
 } // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.hh"
 #include "workloads/network.hh"
 
 namespace griffin {
@@ -205,13 +206,13 @@ TEST(Workloads, InceptionV3ReducesFanOut)
 
 TEST(WorkloadsDeathTest, UnknownNetworkIsFatal)
 {
-    EXPECT_EXIT(networkByName("VGG16"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(networkByName("VGG16"), testing::ExitedWithCode(exitUsageError),
                 "unknown network");
 }
 
 TEST(WorkloadsDeathTest, UnknownNetworkSuggestsTheNearestName)
 {
-    EXPECT_EXIT(networkByName("goglenet"), testing::ExitedWithCode(1),
+    EXPECT_EXIT(networkByName("goglenet"), testing::ExitedWithCode(exitUsageError),
                 "did you mean 'GoogLeNet'");
 }
 
@@ -222,7 +223,7 @@ TEST(WorkloadsDeathTest, MacOverflowIsFatal)
     huge.m = std::int64_t{1} << 31;
     huge.k = std::int64_t{1} << 31;
     huge.n = 4;
-    EXPECT_EXIT(huge.validate(), testing::ExitedWithCode(1),
+    EXPECT_EXIT(huge.validate(), testing::ExitedWithCode(exitUsageError),
                 "overflows int64");
 }
 
@@ -231,7 +232,7 @@ TEST(WorkloadsDeathTest, InvalidLayerIsFatal)
     LayerSpec bad;
     bad.name = "bad";
     bad.m = 0;
-    EXPECT_EXIT(bad.validate(), testing::ExitedWithCode(1),
+    EXPECT_EXIT(bad.validate(), testing::ExitedWithCode(exitUsageError),
                 "non-positive GEMM dims");
 }
 
