@@ -20,6 +20,15 @@
  * form of shard_merge's disjoint-and-complete coverage validation.
  * complete() is true only when every chunk is Done, i.e. every
  * expanded job has exactly one accepted result.
+ *
+ * Concurrency: this class is deliberately *unsynchronized*.  It is
+ * thread-confined to the coordinator's single poll(2) loop — every
+ * grant/ack/expire happens on that one thread, so a mutex here would
+ * annotate a capability nothing else can contend for and hide the
+ * real invariant.  If a second coordinator thread ever appears, wrap
+ * the queue behind a griffin::Mutex (common/mutex.hh) and give these
+ * fields GRIFFIN_GUARDED_BY annotations rather than sprinkling locks
+ * at call sites.
  */
 
 #ifndef GRIFFIN_FLEET_LEASE_QUEUE_HH

@@ -91,6 +91,7 @@ struct RunOptions
 };
 
 /** Per-layer outcome (cycles are whole-layer, scaled). */
+// griffin-lint: serialized (JSONL result rows)
 struct LayerResult
 {
     std::string name;
@@ -103,6 +104,7 @@ struct LayerResult
 };
 
 /** Whole-network outcome. */
+// griffin-lint: serialized (JSONL result rows)
 struct NetworkResult
 {
     std::string network;

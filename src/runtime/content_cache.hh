@@ -34,12 +34,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/mutex.hh"
 #include "common/rng.hh"
 
 namespace griffin {
@@ -180,7 +180,7 @@ class ContentCache
     {
         Shard &shard = shardFor(key);
         {
-            std::lock_guard<std::mutex> lock(shard.mu);
+            MutexLock lock(shard.mu);
             auto it = shard.entries.find(key);
             if (it != shard.entries.end()) {
                 ++shard.hits;
@@ -224,7 +224,7 @@ class ContentCache
     {
         Stats s;
         for (const auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             s.hits += shard->hits;
             s.misses += shard->misses;
             s.entries += shard->entries.size();
@@ -241,7 +241,7 @@ class ContentCache
     clear()
     {
         for (auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             shard->entries.clear();
             shard->fifo.clear();
             shard->bytes = 0;
@@ -261,7 +261,7 @@ class ContentCache
         if (bytes == 0)
             return;
         for (auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             evictOver(*shard, shardBudget());
         }
     }
@@ -280,7 +280,7 @@ class ContentCache
         const
     {
         for (const auto &shard : shards_) {
-            std::lock_guard<std::mutex> lock(shard->mu);
+            MutexLock lock(shard->mu);
             for (const auto &[key, entry] : shard->entries)
                 fn(key, entry.value);
         }
@@ -305,15 +305,17 @@ class ContentCache
 
     struct Shard
     {
-        mutable std::mutex mu;
-        std::unordered_map<Key, Entry, KeyHash> entries;
-        std::deque<Key> fifo; ///< insertion order, for eviction
-        std::uint64_t bytes = 0;
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
-        std::uint64_t evictions = 0;
-        std::uint64_t loaded = 0;
-        std::uint64_t loadHits = 0;
+        mutable Mutex mu;
+        std::unordered_map<Key, Entry, KeyHash> entries
+            GRIFFIN_GUARDED_BY(mu);
+        /** Insertion order, for eviction. */
+        std::deque<Key> fifo GRIFFIN_GUARDED_BY(mu);
+        std::uint64_t bytes GRIFFIN_GUARDED_BY(mu) = 0;
+        std::uint64_t hits GRIFFIN_GUARDED_BY(mu) = 0;
+        std::uint64_t misses GRIFFIN_GUARDED_BY(mu) = 0;
+        std::uint64_t evictions GRIFFIN_GUARDED_BY(mu) = 0;
+        std::uint64_t loaded GRIFFIN_GUARDED_BY(mu) = 0;
+        std::uint64_t loadHits GRIFFIN_GUARDED_BY(mu) = 0;
     };
 
     Shard &
@@ -330,7 +332,7 @@ class ContentCache
     {
         const auto bytes =
             static_cast<std::uint64_t>(value->approxBytes());
-        std::lock_guard<std::mutex> lock(shard.mu);
+        MutexLock lock(shard.mu);
         Entry entry{std::move(value), bytes, from_disk};
         auto [it, fresh] = shard.entries.emplace(key, std::move(entry));
         inserted = fresh;
@@ -349,9 +351,9 @@ class ContentCache
                                             : nullptr;
     }
 
-    /** Caller holds shard.mu. */
     void
     evictOver(Shard &shard, std::uint64_t shard_budget)
+        GRIFFIN_REQUIRES(shard.mu)
     {
         if (shard_budget == 0)
             return;

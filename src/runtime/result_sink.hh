@@ -65,6 +65,7 @@ void writeCsv(std::ostream &os, const std::vector<NetworkResult> &results);
  * (griffin_bench `run --all` mixes several experiments' rows in one
  * document); empty on rows from unlabeled sweeps.
  */
+// griffin-lint: serialized (JSONL result rows)
 struct ResultRow
 {
     NetworkResult result;

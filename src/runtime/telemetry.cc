@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string_view>
 #include <unordered_map>
 
 #include "common/logging.hh"
@@ -21,7 +22,7 @@ namespace {
 struct ThreadTrace
 {
     int tid = 0;
-    std::mutex mu;
+    Mutex mu;
 
     struct Event
     {
@@ -29,18 +30,25 @@ struct ThreadTrace
         std::uint64_t startNs;
         std::uint64_t durNs;
     };
-    std::vector<Event> events;
-    std::uint64_t droppedEvents = 0;
+    std::vector<Event> events GRIFFIN_GUARDED_BY(mu);
+    std::uint64_t droppedEvents GRIFFIN_GUARDED_BY(mu) = 0;
 
     struct Agg
     {
         std::uint64_t count = 0;
         std::uint64_t totalNs = 0;
     };
-    /** Keyed by name pointer: one entry per call site, merged by
-     *  string at export.  Small and pointer-hashed, so the per-span
-     *  update stays cheap. */
-    std::unordered_map<const char *, Agg> aggs;
+    /**
+     * Keyed by name *content* (a string_view over the span's literal,
+     * which outlives the buffers by the ScopedSpan contract), never by
+     * the literal's address: two call sites naming one stage — even
+     * from different translation units, where the linker may or may
+     * not fold the identical literals — are one entry.  Pointer keys
+     * here would make the stage count depend on build details
+     * (pinned by test_telemetry's two-TU merge test).
+     */
+    std::unordered_map<std::string_view, Agg> aggs
+        GRIFFIN_GUARDED_BY(mu);
 };
 
 /**
@@ -53,9 +61,10 @@ constexpr std::size_t maxEventsPerThread = std::size_t(1) << 22;
 
 struct TraceGlobal
 {
-    std::mutex mu;
-    std::vector<std::shared_ptr<ThreadTrace>> threads;
-    int nextTid = 1;
+    Mutex mu;
+    std::vector<std::shared_ptr<ThreadTrace>> threads
+        GRIFFIN_GUARDED_BY(mu);
+    int nextTid GRIFFIN_GUARDED_BY(mu) = 1;
 };
 
 TraceGlobal &
@@ -71,7 +80,7 @@ threadTrace()
     thread_local ThreadTrace *trace = [] {
         auto owned = std::make_shared<ThreadTrace>();
         TraceGlobal &g = traceGlobal();
-        std::lock_guard<std::mutex> lock(g.mu);
+        MutexLock lock(g.mu);
         owned->tid = g.nextTid++;
         g.threads.push_back(owned);
         return owned.get();
@@ -164,7 +173,7 @@ MetricsRegistry::slot(const std::string &name, Kind kind)
 {
     if (name.empty())
         panic("metric registration needs a name");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = slots_.find(name);
     if (it == slots_.end()) {
         Slot fresh;
@@ -209,7 +218,7 @@ std::vector<MetricSnapshot>
 MetricsRegistry::snapshot() const
 {
     std::vector<MetricSnapshot> out;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     out.reserve(slots_.size());
     for (const auto &[name, slot] : slots_) {
         MetricSnapshot m;
@@ -254,7 +263,7 @@ MetricsRegistry::publishCacheStats(const std::string &prefix,
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto &[name, slot] : slots_) {
         static_cast<void>(name);
         switch (slot.kind) {
@@ -299,8 +308,8 @@ Telemetry::record(const char *name, std::uint64_t start_ns,
                   std::uint64_t dur_ns)
 {
     ThreadTrace &trace = threadTrace();
-    std::lock_guard<std::mutex> lock(trace.mu);
-    auto &agg = trace.aggs[name];
+    MutexLock lock(trace.mu);
+    auto &agg = trace.aggs[std::string_view(name)];
     ++agg.count;
     agg.totalNs += dur_ns;
     if (mode() != Mode::Full)
@@ -315,16 +324,16 @@ Telemetry::record(const char *name, std::uint64_t start_ns,
 std::vector<StageAgg>
 Telemetry::stageBreakdown()
 {
-    // Merge the per-site pointer-keyed totals by stage *string*: two
-    // call sites sharing one name are one stage.
+    // Merge every thread's per-stage totals; the std::map is the
+    // deterministic (name-sorted) order every consumer renders in.
     std::map<std::string, StageAgg> merged;
     TraceGlobal &g = traceGlobal();
-    std::lock_guard<std::mutex> glock(g.mu);
+    MutexLock glock(g.mu);
     for (const auto &thread : g.threads) {
-        std::lock_guard<std::mutex> lock(thread->mu);
+        MutexLock lock(thread->mu);
         for (const auto &[name, agg] : thread->aggs) {
-            StageAgg &into = merged[name];
-            into.stage = name;
+            StageAgg &into = merged[std::string(name)];
+            into.stage = std::string(name);
             into.count += agg.count;
             into.totalNs += agg.totalNs;
         }
@@ -342,12 +351,12 @@ void
 Telemetry::writeChromeTrace(std::ostream &os)
 {
     TraceGlobal &g = traceGlobal();
-    std::lock_guard<std::mutex> glock(g.mu);
+    MutexLock glock(g.mu);
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
     bool first = true;
     std::uint64_t dropped = 0;
     for (const auto &thread : g.threads) {
-        std::lock_guard<std::mutex> lock(thread->mu);
+        MutexLock lock(thread->mu);
         dropped += thread->droppedEvents;
         if (thread->events.empty() && thread->aggs.empty())
             continue;
@@ -383,9 +392,9 @@ Telemetry::eventCount()
 {
     std::uint64_t count = 0;
     TraceGlobal &g = traceGlobal();
-    std::lock_guard<std::mutex> glock(g.mu);
+    MutexLock glock(g.mu);
     for (const auto &thread : g.threads) {
-        std::lock_guard<std::mutex> lock(thread->mu);
+        MutexLock lock(thread->mu);
         count += thread->events.size();
     }
     return count;
@@ -395,9 +404,9 @@ void
 Telemetry::clear()
 {
     TraceGlobal &g = traceGlobal();
-    std::lock_guard<std::mutex> glock(g.mu);
+    MutexLock glock(g.mu);
     for (const auto &thread : g.threads) {
-        std::lock_guard<std::mutex> lock(thread->mu);
+        MutexLock lock(thread->mu);
         thread->events.clear();
         thread->aggs.clear();
         thread->droppedEvents = 0;

@@ -44,11 +44,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/mutex.hh"
 #include "runtime/content_cache.hh"
 
 namespace griffin {
@@ -136,6 +136,7 @@ class Histogram
 
 /** One metric in a registry snapshot (writeMetricsJsonLine renders a
  *  name-sorted list of these). */
+// griffin-lint: serialized (metrics JSON line)
 struct MetricSnapshot
 {
     enum class Kind
@@ -204,11 +205,13 @@ class MetricsRegistry
 
     Slot &slot(const std::string &name, Kind kind);
 
-    mutable std::mutex mu_;
-    std::map<std::string, Slot> slots_; ///< name-sorted iteration
+    mutable Mutex mu_;
+    /** Name-sorted iteration. */
+    std::map<std::string, Slot> slots_ GRIFFIN_GUARDED_BY(mu_);
 };
 
 /** Merged per-stage span totals (Telemetry::stageBreakdown). */
+// griffin-lint: serialized (--timings table and perf JSON)
 struct StageAgg
 {
     std::string stage;

@@ -24,12 +24,13 @@ ThreadPool::~ThreadPool()
     // Drain-then-join: jobs already submitted are a promise to the
     // caller, so shutdown finishes them rather than dropping them.
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stopping_ = true;
     }
-    workCv_.notify_all();
+    workCv_.notifyAll();
     for (auto &t : threads_)
         t.join();
+    MutexLock lock(mu_);
     GRIFFIN_ASSERT(unfinished_ == 0,
                    "pool joined with ", unfinished_, " unfinished jobs");
 }
@@ -40,7 +41,7 @@ ThreadPool::submit(std::function<void()> job)
     GRIFFIN_ASSERT(job != nullptr, "null job submitted");
     std::size_t target;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (stopping_)
             panic("submit() on a stopping thread pool");
         ++unfinished_;
@@ -49,23 +50,24 @@ ThreadPool::submit(std::function<void()> job)
         nextWorker_ = (nextWorker_ + 1) % workers_.size();
     }
     {
-        std::lock_guard<std::mutex> lock(workers_[target]->mu);
+        MutexLock lock(workers_[target]->mu);
         workers_[target]->jobs.push_back(std::move(job));
     }
-    workCv_.notify_one();
+    workCv_.notifyOne();
 }
 
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    idleCv_.wait(lock, [this] { return unfinished_ == 0; });
+    MutexLock lock(mu_);
+    while (unfinished_ != 0)
+        idleCv_.wait(lock);
 }
 
 std::size_t
 ThreadPool::pendingJobs() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return unfinished_;
 }
 
@@ -90,7 +92,7 @@ bool
 ThreadPool::popOwn(std::size_t self, std::function<void()> &job)
 {
     auto &w = *workers_[self];
-    std::lock_guard<std::mutex> lock(w.mu);
+    MutexLock lock(w.mu);
     if (w.jobs.empty())
         return false;
     job = std::move(w.jobs.back());
@@ -104,7 +106,7 @@ ThreadPool::steal(std::size_t self, std::function<void()> &job)
     const std::size_t n = workers_.size();
     for (std::size_t i = 1; i < n; ++i) {
         auto &victim = *workers_[(self + i) % n];
-        std::lock_guard<std::mutex> lock(victim.mu);
+        MutexLock lock(victim.mu);
         if (victim.jobs.empty())
             continue;
         job = std::move(victim.jobs.front());
@@ -122,7 +124,7 @@ ThreadPool::workerLoop(std::size_t self)
         std::function<void()> job;
         if (popOwn(self, job) || steal(self, job)) {
             {
-                std::lock_guard<std::mutex> lock(mu_);
+                MutexLock lock(mu_);
                 --queued_;
             }
             const auto start = std::chrono::steady_clock::now();
@@ -134,27 +136,32 @@ ThreadPool::workerLoop(std::size_t self)
                         .count()),
                 std::memory_order_relaxed);
             executed_.fetch_add(1, std::memory_order_relaxed);
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             --unfinished_;
             if (unfinished_ == 0) {
-                idleCv_.notify_all();
+                idleCv_.notifyAll();
                 if (stopping_)
-                    workCv_.notify_all();
+                    workCv_.notifyAll();
             }
             continue;
         }
-        std::unique_lock<std::mutex> lock(mu_);
-        // queued_ > 0 with empty deques means a submit() is between
-        // its counter bump and its deque push: rescan, don't sleep.
-        if (queued_ > 0) {
-            lock.unlock();
-            std::this_thread::yield();
-            continue;
+        bool rescan = false;
+        {
+            MutexLock lock(mu_);
+            // queued_ > 0 with empty deques means a submit() is
+            // between its counter bump and its deque push: rescan,
+            // don't sleep.
+            if (queued_ > 0) {
+                rescan = true;
+            } else if (stopping_) {
+                return; // nothing queued and no more submits coming
+            } else {
+                while (queued_ == 0 && !stopping_)
+                    workCv_.wait(lock);
+            }
         }
-        if (stopping_)
-            return; // nothing queued and no more submits coming
-        workCv_.wait(lock,
-                     [this] { return queued_ > 0 || stopping_; });
+        if (rescan)
+            std::this_thread::yield();
     }
 }
 

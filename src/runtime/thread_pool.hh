@@ -18,15 +18,15 @@
 #define GRIFFIN_RUNTIME_THREAD_POOL_HH
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hh"
 
 namespace griffin {
 
@@ -81,8 +81,8 @@ class ThreadPool
   private:
     struct Worker
     {
-        std::deque<std::function<void()>> jobs;
-        mutable std::mutex mu;
+        mutable Mutex mu;
+        std::deque<std::function<void()>> jobs GRIFFIN_GUARDED_BY(mu);
     };
 
     bool popOwn(std::size_t self, std::function<void()> &job);
@@ -96,13 +96,16 @@ class ThreadPool
     std::atomic<std::uint64_t> steals_{0};
     std::atomic<std::uint64_t> busyNs_{0};
 
-    mutable std::mutex mu_;           ///< guards the fields below
-    std::condition_variable workCv_;  ///< workers sleep here
-    std::condition_variable idleCv_;  ///< wait() sleeps here
-    std::size_t unfinished_ = 0;      ///< submitted minus completed
-    std::size_t queued_ = 0;          ///< submitted minus started
-    std::size_t nextWorker_ = 0;      ///< round-robin submit cursor
-    bool stopping_ = false;
+    mutable Mutex mu_;
+    CondVar workCv_; ///< workers sleep here
+    CondVar idleCv_; ///< wait() sleeps here
+    /** Submitted minus completed. */
+    std::size_t unfinished_ GRIFFIN_GUARDED_BY(mu_) = 0;
+    /** Submitted minus started. */
+    std::size_t queued_ GRIFFIN_GUARDED_BY(mu_) = 0;
+    /** Round-robin submit cursor. */
+    std::size_t nextWorker_ GRIFFIN_GUARDED_BY(mu_) = 0;
+    bool stopping_ GRIFFIN_GUARDED_BY(mu_) = false;
 };
 
 } // namespace griffin

@@ -1,0 +1,20 @@
+// Known-bad corpus for griffin-lint's pointer-keyed-map rule.  Every
+// line carrying a FIRE marker must produce exactly that finding; nothing
+// else in this file may fire.  Fixtures are linted, never compiled.
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Site;
+
+std::unordered_map<const char *, int> hitsByLiteral; // FIRE(pointer-keyed-map)
+std::map<Site *, std::string> labelByNode; // FIRE(pointer-keyed-map)
+
+std::unordered_map<std::string, int *> slotByName; // value pointers are fine
+std::map<std::shared_ptr<Site>, int> rankByOwner; // smart-pointer keys are fine
+std::unordered_map<std::string, int> hitsByName; // content keys are fine
+
+} // namespace fixture

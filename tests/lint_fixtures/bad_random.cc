@@ -1,0 +1,52 @@
+// Known-bad corpus for griffin-lint's banned-random rule.  Every line
+// carrying a FIRE marker must produce exactly that finding; nothing else
+// in this file may fire.  Fixtures are linted, never compiled.
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <string>
+
+namespace fixture {
+
+int
+libcDraw()
+{
+    srand(42); // FIRE(banned-random)
+    return rand(); // FIRE(banned-random)
+}
+
+long
+bsdDraw()
+{
+    return random(); // FIRE(banned-random)
+}
+
+double
+posixDraw()
+{
+    return drand48(); // FIRE(banned-random)
+}
+
+std::size_t
+textualSeed(const std::string &name)
+{
+    return std::hash<std::string>{}(name); // FIRE(banned-random)
+}
+
+unsigned
+entropySeed()
+{
+    std::random_device rd; // FIRE(banned-random)
+    return rd();
+}
+
+unsigned
+fineToUse(unsigned seed)
+{
+    // Seeded engines are not banned — only unseeded/textual sources.
+    // Production draws flow through common/rng.hh (mt19937_64, seeds
+    // forked via Rng::mixSeed).
+    return seed * 2862933555777941757u + 3037000493u;
+}
+
+} // namespace fixture

@@ -1,0 +1,35 @@
+// Suppression-machinery corpus: malformed and stale allow() comments
+// are themselves findings, so the allowlist cannot rot.
+#include <ctime>
+
+namespace fixture {
+
+long
+missingJustification()
+{
+    // griffin-lint: allow(wall-clock)
+    return static_cast<long>(time(nullptr));
+}
+
+long
+unknownRule()
+{
+    // griffin-lint: allow(no-such-rule) wall time is intended here
+    return static_cast<long>(time(nullptr));
+}
+
+long
+emptyRuleList()
+{
+    // griffin-lint: allow() forgot to name the rule
+    return static_cast<long>(time(nullptr));
+}
+
+int
+staleSuppression()
+{
+    int x = 3; // griffin-lint: allow(banned-random) nothing random on this line
+    return x;
+}
+
+} // namespace fixture

@@ -1,0 +1,66 @@
+// Known-bad corpus for griffin-lint's unordered-sink-iteration rule.
+// Every line carrying a FIRE marker must produce exactly that finding;
+// nothing else in this file may fire.  Fixtures are linted, never
+// compiled.
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+struct Sink
+{
+    void putU64(unsigned long v);
+    void addRow(const std::string &row);
+};
+
+void
+streamCounts(std::ostream &os,
+             const std::unordered_map<std::string, int> &counts)
+{
+    for (const auto &kv : counts) { // FIRE(unordered-sink-iteration)
+        os << kv.first << "=" << kv.second << "\n";
+    }
+}
+
+void
+emitKeys(Sink &sink, const std::unordered_set<unsigned long> &keys)
+{
+    for (unsigned long k : keys) // FIRE(unordered-sink-iteration)
+        sink.putU64(k);
+}
+
+using StageTable = std::unordered_map<std::string, double>;
+
+void
+renderStages(Sink &sink, const StageTable &stages)
+{
+    for (const auto &kv : stages) // FIRE(unordered-sink-iteration)
+        sink.addRow(kv.first);
+}
+
+void
+sortedFirstIsFine(std::ostream &os,
+                  const std::unordered_map<std::string, int> &counts)
+{
+    std::vector<std::pair<std::string, int>> rows(counts.begin(),
+                                                  counts.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto &row : rows)
+        os << row.first << "=" << row.second << "\n";
+}
+
+int
+accumulationIsFine(const std::unordered_map<std::string, int> &counts)
+{
+    int total = 0;
+    for (const auto &kv : counts)
+        total += kv.second;
+    return total;
+}
+
+} // namespace fixture

@@ -1,0 +1,60 @@
+// Known-bad corpus for griffin-lint's wall-clock rule.  Every line
+// carrying a FIRE marker must produce exactly that finding; nothing else
+// in this file may fire.  Fixtures are linted, never compiled.
+#include <chrono>
+#include <ctime>
+#include <string>
+#include <sys/time.h>
+
+namespace fixture {
+
+long
+wallNanoseconds()
+{
+    const auto t = std::chrono::system_clock::now(); // FIRE(wall-clock)
+    return t.time_since_epoch().count();
+}
+
+long
+unixSeconds()
+{
+    return static_cast<long>(time(nullptr)); // FIRE(wall-clock)
+}
+
+long
+microseconds()
+{
+    struct timeval tv;
+    gettimeofday(&tv, nullptr); // FIRE(wall-clock)
+    return tv.tv_usec;
+}
+
+std::string
+stampedName(std::time_t stamp)
+{
+    char buf[32];
+    std::tm tm = *localtime(&stamp); // FIRE(wall-clock)
+    strftime(buf, sizeof buf, "%Y%m%d", &tm); // FIRE(wall-clock)
+    return buf;
+}
+
+long
+cpuTicks()
+{
+    return static_cast<long>(clock()); // FIRE(wall-clock)
+}
+
+long
+fineToUse()
+{
+    // steady_clock is monotonic: telemetry-only, result-invisible.
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long
+notACall(long time_budget_ns, long uptime)
+{
+    return time_budget_ns + uptime; // identifiers containing "time"
+}
+
+} // namespace fixture

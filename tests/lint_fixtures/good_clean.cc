@@ -1,0 +1,63 @@
+// Known-good corpus: idiomatic Griffin code that must produce zero
+// findings — deterministic clocks, mixed (not hashed) seeds, ordered
+// iteration in front of every sink, content-keyed maps, initialized
+// records.  Fixtures are linted, never compiled.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t
+monotonicNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t salt)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull + salt;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+}
+
+struct StageRow
+{
+    std::string stage;
+    std::uint64_t count = 0;
+    double totalMs = 0.0;
+
+    void serialize(std::ostream &os) const;
+};
+
+void
+renderBreakdown(std::ostream &os,
+                const std::unordered_map<std::string, double> &totals)
+{
+    std::vector<std::pair<std::string, double>> rows(totals.begin(),
+                                                     totals.end());
+    std::sort(rows.begin(), rows.end());
+    for (const auto &row : rows)
+        os << row.first << "=" << row.second << "\n";
+}
+
+std::map<std::string, int> // ordered: iteration is name-sorted
+countByName(const std::vector<std::string> &names)
+{
+    std::map<std::string, int> counts;
+    for (const auto &name : names)
+        ++counts[name];
+    return counts;
+}
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// A justified, *used* suppression: the wall-clock read is allowed
+// because the value lands in run metadata, never in result bytes —
+// and the lint report stays clean (no finding, no unused-suppression).
+#include <ctime>
+#include <string>
+
+namespace fixture {
+
+std::string
+launchStamp()
+{
+    // griffin-lint: allow(wall-clock) run metadata records the launch
+    // date for humans; result rows never read it
+    std::time_t now = time(nullptr);
+    char buf[32];
+    // griffin-lint: allow(wall-clock) same metadata-only path as above
+    strftime(buf, sizeof buf, "%Y-%m-%d", localtime(&now));
+    return buf;
+}
+
+} // namespace fixture

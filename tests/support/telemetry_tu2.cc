@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Second translation unit for the cross-TU telemetry span test.
+ *
+ * Records a span whose name literal is spelled here, in a different
+ * object file from test_telemetry.cc's identical literal.  Whether
+ * the linker folds the two literals into one address is a build
+ * detail (ICF, -fmerge-constants, LTO); the stage breakdown must
+ * merge them either way because aggregation keys on the name's
+ * *content*, never its pointer.
+ */
+
+#include "runtime/telemetry.hh"
+
+namespace griffin_test_support {
+
+void
+recordCrossTuSpan()
+{
+    griffin::ScopedSpan span("cross_tu_stage");
+}
+
+} // namespace griffin_test_support

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * griffin-lint rule engine over the fixture corpus.
+ *
+ * Each known-bad fixture annotates its offending lines with trailing
+ * `FIRE(<rule>)` comments; the suite asserts the linter reports
+ * exactly that (line, rule) multiset — every planted bug found at its
+ * exact line, and *nothing* else (no false positives on the known-good
+ * lines sharing the file).  The suppression fixture pins the
+ * allowlist machinery: justifications are mandatory, unknown rules
+ * and stale allows are findings in their own right.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint.hh"
+
+namespace {
+
+using griffin::lint::Finding;
+using griffin::lint::lintSource;
+using griffin::lint::ruleNames;
+
+using LineRule = std::pair<int, std::string>;
+
+std::string
+readFixture(const std::string &name)
+{
+    const std::string path =
+        std::string(GRIFFIN_LINT_FIXTURES_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(is)) << "missing fixture " << path;
+    std::ostringstream text;
+    text << is.rdbuf();
+    return text.str();
+}
+
+/** Expected (line, rule) pairs from trailing FIRE(rule[, rule]) marks. */
+std::multiset<LineRule>
+expectedFromMarkers(const std::string &text)
+{
+    static const std::regex fire_re(R"(FIRE\(([^)]+)\))");
+    std::multiset<LineRule> expected;
+    std::istringstream is(text);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        ++n;
+        std::smatch m;
+        if (!std::regex_search(line, m, fire_re))
+            continue;
+        std::stringstream names(m[1].str());
+        std::string rule;
+        while (std::getline(names, rule, ',')) {
+            const auto b = rule.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                continue;
+            const auto e = rule.find_last_not_of(" \t");
+            expected.insert({n, rule.substr(b, e - b + 1)});
+        }
+    }
+    return expected;
+}
+
+std::multiset<LineRule>
+actualPairs(const std::vector<Finding> &findings)
+{
+    std::multiset<LineRule> out;
+    for (const auto &f : findings)
+        out.insert({f.line, f.rule});
+    return out;
+}
+
+std::string
+describe(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const auto &f : findings)
+        out += "  " + griffin::lint::formatFinding(f) + "\n";
+    return out.empty() ? "  (none)\n" : out;
+}
+
+/** The fixture's findings must equal its FIRE() markers exactly. */
+void
+expectMarkersMatch(const std::string &fixture)
+{
+    const std::string text = readFixture(fixture);
+    ASSERT_FALSE(text.empty());
+    const auto findings = lintSource(fixture, text);
+    EXPECT_EQ(actualPairs(findings), expectedFromMarkers(text))
+        << "findings were:\n"
+        << describe(findings);
+}
+
+/** 1-based line of the first line containing `needle`. */
+int
+lineContaining(const std::string &text, const std::string &needle)
+{
+    std::istringstream is(text);
+    std::string line;
+    int n = 0;
+    while (std::getline(is, line)) {
+        ++n;
+        if (line.find(needle) != std::string::npos)
+            return n;
+    }
+    ADD_FAILURE() << "no line contains: " << needle;
+    return 0;
+}
+
+TEST(GriffinLint, WallClockFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_wall_clock.cc");
+}
+
+TEST(GriffinLint, BannedRandomFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_random.cc");
+}
+
+TEST(GriffinLint, PointerKeyedMapFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_pointer_map.cc");
+}
+
+TEST(GriffinLint, UnorderedSinkFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_unordered_sink.cc");
+}
+
+TEST(GriffinLint, UninitSerializedFieldFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_uninit_field.cc");
+}
+
+TEST(GriffinLint, CleanFixtureHasNoFindings)
+{
+    const std::string text = readFixture("good_clean.cc");
+    const auto findings = lintSource("good_clean.cc", text);
+    EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(GriffinLint, JustifiedUsedSuppressionSilencesTheFinding)
+{
+    const std::string text = readFixture("good_suppressed.cc");
+    const auto findings = lintSource("good_suppressed.cc", text);
+    // The wall-clock reads are allowlisted with a justification and
+    // both suppressions match a finding: clean report, and no
+    // unused-suppression either.
+    EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(GriffinLint, SuppressionMachineryFindsItsOwnRot)
+{
+    const std::string text = readFixture("bad_suppressions.cc");
+    const auto findings = lintSource("bad_suppressions.cc", text);
+
+    std::multiset<LineRule> expected;
+    // A justification is mandatory; a bare allow() registers nothing,
+    // so the finding it meant to cover fires too.
+    const int bare = lineContaining(text, "allow(wall-clock)");
+    expected.insert({bare, "malformed-suppression"});
+    expected.insert({bare + 1, "wall-clock"});
+    // Unknown rule names are rejected (typo-proofing the allowlist).
+    const int unknown = lineContaining(text, "allow(no-such-rule)");
+    expected.insert({unknown, "malformed-suppression"});
+    expected.insert({unknown + 1, "wall-clock"});
+    // allow() must name at least one rule.
+    const int empty = lineContaining(text, "allow() forgot");
+    expected.insert({empty, "malformed-suppression"});
+    expected.insert({empty + 1, "wall-clock"});
+    // A suppression matching no finding is itself a finding.
+    const int stale = lineContaining(text, "allow(banned-random)");
+    expected.insert({stale, "unused-suppression"});
+
+    EXPECT_EQ(actualPairs(findings), expected)
+        << "findings were:\n"
+        << describe(findings);
+}
+
+TEST(GriffinLint, FindingsCarryThePathAndSortByLine)
+{
+    const std::string text = readFixture("bad_wall_clock.cc");
+    const auto findings = lintSource("some/dir/bad_wall_clock.cc", text);
+    ASSERT_FALSE(findings.empty());
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        EXPECT_EQ(findings[i].file, "some/dir/bad_wall_clock.cc");
+        if (i > 0) {
+            EXPECT_LE(findings[i - 1].line, findings[i].line);
+        }
+    }
+    const std::string line = griffin::lint::formatFinding(findings[0]);
+    EXPECT_EQ(line.rfind("some/dir/bad_wall_clock.cc:", 0), 0u);
+    EXPECT_NE(line.find("[wall-clock]"), std::string::npos);
+}
+
+TEST(GriffinLint, RuleNamesAreSortedAndComplete)
+{
+    const auto &rules = ruleNames();
+    const std::vector<std::string> want = {
+        "banned-random",           "pointer-keyed-map",
+        "uninit-serialized-field", "unordered-sink-iteration",
+        "wall-clock",
+    };
+    EXPECT_EQ(rules, want);
+}
+
+} // namespace

@@ -21,6 +21,12 @@
 #include "runtime/result_sink.hh"
 #include "runtime/telemetry.hh"
 
+namespace griffin_test_support {
+// tests/support/telemetry_tu2.cc — spells the "cross_tu_stage"
+// literal in its own object file.
+void recordCrossTuSpan();
+} // namespace griffin_test_support
+
 namespace griffin {
 namespace {
 
@@ -233,6 +239,25 @@ TEST(Telemetry, ThreadsMergeIntoOneBreakdownButKeepOwnTids)
         if (e.find("ph")->asString() == "X")
             tids.insert(e.find("tid")->asInt());
     EXPECT_EQ(tids.size(), static_cast<std::size_t>(threads + 1));
+}
+
+TEST(Telemetry, SameSpanNameFromTwoTranslationUnitsIsOneStage)
+{
+    TelemetryReset guard;
+    Telemetry::setMode(Telemetry::Mode::Aggregate);
+    {
+        ScopedSpan span("cross_tu_stage");
+    }
+    ::griffin_test_support::recordCrossTuSpan();
+
+    // One stage, count 2 — even if the two TUs' identical literals
+    // were NOT folded to one address by the linker.  Pointer-keyed
+    // aggregation would report two entries (or one, depending on
+    // build flags), making stage counts a build artifact.
+    const auto stages = Telemetry::stageBreakdown();
+    ASSERT_EQ(stages.size(), 1u);
+    EXPECT_EQ(stages[0].stage, "cross_tu_stage");
+    EXPECT_EQ(stages[0].count, 2u);
 }
 
 TEST(Telemetry, ClearDropsEventsAndTotals)

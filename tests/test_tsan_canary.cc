@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Seeded-race canary for the ThreadSanitizer CI job.
+ *
+ * A sanitizer gate that never fires is indistinguishable from one
+ * that is wired up wrong (not instrumented, report swallowed, exit
+ * code ignored).  This suite plants a textbook data race — two
+ * threads bumping a plain int — in a child process and asserts TSan
+ * actually kills it with a "data race" report.  If that stops
+ * happening, the tsan job's green is a lie and this test turns it
+ * red.
+ *
+ * In uninstrumented builds (the default local configuration and every
+ * non-TSan CI job) the canary skips: running the race for real would
+ * be undefined behavior nobody is watching for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#if defined(__SANITIZE_THREAD__)
+#define GRIFFIN_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GRIFFIN_TSAN_ACTIVE 1
+#endif
+#endif
+
+namespace {
+
+#ifdef GRIFFIN_TSAN_ACTIVE
+
+/** Unsynchronized cross-thread increments: the canonical race.
+ *  griffin-lint is about determinism, not data races, so no allow()
+ *  is needed — but keep this function inside the canary only. */
+int
+racyCount()
+{
+    int counter = 0;
+    std::thread a([&counter] {
+        for (int i = 0; i < 100000; ++i)
+            ++counter;
+    });
+    std::thread b([&counter] {
+        for (int i = 0; i < 100000; ++i)
+            ++counter;
+    });
+    a.join();
+    b.join();
+    return counter;
+}
+
+TEST(TsanCanaryDeathTest, SeededRaceIsDetected)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // TSan exits with its `exitcode` option (default 66) once a
+    // report fired, with or without halt_on_error.  A child that
+    // exits 0 means the race went unreported — the gate is broken.
+    EXPECT_EXIT(
+        {
+            racyCount();
+            std::exit(0);
+        },
+        ::testing::ExitedWithCode(66), "ThreadSanitizer: data race");
+}
+
+#else
+
+TEST(TsanCanary, SkippedWithoutThreadSanitizer)
+{
+    GTEST_SKIP()
+        << "build is not TSan-instrumented; the seeded-race canary "
+           "only runs under -fsanitize=thread (see the tsan CI job)";
+}
+
+#endif
+
+} // namespace

@@ -1,0 +1,893 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <unordered_set>
+
+namespace griffin {
+namespace lint {
+
+namespace {
+
+// ---- source model ---------------------------------------------------
+
+/**
+ * One file split into parallel per-line views: `code` with comments
+ * and string/char literal contents blanked to spaces (so token rules
+ * never fire inside text), and `comment` holding the comment text of
+ * the line (for suppression and marker parsing).
+ */
+struct SourceView
+{
+    std::vector<std::string> code;
+    std::vector<std::string> comment;
+
+    int lines() const { return static_cast<int>(code.size()); }
+
+    /** The code view flattened with '\n' separators (offsets map back
+     *  to lines via lineOf). */
+    std::string flat;
+    std::vector<std::size_t> lineStart; ///< flat offset of each line
+
+    int
+    lineOf(std::size_t offset) const
+    {
+        // Upper-bound binary search: the last lineStart <= offset.
+        auto it = std::upper_bound(lineStart.begin(), lineStart.end(),
+                                   offset);
+        return static_cast<int>(it - lineStart.begin());
+    }
+};
+
+SourceView
+splitSource(const std::string &text)
+{
+    SourceView view;
+    std::string code_line;
+    std::string comment_line;
+
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        String,
+        Char,
+        RawString
+    };
+    State state = State::Code;
+    std::string raw_delim; ///< )delim" terminator of a raw string
+
+    const auto flush_line = [&] {
+        view.code.push_back(code_line);
+        view.comment.push_back(comment_line);
+        code_line.clear();
+        comment_line.clear();
+    };
+
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        if (c == '\n') {
+            if (state == State::LineComment)
+                state = State::Code;
+            flush_line();
+            continue;
+        }
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                code_line += "  ";
+                ++i;
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                code_line += "  ";
+                ++i;
+            } else if (c == '"') {
+                // R"delim( raw string: honour its custom terminator.
+                std::size_t r = code_line.size();
+                if (r >= 1 && code_line[r - 1] == 'R' &&
+                    (r == 1 || !(std::isalnum(static_cast<unsigned char>(
+                                     code_line[r - 2])) ||
+                                 code_line[r - 2] == '_'))) {
+                    std::string delim;
+                    std::size_t j = i + 1;
+                    while (j < text.size() && text[j] != '(')
+                        delim += text[j++];
+                    raw_delim = ")" + delim + "\"";
+                    state = State::RawString;
+                } else {
+                    state = State::String;
+                }
+                code_line += '"';
+            } else if (c == '\'') {
+                state = State::Char;
+                code_line += '\'';
+            } else {
+                code_line += c;
+            }
+            break;
+          case State::LineComment:
+            comment_line += c;
+            code_line += ' ';
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                state = State::Code;
+                code_line += "  ";
+                ++i;
+            } else {
+                comment_line += c;
+                code_line += ' ';
+            }
+            break;
+          case State::String:
+            if (c == '\\') {
+                code_line += "  ";
+                ++i;
+            } else if (c == '"') {
+                state = State::Code;
+                code_line += '"';
+            } else {
+                code_line += ' ';
+            }
+            break;
+          case State::Char:
+            if (c == '\\') {
+                code_line += "  ";
+                ++i;
+            } else if (c == '\'') {
+                state = State::Code;
+                code_line += '\'';
+            } else {
+                code_line += ' ';
+            }
+            break;
+          case State::RawString:
+            if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+                state = State::Code;
+                code_line += '"';
+                i += raw_delim.size() - 1;
+            } else {
+                code_line += ' ';
+            }
+            break;
+        }
+    }
+    flush_line();
+
+    view.lineStart.reserve(view.code.size());
+    for (const auto &line : view.code) {
+        view.lineStart.push_back(view.flat.size());
+        view.flat += line;
+        view.flat += '\n';
+    }
+    return view;
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Whether flat[pos, pos+len) is a whole word (not a substring of a
+ *  longer identifier). */
+bool
+isWholeWord(const std::string &flat, std::size_t pos, std::size_t len)
+{
+    if (pos > 0 && isIdentChar(flat[pos - 1]))
+        return false;
+    const std::size_t end = pos + len;
+    return end >= flat.size() || !isIdentChar(flat[end]);
+}
+
+/** Offset just past the matching closer, or npos.  `flat[open]` must
+ *  be the opening character. */
+std::size_t
+matchBalanced(const std::string &flat, std::size_t open, char oc,
+              char cc)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < flat.size(); ++i) {
+        if (flat[i] == oc)
+            ++depth;
+        else if (flat[i] == cc && --depth == 0)
+            return i + 1;
+    }
+    return std::string::npos;
+}
+
+std::size_t
+skipSpace(const std::string &flat, std::size_t pos)
+{
+    while (pos < flat.size() &&
+           std::isspace(static_cast<unsigned char>(flat[pos])))
+        ++pos;
+    return pos;
+}
+
+/** The identifier starting at `pos` (empty when none). */
+std::string
+identAt(const std::string &flat, std::size_t pos)
+{
+    std::size_t end = pos;
+    while (end < flat.size() && isIdentChar(flat[end]))
+        ++end;
+    if (end == pos ||
+        std::isdigit(static_cast<unsigned char>(flat[pos])))
+        return std::string();
+    return flat.substr(pos, end - pos);
+}
+
+/** The last identifier token in `expr` ("thread->aggs" -> "aggs"). */
+std::string
+lastIdent(const std::string &expr)
+{
+    std::string last;
+    std::size_t i = 0;
+    while (i < expr.size()) {
+        if (isIdentChar(expr[i]) &&
+            !std::isdigit(static_cast<unsigned char>(expr[i]))) {
+            std::size_t end = i;
+            while (end < expr.size() && isIdentChar(expr[end]))
+                ++end;
+            last = expr.substr(i, end - i);
+            i = end;
+        } else {
+            ++i;
+        }
+    }
+    return last;
+}
+
+// ---- suppressions ---------------------------------------------------
+
+struct Suppression
+{
+    int line = 0;      ///< line carrying the allow() comment
+    int coveredLine = 0; ///< code line the allow() applies to
+    std::string rule;
+    bool used = false;
+};
+
+struct SuppressionSet
+{
+    std::vector<Suppression> entries;
+    std::vector<Finding> metaFindings; ///< malformed allow() comments
+
+    bool
+    suppress(const std::string &rule, int line)
+    {
+        bool hit = false;
+        for (auto &s : entries) {
+            if (s.rule == rule && s.coveredLine == line) {
+                s.used = true;
+                hit = true;
+            }
+        }
+        return hit;
+    }
+};
+
+bool
+lineHasCode(const SourceView &view, int line)
+{
+    const std::string &code = view.code[static_cast<std::size_t>(line - 1)];
+    return std::any_of(code.begin(), code.end(), [](char c) {
+        return !std::isspace(static_cast<unsigned char>(c));
+    });
+}
+
+SuppressionSet
+parseSuppressions(const std::string &path, const SourceView &view)
+{
+    static const std::regex allow_re(
+        R"(griffin-lint:\s*allow\(([^)]*)\)\s*(.*))");
+    SuppressionSet set;
+    const auto &rules = ruleNames();
+    for (int line = 1; line <= view.lines(); ++line) {
+        const std::string &comment =
+            view.comment[static_cast<std::size_t>(line - 1)];
+        std::smatch m;
+        if (!std::regex_search(comment, m, allow_re))
+            continue;
+        // A trailing-comment suppression covers its own line; a
+        // comment-only line covers the next line holding code.
+        int covered = line;
+        if (!lineHasCode(view, line)) {
+            covered = 0;
+            for (int l = line + 1; l <= view.lines(); ++l) {
+                if (lineHasCode(view, l)) {
+                    covered = l;
+                    break;
+                }
+            }
+        }
+        std::string reason = m[2].str();
+        while (!reason.empty() &&
+               std::isspace(static_cast<unsigned char>(reason.back())))
+            reason.pop_back();
+        if (reason.empty()) {
+            set.metaFindings.push_back(
+                {path, line, "malformed-suppression",
+                 "allow() needs a written justification after the "
+                 "rule list"});
+            continue;
+        }
+        // Split the rule list on commas.
+        std::stringstream names(m[1].str());
+        std::string name;
+        bool any = false;
+        while (std::getline(names, name, ',')) {
+            const auto b = name.find_first_not_of(" \t");
+            if (b == std::string::npos)
+                continue;
+            const auto e = name.find_last_not_of(" \t");
+            name = name.substr(b, e - b + 1);
+            any = true;
+            if (std::find(rules.begin(), rules.end(), name) ==
+                rules.end()) {
+                set.metaFindings.push_back(
+                    {path, line, "malformed-suppression",
+                     "unknown rule '" + name +
+                         "' in allow() (see --list-rules)"});
+                continue;
+            }
+            Suppression s;
+            s.line = line;
+            s.coveredLine = covered;
+            s.rule = name;
+            set.entries.push_back(s);
+        }
+        if (!any)
+            set.metaFindings.push_back(
+                {path, line, "malformed-suppression",
+                 "allow() names no rules"});
+    }
+    return set;
+}
+
+// ---- token rules (wall-clock, banned-random) ------------------------
+
+struct TokenPattern
+{
+    const char *rule;
+    const char *pattern; ///< ECMAScript regex over one code line
+    const char *message;
+};
+
+const TokenPattern tokenPatterns[] = {
+    {"wall-clock", R"(\bsystem_clock\b)",
+     "system_clock is wall time; use steady_clock (or "
+     "monotonicNowNs()) so results never depend on the date"},
+    {"wall-clock", R"(\bgettimeofday\b)",
+     "gettimeofday is wall time; use steady_clock (or "
+     "monotonicNowNs())"},
+    {"wall-clock",
+     R"(\b(localtime|gmtime|strftime|asctime|ctime|mktime|timespec_get)\s*\()",
+     "calendar-time call; output-affecting paths must not read wall "
+     "time"},
+    {"wall-clock", R"((^|[^\w:.>])time\s*\()",
+     "time() is wall time; use steady_clock (or monotonicNowNs())"},
+    {"wall-clock", R"((^|[^\w:.>])clock\s*\(\s*\))",
+     "clock() is processor time and varies run to run; use "
+     "steady_clock (or monotonicNowNs())"},
+    {"banned-random", R"(\bstd\s*::\s*hash\b)",
+     "std::hash is implementation-defined and unpins results across "
+     "standard libraries; derive seeds/keys with Rng::mixSeed"},
+    {"banned-random", R"((^|[^\w:.>])s?rand\s*\()",
+     "rand()/srand() bypass the seeded Rng; draw through "
+     "common/rng.hh instead"},
+    {"banned-random", R"((^|[^\w:.>])random\s*\()",
+     "random() bypasses the seeded Rng; draw through common/rng.hh"},
+    {"banned-random", R"(\b(d|l|m)rand48\b)",
+     "drand48-family bypasses the seeded Rng; draw through "
+     "common/rng.hh"},
+    {"banned-random", R"(\brandom_device\b)",
+     "random_device is nondeterministic by design; every stream must "
+     "derive from the run seed via Rng"},
+};
+
+void
+runTokenRules(const std::string &path, const SourceView &view,
+              std::vector<Finding> &out)
+{
+    for (const auto &tp : tokenPatterns) {
+        const std::regex re(tp.pattern);
+        for (int line = 1; line <= view.lines(); ++line) {
+            const std::string &code =
+                view.code[static_cast<std::size_t>(line - 1)];
+            if (std::regex_search(code, re))
+                out.push_back({path, line, tp.rule, tp.message});
+        }
+    }
+}
+
+// ---- pointer-keyed-map ----------------------------------------------
+
+void
+runPointerKeyRule(const std::string &path, const SourceView &view,
+                  std::vector<Finding> &out)
+{
+    const std::string &flat = view.flat;
+    for (std::size_t pos = flat.find("map<"); pos != std::string::npos;
+         pos = flat.find("map<", pos + 1)) {
+        // Accept "map<" and "unordered_map<" as whole words only.
+        std::size_t word = pos;
+        if (word >= 10 &&
+            flat.compare(word - 10, 10, "unordered_") == 0)
+            word -= 10;
+        if (word > 0 && isIdentChar(flat[word - 1]))
+            continue;
+        const std::size_t open = pos + 3; // the '<'
+        // First template argument: up to a top-level ',' or the
+        // matching '>'.
+        int depth = 0;
+        std::string first_arg;
+        bool closed = false;
+        for (std::size_t i = open; i < flat.size(); ++i) {
+            const char c = flat[i];
+            if (c == '<') {
+                ++depth;
+            } else if (c == '>') {
+                if (--depth == 0) {
+                    closed = true;
+                    break;
+                }
+            } else if (c == ',' && depth == 1) {
+                closed = true;
+                break;
+            }
+            if (depth >= 1 && i > open)
+                first_arg += c;
+        }
+        if (!closed)
+            continue;
+        if (first_arg.find('*') == std::string::npos)
+            continue;
+        if (first_arg.find("shared_ptr") != std::string::npos ||
+            first_arg.find("unique_ptr") != std::string::npos)
+            continue;
+        out.push_back(
+            {path, view.lineOf(pos), "pointer-keyed-map",
+             "map keyed by raw pointer (" + first_arg +
+                 "): pointer identity is not stable across "
+                 "translation units or inlining; key by content "
+                 "(std::string_view / std::string)"});
+    }
+}
+
+// ---- unordered-sink-iteration ---------------------------------------
+
+/** Names declared (or aliased) as unordered containers in this file. */
+std::unordered_set<std::string>
+collectUnorderedNames(const SourceView &view)
+{
+    const std::string &flat = view.flat;
+    std::unordered_set<std::string> names;
+    std::unordered_set<std::string> alias_types;
+
+    const auto scan_decl = [&](std::size_t after_type) {
+        std::size_t pos = skipSpace(flat, after_type);
+        // `&` / `*` qualifiers between type and name.
+        while (pos < flat.size() &&
+               (flat[pos] == '&' || flat[pos] == '*'))
+            pos = skipSpace(flat, pos + 1);
+        const std::string name = identAt(flat, pos);
+        if (!name.empty())
+            names.insert(name);
+    };
+
+    for (const char *token : {"unordered_map", "unordered_set"}) {
+        const std::size_t len = std::string(token).size();
+        for (std::size_t pos = flat.find(token);
+             pos != std::string::npos;
+             pos = flat.find(token, pos + 1)) {
+            if (!isWholeWord(flat, pos, len))
+                continue;
+            std::size_t after = skipSpace(flat, pos + len);
+            if (after >= flat.size() || flat[after] != '<')
+                continue;
+            const std::size_t close =
+                matchBalanced(flat, after, '<', '>');
+            if (close == std::string::npos)
+                continue;
+            // `using Alias = std::unordered_map<...>` records the
+            // alias as an unordered type for the declaration scan.
+            const std::size_t line_begin =
+                view.lineStart[static_cast<std::size_t>(
+                    view.lineOf(pos) - 1)];
+            const std::string before =
+                flat.substr(line_begin, pos - line_begin);
+            std::smatch m;
+            static const std::regex using_re(
+                R"(\busing\s+([A-Za-z_]\w*)\s*=)");
+            if (std::regex_search(before, m, using_re)) {
+                alias_types.insert(m[1].str());
+                continue;
+            }
+            scan_decl(close);
+        }
+    }
+
+    // One level of alias resolution: `Alias name;` declarations.
+    for (const auto &alias : alias_types) {
+        for (std::size_t pos = flat.find(alias);
+             pos != std::string::npos;
+             pos = flat.find(alias, pos + 1)) {
+            if (!isWholeWord(flat, pos, alias.size()))
+                continue;
+            scan_decl(pos + alias.size());
+        }
+    }
+    // The alias name itself may appear as a range expression via a
+    // call or member; treat aliases as iterable names too.
+    names.insert(alias_types.begin(), alias_types.end());
+    return names;
+}
+
+const char *const sinkMarkers[] = {
+    "ResultSink", "serialize", "writeJson", "addRow",  "putU64",
+    "putI64",     "putBytes",  "print(",    "<<",
+};
+
+void
+runUnorderedSinkRule(const std::string &path, const SourceView &view,
+                     std::vector<Finding> &out)
+{
+    const std::string &flat = view.flat;
+    const auto unordered = collectUnorderedNames(view);
+    if (unordered.empty())
+        return;
+
+    for (std::size_t pos = flat.find("for"); pos != std::string::npos;
+         pos = flat.find("for", pos + 1)) {
+        if (!isWholeWord(flat, pos, 3))
+            continue;
+        std::size_t open = skipSpace(flat, pos + 3);
+        if (open >= flat.size() || flat[open] != '(')
+            continue;
+        const std::size_t close = matchBalanced(flat, open, '(', ')');
+        if (close == std::string::npos)
+            continue;
+        const std::string head =
+            flat.substr(open + 1, close - open - 2);
+        // Range-for: split at the first top-level ':' that is not
+        // part of '::'.
+        std::size_t colon = std::string::npos;
+        int depth = 0;
+        for (std::size_t i = 0; i < head.size(); ++i) {
+            const char c = head[i];
+            if (c == '(' || c == '<' || c == '[')
+                ++depth;
+            else if (c == ')' || c == '>' || c == ']')
+                --depth;
+            else if (c == ':' && depth == 0) {
+                if ((i + 1 < head.size() && head[i + 1] == ':') ||
+                    (i > 0 && head[i - 1] == ':')) {
+                    continue;
+                }
+                colon = i;
+                break;
+            }
+        }
+        if (colon == std::string::npos)
+            continue;
+        const std::string range = head.substr(colon + 1);
+        const std::string name = lastIdent(range);
+        if (name.empty() || unordered.count(name) == 0)
+            continue;
+
+        // Loop body extent: a braced block, or one statement.
+        std::size_t body_begin = skipSpace(flat, close);
+        std::size_t body_end;
+        if (body_begin < flat.size() && flat[body_begin] == '{') {
+            body_end = matchBalanced(flat, body_begin, '{', '}');
+            if (body_end == std::string::npos)
+                body_end = flat.size();
+        } else {
+            body_end = flat.find(';', body_begin);
+            body_end = body_end == std::string::npos ? flat.size()
+                                                     : body_end + 1;
+        }
+        const std::string body =
+            flat.substr(body_begin, body_end - body_begin);
+
+        bool sinks = false;
+        for (const char *marker : sinkMarkers) {
+            if (body.find(marker) != std::string::npos) {
+                sinks = true;
+                break;
+            }
+        }
+        if (!sinks)
+            continue;
+
+        // An explicit sort in the body or just above the loop is the
+        // required ordering step.
+        const int for_line = view.lineOf(pos);
+        bool sorted = body.find("sort(") != std::string::npos;
+        for (int l = std::max(1, for_line - 5);
+             !sorted && l < for_line; ++l)
+            sorted = view.code[static_cast<std::size_t>(l - 1)].find(
+                         "sort(") != std::string::npos;
+        if (sorted)
+            continue;
+
+        out.push_back(
+            {path, for_line, "unordered-sink-iteration",
+             "iteration over unordered container '" + name +
+                 "' feeds a sink/serializer without an intervening "
+                 "sort; order it first (unordered iteration order is "
+                 "implementation-defined)"});
+    }
+}
+
+// ---- uninit-serialized-field ----------------------------------------
+
+/** Whether a struct-body statement declares a scalar field. */
+bool
+isScalarFieldDecl(const std::string &raw, bool &initialized)
+{
+    // Access labels share a statement with the field that follows
+    // them ("public:\n  int x;") — strip them before classifying.
+    static const std::regex label_re(
+        R"(^\s*(?:public|private|protected)\s*:)");
+    std::string stmt = raw;
+    std::smatch lm;
+    while (std::regex_search(stmt, lm, label_re))
+        stmt = lm.suffix().str();
+    static const std::regex field_re(
+        R"(^\s*(?:mutable\s+)?)"
+        R"((?:std\s*::\s*)?)"
+        R"((u?int(?:8|16|32|64|max|ptr)?_t|size_t|ptrdiff_t|int|unsigned|long|short|double|float|bool|char)\b)"
+        R"((\s+(?:long|int|char|short|double|unsigned))*)"
+        R"(\s+[A-Za-z_]\w*\s*(\[[^\]]*\])?\s*(=|\{|;|$))");
+    std::smatch m;
+    if (!std::regex_search(stmt, m, field_re))
+        return false;
+    if (stmt.find('(') != std::string::npos)
+        return false; // function declaration, not a field
+    const std::string tail = m[4].str();
+    initialized = tail == "=" || tail == "{";
+    return true;
+}
+
+void
+runUninitSerializedRule(const std::string &path, const SourceView &view,
+                        std::vector<Finding> &out)
+{
+    const std::string &flat = view.flat;
+    for (const char *kw : {"struct", "class"}) {
+        const std::size_t kwlen = std::string(kw).size();
+        for (std::size_t pos = flat.find(kw); pos != std::string::npos;
+             pos = flat.find(kw, pos + 1)) {
+            if (!isWholeWord(flat, pos, kwlen))
+                continue;
+            std::size_t p = skipSpace(flat, pos + kwlen);
+            const std::string name = identAt(flat, p);
+            if (name.empty())
+                continue;
+            p = skipSpace(flat, p + name.size());
+            // Optional `final` and base clause before the brace.
+            if (flat.compare(p, 5, "final") == 0)
+                p = skipSpace(flat, p + 5);
+            if (p < flat.size() && flat[p] == ':') {
+                while (p < flat.size() && flat[p] != '{' &&
+                       flat[p] != ';')
+                    ++p;
+            }
+            if (p >= flat.size() || flat[p] != '{')
+                continue; // forward declaration or something else
+            const std::size_t body_end =
+                matchBalanced(flat, p, '{', '}');
+            if (body_end == std::string::npos)
+                continue;
+            const std::size_t body_begin = p + 1;
+
+            // In scope when it serializes: a serialize member, or a
+            // "griffin-lint: serialized" marker comment within the
+            // two lines above the struct keyword.
+            const std::string body =
+                flat.substr(body_begin, body_end - 1 - body_begin);
+            bool serialized =
+                body.find("serialize") != std::string::npos;
+            const int struct_line = view.lineOf(pos);
+            for (int l = std::max(1, struct_line - 2);
+                 !serialized && l <= struct_line; ++l)
+                serialized =
+                    view.comment[static_cast<std::size_t>(l - 1)].find(
+                        "griffin-lint: serialized") !=
+                    std::string::npos;
+            if (!serialized)
+                continue;
+
+            // Walk depth-1 statements of the struct body.  A '{' not
+            // preceded by '=' closes the statement at its matching
+            // '}' (member function bodies, nested types); an '='
+            // brace is an initializer and the statement runs to ';'.
+            std::size_t stmt_begin = body_begin;
+            std::size_t i = body_begin;
+            while (i < body_end - 1) {
+                const char c = flat[i];
+                if (c == ';') {
+                    const std::string stmt = flat.substr(
+                        stmt_begin, i - stmt_begin);
+                    bool initialized = false;
+                    if (stmt.find("static") == std::string::npos &&
+                        stmt.find("using") == std::string::npos &&
+                        stmt.find("friend") == std::string::npos &&
+                        isScalarFieldDecl(stmt, initialized) &&
+                        !initialized) {
+                        const int line =
+                            view.lineOf(stmt_begin +
+                                        stmt.find_first_not_of(
+                                            " \t\n"));
+                        out.push_back(
+                            {path, line, "uninit-serialized-field",
+                             "scalar field of serialized struct '" +
+                                 name +
+                                 "' has no default initializer; an "
+                                 "unset field reaching an encoder is "
+                                 "a nondeterminism bug"});
+                    }
+                    stmt_begin = i + 1;
+                    ++i;
+                } else if (c == '{') {
+                    // Initializer brace or nested body?
+                    std::size_t prev = stmt_begin;
+                    bool init_brace = false;
+                    for (std::size_t j = i; j-- > stmt_begin;) {
+                        if (std::isspace(
+                                static_cast<unsigned char>(flat[j])))
+                            continue;
+                        prev = j;
+                        init_brace = flat[j] == '=';
+                        break;
+                    }
+                    static_cast<void>(prev);
+                    const std::size_t after =
+                        matchBalanced(flat, i, '{', '}');
+                    if (after == std::string::npos)
+                        break;
+                    if (init_brace) {
+                        i = after; // part of `= {...}`, run to ';'
+                    } else {
+                        // Function/nested-type body ends the
+                        // statement (no ';' required).
+                        i = after;
+                        stmt_begin = i;
+                    }
+                } else {
+                    ++i;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---- public API -----------------------------------------------------
+
+const std::vector<std::string> &
+ruleNames()
+{
+    static const std::vector<std::string> names = {
+        "banned-random",          "pointer-keyed-map",
+        "uninit-serialized-field", "unordered-sink-iteration",
+        "wall-clock",
+    };
+    return names;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &text)
+{
+    const SourceView view = splitSource(text);
+    SuppressionSet suppressions = parseSuppressions(path, view);
+
+    std::vector<Finding> raw;
+    runTokenRules(path, view, raw);
+    runPointerKeyRule(path, view, raw);
+    runUnorderedSinkRule(path, view, raw);
+    runUninitSerializedRule(path, view, raw);
+
+    std::vector<Finding> out;
+    for (auto &f : raw) {
+        if (!suppressions.suppress(f.rule, f.line))
+            out.push_back(std::move(f));
+    }
+    for (auto &meta : suppressions.metaFindings)
+        out.push_back(std::move(meta));
+    for (const auto &s : suppressions.entries) {
+        if (!s.used)
+            out.push_back(
+                {path, s.line, "unused-suppression",
+                 "allow(" + s.rule +
+                     ") suppresses nothing; remove the stale "
+                     "suppression"});
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const Finding &a, const Finding &b) {
+                  return a.line != b.line ? a.line < b.line
+                                          : a.rule < b.rule;
+              });
+    return out;
+}
+
+std::vector<Finding>
+lintFile(const std::string &path, std::string &error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        error = "cannot open '" + path + "'";
+        return {};
+    }
+    std::ostringstream text;
+    text << is.rdbuf();
+    return lintSource(path, text.str());
+}
+
+std::vector<std::string>
+collectSources(const std::vector<std::string> &paths,
+               const std::vector<std::string> &excludes,
+               std::string &error)
+{
+    namespace fs = std::filesystem;
+    const auto lintable = [](const fs::path &p) {
+        const std::string ext = p.extension().string();
+        return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+               ext == ".hpp";
+    };
+    const auto excluded = [&excludes](const std::string &p) {
+        for (const auto &e : excludes)
+            if (!e.empty() && p.find(e) != std::string::npos)
+                return true;
+        return false;
+    };
+
+    std::vector<std::string> files;
+    for (const auto &path : paths) {
+        std::error_code ec;
+        if (fs::is_directory(path, ec)) {
+            for (auto it = fs::recursive_directory_iterator(path, ec);
+                 !ec && it != fs::recursive_directory_iterator();
+                 it.increment(ec)) {
+                if (it->is_regular_file(ec) &&
+                    lintable(it->path()) &&
+                    !excluded(it->path().string()))
+                    files.push_back(it->path().string());
+            }
+            if (ec) {
+                error = "cannot walk '" + path + "': " + ec.message();
+                return {};
+            }
+        } else if (fs::is_regular_file(path, ec)) {
+            files.push_back(path); // explicit files skip excludes
+        } else {
+            error = "no such file or directory: '" + path + "'";
+            return {};
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::string
+formatFinding(const Finding &finding)
+{
+    return finding.file + ":" + std::to_string(finding.line) + ": [" +
+           finding.rule + "] " + finding.message;
+}
+
+} // namespace lint
+} // namespace griffin

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * griffin-lint driver: lint the given files/directories and exit
+ * nonzero when any finding survives the allowlist.
+ *
+ *     griffin-lint [--exclude <substring>]... [--report <file>]
+ *                  [--list-rules] <path>...
+ *
+ * Directories are walked recursively for .cc/.hh/.cpp/.hpp sources;
+ * paths containing an --exclude substring are skipped (the known-bad
+ * corpus under tests/lint_fixtures/ is excluded by default — those
+ * files exist to violate the rules).  --report additionally writes
+ * the findings to a file for CI artifact upload.
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage error — matching the
+ * repo-wide exit-status convention (common/logging.hh).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace griffin::lint;
+
+    std::vector<std::string> paths;
+    std::vector<std::string> excludes = {"lint_fixtures"};
+    std::string report_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto &rule : ruleNames())
+                std::cout << rule << "\n";
+            return 0;
+        }
+        if (arg == "--exclude") {
+            if (++i >= argc) {
+                std::cerr << "griffin-lint: --exclude needs a value\n";
+                return 2;
+            }
+            excludes.push_back(argv[i]);
+            continue;
+        }
+        if (arg == "--report") {
+            if (++i >= argc) {
+                std::cerr << "griffin-lint: --report needs a path\n";
+                return 2;
+            }
+            report_path = argv[i];
+            continue;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "griffin-lint: unknown flag '" << arg
+                      << "'\n";
+            return 2;
+        }
+        paths.push_back(arg);
+    }
+    if (paths.empty()) {
+        std::cerr << "usage: griffin-lint [--exclude <substring>]... "
+                     "[--report <file>] [--list-rules] <path>...\n";
+        return 2;
+    }
+
+    std::string error;
+    const auto files = collectSources(paths, excludes, error);
+    if (!error.empty()) {
+        std::cerr << "griffin-lint: " << error << "\n";
+        return 2;
+    }
+
+    std::vector<Finding> findings;
+    for (const auto &file : files) {
+        auto per_file = lintFile(file, error);
+        if (!error.empty()) {
+            std::cerr << "griffin-lint: " << error << "\n";
+            return 2;
+        }
+        findings.insert(findings.end(), per_file.begin(),
+                        per_file.end());
+    }
+
+    std::ostream *streams[] = {&std::cout, nullptr};
+    std::ofstream report;
+    if (!report_path.empty()) {
+        report.open(report_path);
+        if (!report) {
+            std::cerr << "griffin-lint: cannot open report file '"
+                      << report_path << "'\n";
+            return 2;
+        }
+        streams[1] = &report;
+    }
+    for (const auto &finding : findings) {
+        for (std::ostream *os : streams)
+            if (os != nullptr)
+                *os << formatFinding(finding) << "\n";
+    }
+    const std::string summary =
+        std::to_string(files.size()) + " file(s) scanned, " +
+        std::to_string(findings.size()) + " finding(s)";
+    for (std::ostream *os : streams)
+        if (os != nullptr)
+            *os << "griffin-lint: " << summary << "\n";
+
+    return findings.empty() ? 0 : 1;
+}
