@@ -57,6 +57,7 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "common/socket.hh"
 #include "common/strings.hh"
 #include "fleet/coordinator.hh"
@@ -69,6 +70,7 @@
 #include "runtime/shard_merge.hh"
 #include "runtime/telemetry.hh"
 #include "runtime/thread_pool.hh"
+#include "simd/occupancy.hh"
 
 using namespace griffin;
 
@@ -177,14 +179,97 @@ constexpr double perfDefaultSample = 0.02;
 constexpr std::int64_t perfDefaultRowCap = 8;
 
 /**
+ * `perf --kernels` micro-benchmark: time each entry of the active
+ * KernelTable over synthetic operands sized like the hot path's real
+ * inputs (64-wide tile rows, 4K-slot head arrays, one engine refill
+ * block).  Numbers are machine-dependent by nature — they live in the
+ * perf artifact, never in result rows — but the per-op normalization
+ * makes backend-vs-backend and commit-over-commit deltas readable.
+ */
+std::vector<PerfKernel>
+benchKernels()
+{
+    const simd::KernelTable &kern = simd::kernels();
+    const std::string backend =
+        simd::backendName(simd::activeBackend());
+
+    // Synthetic operands: ~50% occupancy i8 tiles and head arrays
+    // with a spread of values around the compare horizon.
+    constexpr std::size_t kBytes = 1 << 16;
+    constexpr std::int64_t kSlots = 4096;
+    constexpr std::int64_t kBlock = 312; // one Mt64 refill
+    Rng rng(Rng::defaultSeed);
+    std::vector<std::int8_t> tile(kBytes);
+    for (auto &v : tile)
+        v = rng.bernoulli(0.5) ? rng.nonzeroInt8() : 0;
+    std::vector<std::int64_t> heads(kSlots);
+    for (auto &h : heads)
+        h = rng.uniformInt(0, 1 << 20);
+    std::vector<std::uint64_t> state(kBlock);
+    for (auto &w : state)
+        w = static_cast<std::uint64_t>(rng.uniformInt(0, 1 << 30));
+
+    std::vector<std::uint64_t> masks(kBytes / 64);
+    std::vector<std::int32_t> counts(kBytes, 0);
+    std::vector<std::uint64_t> bits((kSlots + 63) / 64);
+    std::vector<std::uint64_t> tempered(kBlock);
+
+    std::vector<PerfKernel> out;
+    const auto timed = [&out, &backend](const char *name,
+                                        std::uint64_t reps,
+                                        std::uint64_t ops_per_rep,
+                                        const auto &body) {
+        body(); // warm caches and the dispatch pointer
+        const std::uint64_t begin = monotonicNowNs();
+        for (std::uint64_t r = 0; r < reps; ++r)
+            body();
+        const std::uint64_t ns = monotonicNowNs() - begin;
+        PerfKernel k;
+        k.kernel = name;
+        k.backend = backend;
+        k.ops = reps * ops_per_rep;
+        k.totalMs = static_cast<double>(ns) / 1e6;
+        k.nsPerOp = static_cast<double>(ns) /
+                    static_cast<double>(k.ops);
+        out.push_back(std::move(k));
+    };
+
+    timed("nonzero_masks", 2000, kBytes, [&] {
+        kern.nonzeroMasks(tile.data(), 64, 64,
+                          static_cast<std::int64_t>(kBytes / 64),
+                          masks.data());
+    });
+    timed("count_nonzero", 2000, kBytes, [&] {
+        kern.countNonzero(tile.data(), kBytes);
+    });
+    timed("accumulate_nonzero", 1000, kBytes, [&] {
+        kern.accumulateNonzero(tile.data(), kBytes, counts.data());
+    });
+    timed("le_mask", 20000, static_cast<std::uint64_t>(kSlots), [&] {
+        kern.leMask(heads.data(), kSlots, 1 << 19, bits.data());
+    });
+    timed("min_i64", 20000, static_cast<std::uint64_t>(kSlots), [&] {
+        kern.minI64(heads.data(), kSlots);
+    });
+    timed("mt_temper", 100000, static_cast<std::uint64_t>(kBlock), [&] {
+        kern.mtTemper(state.data(), kBlock, tempered.data());
+    });
+    return out;
+}
+
+/**
  * `perf` subcommand: run the pinned suite with Aggregate telemetry and
  * fresh caches per experiment, and write the schema-versioned
- * BENCH_perf.json trajectory artifact.
+ * BENCH_perf.json trajectory artifact.  With --kernels, the SIMD
+ * kernel micro-benchmarks run too (and alone when no experiment names
+ * are given), landing as the artifact's "kernels" section.
  */
 int
 runPerfSuite(const Cli &cli, const std::vector<std::string> &names)
 {
-    std::vector<std::string> suite = names.empty() ? perfSuite : names;
+    const bool kernels_mode = cli.getBool("kernels");
+    std::vector<std::string> suite =
+        names.empty() && !kernels_mode ? perfSuite : names;
     for (const auto &name : suite)
         experimentOrDie(name);
 
@@ -234,6 +319,13 @@ runPerfSuite(const Cli &cli, const std::vector<std::string> &names)
         entry.worksetCache = outcome.sweep.worksetStats();
         doc.suite.push_back(std::move(entry));
     }
+    if (kernels_mode) {
+        doc.kernels = benchKernels();
+        inform("kernels: micro-benchmarked ", doc.kernels.size(),
+               " kernel(s) on the '",
+               simd::backendName(simd::activeBackend()),
+               "' backend");
+    }
     doc.totalWallMs =
         static_cast<double>(monotonicNowNs() - suite_start_ns) / 1e6;
 
@@ -260,7 +352,8 @@ main(int argc, char **argv)
             "(subcommands: list | networks | describe <name...> | "
             "run <name...|--all> | merge <shard.jsonl...> | "
             "serve <name...|--all> | worker --connect host:port | "
-            "perf [name...] | perf --compare old.json new.json; "
+            "perf [name...] [--kernels] | "
+            "perf --compare [--gate] old.json new.json; "
             "describe also takes a benchmark network name and renders "
             "its dataflow DAG and schedules)");
     addFidelityFlags(cli);
@@ -336,6 +429,15 @@ main(int argc, char **argv)
     cli.addBool("compare", false,
                 "perf subcommand: compare two BENCH_perf.json "
                 "documents (perf --compare old.json new.json)");
+    cli.addBool("gate", false,
+                "perf --compare: exit nonzero when any experiment "
+                "present in both documents regresses jobs_per_sec by "
+                "more than 10%");
+    cli.addBool("kernels", false,
+                "perf subcommand: micro-benchmark the SIMD kernel "
+                "table (active dispatch backend) and add the schema-v2 "
+                "\"kernels\" section to the artifact; alone — no "
+                "experiment names — only the kernels run");
     const auto positional = cli.parse(argc, argv);
 
     if (positional.empty())
@@ -555,6 +657,20 @@ main(int argc, char **argv)
             for (const auto &table :
                  renderPerfCompare(old_doc, new_doc))
                 emitter.show(table);
+            if (cli.getBool("gate")) {
+                const auto violations =
+                    perfGateViolations(old_doc, new_doc, 0.10);
+                for (const auto &v : violations)
+                    std::cerr << "perf gate: " << v << "\n";
+                if (!violations.empty()) {
+                    std::cerr << "perf gate: " << violations.size()
+                              << " experiment(s) regressed beyond "
+                                 "the 10% band\n";
+                    return 1;
+                }
+                inform("perf gate: no experiment regressed beyond "
+                       "the 10% band");
+            }
             return 0;
         }
         return runPerfSuite(cli, names);

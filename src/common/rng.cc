@@ -3,43 +3,48 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "simd/occupancy.hh"
 
 namespace griffin {
 
+Mt64::Mt64(result_type seed)
+{
+    // [rand.eng.mers] default seeding: x0 = seed, then the LCG-style
+    // initialization mixing each word from its predecessor.
+    state_[0] = seed;
+    for (int i = 1; i < kN; ++i)
+        state_[i] = 6364136223846793005ULL *
+                        (state_[i - 1] ^ (state_[i - 1] >> 62)) +
+                    static_cast<std::uint64_t>(i);
+}
+
+void
+Mt64::refill()
+{
+    // In-place twist: entry i becomes x_{i+N}, reading x_{i+M} from
+    // the already-updated prefix once i + M wraps — the classic batch
+    // form of the [rand.eng.mers] recurrence.
+    constexpr int kM = 156;
+    constexpr std::uint64_t kUpper = 0xFFFFFFFF80000000ULL;
+    constexpr std::uint64_t kLower = 0x7FFFFFFFULL;
+    constexpr std::uint64_t kMatrixA = 0xB5026F5AA96619E9ULL;
+    const auto twisted = [](std::uint64_t hi, std::uint64_t lo) {
+        const std::uint64_t x = (hi & kUpper) | (lo & kLower);
+        return (x >> 1) ^ ((x & 1) ? kMatrixA : 0);
+    };
+    int i = 0;
+    for (; i < kN - kM; ++i)
+        state_[i] = state_[i + kM] ^ twisted(state_[i], state_[i + 1]);
+    for (; i < kN - 1; ++i)
+        state_[i] =
+            state_[i + kM - kN] ^ twisted(state_[i], state_[i + 1]);
+    state_[kN - 1] =
+        state_[kM - 1] ^ twisted(state_[kN - 1], state_[0]);
+    simd::kernels().mtTemper(state_, kN, out_);
+    pos_ = 0;
+}
+
 Rng::Rng(std::uint64_t seed) : engine_(seed) {}
-
-std::int64_t
-Rng::uniformInt(std::int64_t lo, std::int64_t hi)
-{
-    GRIFFIN_ASSERT(lo <= hi, "uniformInt with lo ", lo, " > hi ", hi);
-    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
-    return dist(engine_);
-}
-
-double
-Rng::uniform01()
-{
-    std::uniform_real_distribution<double> dist(0.0, 1.0);
-    return dist(engine_);
-}
-
-bool
-Rng::bernoulli(double p)
-{
-    p = std::clamp(p, 0.0, 1.0);
-    return uniform01() < p;
-}
-
-std::int8_t
-Rng::nonzeroInt8()
-{
-    // Draw from [-128, 126] and shift the zero out of the range so all
-    // 255 nonzero values stay equally likely.
-    auto v = uniformInt(-128, 126);
-    if (v >= 0)
-        ++v;
-    return static_cast<std::int8_t>(v);
-}
 
 void
 Rng::shuffle(std::vector<std::size_t> &v)

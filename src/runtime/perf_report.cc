@@ -36,8 +36,20 @@ writePerfJson(std::ostream &os, const PerfDocument &doc)
        << ", \"rowcap\": " << doc.rowCap << ", \"seed\": " << doc.seed
        << "},\n"
        << "  \"total_wall_ms\": " << jsonNumber(doc.totalWallMs)
-       << ",\n"
-       << "  \"suite\": [";
+       << ",\n";
+    if (!doc.kernels.empty()) {
+        os << "  \"kernels\": [";
+        for (std::size_t i = 0; i < doc.kernels.size(); ++i) {
+            const PerfKernel &k = doc.kernels[i];
+            os << (i == 0 ? "\n" : ",\n") << "    {\"kernel\": \""
+               << jsonEscape(k.kernel) << "\", \"backend\": \""
+               << jsonEscape(k.backend) << "\", \"ops\": " << k.ops
+               << ", \"total_ms\": " << jsonNumber(k.totalMs)
+               << ", \"ns_per_op\": " << jsonNumber(k.nsPerOp) << "}";
+        }
+        os << "\n  ],\n";
+    }
+    os << "  \"suite\": [";
     for (std::size_t i = 0; i < doc.suite.size(); ++i) {
         const PerfEntry &e = doc.suite[i];
         os << (i == 0 ? "\n" : ",\n") << "    {\n"
@@ -211,6 +223,32 @@ parsePerfDocument(const std::string &text, PerfDocument &out,
     if (!requireNumber(doc, "total_wall_ms", "document",
                        out.totalWallMs, error))
         return false;
+    // "kernels" arrived in schema v2 and is optional even there (only
+    // --kernels runs emit it); its absence is not an error, but a
+    // present-and-malformed section is.
+    out.kernels.clear();
+    const JsonValue *kernels = doc.find("kernels");
+    if (kernels != nullptr) {
+        if (!kernels->isArray()) {
+            error = "\"kernels\" is not an array";
+            return false;
+        }
+        for (const JsonValue &item : kernels->items) {
+            PerfKernel k;
+            if (!requireString(item, "kernel", "kernels entry",
+                               k.kernel, error) ||
+                !requireString(item, "backend", "kernels entry",
+                               k.backend, error) ||
+                !requireUint(item, "ops", "kernels entry", k.ops,
+                             error) ||
+                !requireNumber(item, "total_ms", "kernels entry",
+                               k.totalMs, error) ||
+                !requireNumber(item, "ns_per_op", "kernels entry",
+                               k.nsPerOp, error))
+                return false;
+            out.kernels.push_back(std::move(k));
+        }
+    }
     const JsonValue *suite =
         requireMember(doc, "suite", "document", error);
     if (suite == nullptr)
@@ -410,6 +448,27 @@ renderPerfCompare(const PerfDocument &oldDoc, const PerfDocument &newDoc)
     }
 
     return {std::move(summary), std::move(stages)};
+}
+
+std::vector<std::string>
+perfGateViolations(const PerfDocument &oldDoc, const PerfDocument &newDoc,
+                   double tolerance)
+{
+    std::vector<std::string> violations;
+    for (const auto &o : oldDoc.suite) {
+        const PerfEntry *n = findEntry(newDoc, o.experiment);
+        if (n == nullptr || o.jobsPerSec <= 0.0)
+            continue;
+        const double floor = o.jobsPerSec * (1.0 - tolerance);
+        if (n->jobsPerSec < floor)
+            violations.push_back(
+                o.experiment + ": jobs_per_sec " +
+                Table::num(n->jobsPerSec, 2) + " is below " +
+                Table::num(floor, 2) + " (old " +
+                Table::num(o.jobsPerSec, 2) + " - " +
+                Table::num(tolerance * 100.0, 0) + "% band)");
+    }
+    return violations;
 }
 
 } // namespace griffin

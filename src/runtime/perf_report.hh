@@ -33,7 +33,10 @@
 namespace griffin {
 
 constexpr const char *perfSchemaName = "griffin_bench_perf";
-constexpr int perfSchemaVersion = 1;
+/** v2 added the optional "kernels" micro-benchmark section
+ *  (`griffin_bench perf --kernels`); v1 documents — no such key —
+ *  still parse, so historical seeds keep working as compare inputs. */
+constexpr int perfSchemaVersion = 2;
 
 /** One pipeline stage's merged wall-time total within one entry. */
 struct PerfStage
@@ -60,6 +63,20 @@ struct PerfEntry
     CacheStats worksetCache;
 };
 
+/**
+ * One SIMD kernel's micro-benchmark sample (schema v2 "kernels"
+ * section): `ops` elements processed across the timed repetitions of
+ * one KernelTable entry under the named dispatch backend.
+ */
+struct PerfKernel
+{
+    std::string kernel;
+    std::string backend;
+    std::uint64_t ops = 0;
+    double totalMs = 0.0;
+    double nsPerOp = 0.0;
+};
+
 /** The whole artifact. */
 struct PerfDocument
 {
@@ -70,6 +87,10 @@ struct PerfDocument
     std::uint64_t seed = 0;
     double totalWallMs = 0.0;
     std::vector<PerfEntry> suite; ///< suite run order
+    /** `perf --kernels` micro-bench rows; empty when the mode was not
+     *  requested (the "kernels" key is then omitted entirely, and v1
+     *  documents never carry it). */
+    std::vector<PerfKernel> kernels;
 };
 
 /** Serialize as pretty JSON with a fixed key order. */
@@ -94,6 +115,17 @@ PerfDocument loadPerfDocument(const std::string &path);
  */
 std::vector<Table> renderPerfCompare(const PerfDocument &oldDoc,
                                      const PerfDocument &newDoc);
+
+/**
+ * Gating comparison (`perf --compare --gate`): one human-readable
+ * violation line per experiment present in BOTH documents whose
+ * jobs_per_sec regressed by more than `tolerance` (0.10 = the CI
+ * band).  Improvements and experiments on one side only never
+ * violate.  Empty result = gate passes.
+ */
+std::vector<std::string> perfGateViolations(const PerfDocument &oldDoc,
+                                            const PerfDocument &newDoc,
+                                            double tolerance);
 
 } // namespace griffin
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/arena.hh"
 #include "sched/window_scheduler.hh"
+#include "simd/occupancy.hh"
 
 namespace griffin {
 
@@ -21,15 +23,56 @@ scheduleA(const TileViewA &a, const Borrow &da, const Shuffler &shuffler,
     grid.rows = a.units();
     grid.cols = 1;
 
-    SlotQueues queues(grid);
-    for (std::int64_t k1 = 0; k1 < grid.steps; ++k1) {
-        for (int k2 = 0; k2 < grid.lanes; ++k2) {
-            const int lane = shuffler.apply(k1, k2);
-            for (int m = 0; m < grid.rows; ++m)
-                if (a.nonzero(k1, k2, m))
-                    queues.push(k1, lane, m, 0);
+    // Bulk occupancy (bit m of occ[flat k]) + CSR count/prefix/fill;
+    // k1-major fill order keeps every slot queue ascending, and the
+    // shuffler guarantees one k2 per (step, lane) so within-step order
+    // cannot matter.
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+    const std::int64_t flat = grid.steps * grid.lanes;
+    const std::int64_t nslots = grid.slots();
+    auto *occ =
+        arena.alloc<std::uint64_t>(static_cast<std::size_t>(flat));
+    simd::aTileOccupancy(a.matrix(), a.unitBase(), grid.rows,
+                         grid.steps, grid.lanes, occ);
+
+    auto *offsets = arena.allocZeroed<std::int64_t>(
+        static_cast<std::size_t>(nslots + 1));
+    for (std::int64_t f = 0; f < flat; ++f) {
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        std::uint64_t word = occ[f];
+        while (word != 0) {
+            const int m = simd::ctz64(word);
+            word &= word - 1;
+            ++offsets[m * grid.lanes + lane + 1];
         }
     }
+    for (std::int64_t s = 0; s < nslots; ++s)
+        offsets[s + 1] += offsets[s];
+    auto *values = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(offsets[nslots]));
+    auto *fill = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    for (std::int64_t s = 0; s < nslots; ++s)
+        fill[s] = offsets[s];
+    for (std::int64_t f = 0; f < flat; ++f) {
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        std::uint64_t word = occ[f];
+        while (word != 0) {
+            const int m = simd::ctz64(word);
+            word &= word - 1;
+            values[fill[m * grid.lanes + lane]++] = k1;
+        }
+    }
+
+    SlotQueueSpans queues;
+    queues.grid = grid;
+    queues.offsets = offsets;
+    queues.values = values;
 
     BorrowWindow window;
     window.steps = 1 + da.d1;

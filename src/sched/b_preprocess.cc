@@ -4,8 +4,10 @@
 #include <istream>
 #include <ostream>
 
+#include "common/arena.hh"
 #include "common/binio.hh"
 #include "sched/window_scheduler.hh"
+#include "simd/occupancy.hh"
 
 namespace griffin {
 
@@ -23,15 +25,56 @@ preprocessB(const TileViewB &b, const Borrow &db, const Shuffler &shuffler,
     grid.rows = 1;
     grid.cols = b.units();
 
-    SlotQueues queues(grid);
-    for (std::int64_t k1 = 0; k1 < grid.steps; ++k1) {
-        for (int k2 = 0; k2 < grid.lanes; ++k2) {
-            const int lane = shuffler.apply(k1, k2);
-            for (int n = 0; n < grid.cols; ++n)
-                if (b.nonzero(k1, k2, n))
-                    queues.push(k1, lane, 0, n);
+    // Bulk occupancy: one mask word per flat k with bit n set on
+    // nonzero, then a count / prefix-sum / fill CSR build.  The
+    // shuffler maps at most one k2 per (step, lane), so filling in
+    // k1-major order keeps every slot's queue ascending.
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+    const std::int64_t flat = grid.steps * grid.lanes;
+    const std::int64_t nslots = grid.slots();
+    auto *occ =
+        arena.alloc<std::uint64_t>(static_cast<std::size_t>(flat));
+    simd::bTileOccupancy(b.matrix(), b.unitBase(), grid.cols,
+                         grid.steps, grid.lanes, occ);
+
+    auto *offsets = arena.allocZeroed<std::int64_t>(
+        static_cast<std::size_t>(nslots + 1));
+    for (std::int64_t f = 0; f < flat; ++f) {
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        std::uint64_t word = occ[f];
+        while (word != 0) {
+            const int n = simd::ctz64(word);
+            word &= word - 1;
+            ++offsets[n * grid.lanes + lane + 1];
         }
     }
+    for (std::int64_t s = 0; s < nslots; ++s)
+        offsets[s + 1] += offsets[s];
+    auto *values = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(offsets[nslots]));
+    auto *fill = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    for (std::int64_t s = 0; s < nslots; ++s)
+        fill[s] = offsets[s];
+    for (std::int64_t f = 0; f < flat; ++f) {
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        std::uint64_t word = occ[f];
+        while (word != 0) {
+            const int n = simd::ctz64(word);
+            word &= word - 1;
+            values[fill[n * grid.lanes + lane]++] = k1;
+        }
+    }
+
+    SlotQueueSpans queues;
+    queues.grid = grid;
+    queues.offsets = offsets;
+    queues.values = values;
 
     BorrowWindow window;
     window.steps = 1 + db.d1;

@@ -95,6 +95,26 @@ class BSchedule
         return raw_hi_[colIndex(cycle, col)];
     }
 
+    /**
+     * Contiguous per-lane flat-k span of one (cycle, col) stream slice
+     * — `lanes()` values, -1 on empty slots.  The dual-sparse engine
+     * walks whole slices; this keeps the range check per slice rather
+     * than per element.
+     */
+    const std::int64_t *
+    flatKLanes(std::int64_t cycle, int col) const
+    {
+        return flatk_.data() + index(cycle, 0, col);
+    }
+
+    /**
+     * Flat raw-extent tables indexed `cycle * cols() + col` — the bulk
+     * counterpart of rawLo()/rawHi() for the engine's per-cycle
+     * eligibility filter.
+     */
+    const std::int64_t *rawLoData() const { return raw_lo_.data(); }
+    const std::int64_t *rawHiData() const { return raw_hi_.data(); }
+
     /** Streaming cost of each compressed entry in raw A steps. */
     std::vector<std::int64_t> stepCosts() const;
 

@@ -1,12 +1,18 @@
 #include "sched/dual_scheduler.hh"
 
 #include <algorithm>
+#include <limits>
 
+#include "common/arena.hh"
 #include "sched/window_scheduler.hh"
+#include "simd/occupancy.hh"
 
 namespace griffin {
 
 namespace {
+
+constexpr std::int64_t kDrained =
+    std::numeric_limits<std::int64_t>::max();
 
 /**
  * Asynchronous two-level engine for preprocessed dual sparsity.
@@ -41,45 +47,94 @@ schedulePreprocessed(const TileViewA &a, const RoutingConfig &cfg,
     if (entries == 0)
         return out;
 
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+
     // Fig. 3 steps 2-3: zero masks of A filtered by B's metadata — a
     // pair survives only where the stream has an element *and* the
-    // matching A operand is nonzero.  Queues are per (lane, row) slot
-    // within each column; values are entry indices (ascending).
+    // matching A operand is nonzero.  The A tile's occupancy masks
+    // (bit m of occA[flat k]) turn the per-pair test into one popcount
+    // per stream element; queues build CSR (count / prefix / fill),
+    // per (lane, row) slot within each column, values ascending entry
+    // indices.
+    const std::int64_t flat_steps = a.steps() * k0;
+    auto *occA = arena.alloc<std::uint64_t>(
+        static_cast<std::size_t>(flat_steps));
+    simd::aTileOccupancy(a.matrix(), a.unitBase(), rows, a.steps(), k0,
+                         occA);
+
+    const std::int64_t col_slots =
+        static_cast<std::int64_t>(rows) * lanes;
+    const std::int64_t nslots = col_slots * cols;
     const auto slot_of = [&](int l, int m, int j) {
-        return static_cast<std::size_t>((j * rows + m) * lanes + l);
+        return (static_cast<std::int64_t>(j) * rows + m) * lanes + l;
     };
-    std::vector<std::vector<std::int64_t>> queues(
-        static_cast<std::size_t>(lanes) * rows * cols);
-    std::vector<std::int64_t> remaining(
-        static_cast<std::size_t>(entries * cols), 0);
+    auto *offsets = arena.allocZeroed<std::int64_t>(
+        static_cast<std::size_t>(nslots + 1));
+    auto *remaining = arena.allocZeroed<std::int64_t>(
+        static_cast<std::size_t>(entries * cols));
     for (std::int64_t c = 0; c < entries; ++c) {
         for (int j = 0; j < cols; ++j) {
+            const std::int64_t *slice = stream.flatKLanes(c, j);
+            std::int64_t pairs = 0;
             for (int l = 0; l < lanes; ++l) {
-                const auto flat_k = stream.flatK(c, l, j);
+                const auto flat_k = slice[l];
                 if (flat_k < 0)
                     continue;
-                const auto k1 = flat_k / k0;
-                const auto k2 = static_cast<int>(flat_k % k0);
-                for (int m = 0; m < rows; ++m) {
-                    if (a.nonzero(k1, k2, m)) {
-                        queues[slot_of(l, m, j)].push_back(c);
-                        ++remaining[static_cast<std::size_t>(c * cols +
-                                                             j)];
-                    }
+                std::uint64_t mask = occA[flat_k];
+                pairs += simd::popcount64(mask);
+                while (mask != 0) {
+                    const int m = simd::ctz64(mask);
+                    mask &= mask - 1;
+                    ++offsets[slot_of(l, m, j) + 1];
+                }
+            }
+            remaining[static_cast<std::size_t>(c * cols + j)] = pairs;
+        }
+    }
+    for (std::int64_t s = 0; s < nslots; ++s)
+        offsets[s + 1] += offsets[s];
+    out.effectualPairs = offsets[nslots];
+    if (out.effectualPairs == 0)
+        return out;
+    auto *values = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(out.effectualPairs));
+    auto *fill = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    for (std::int64_t s = 0; s < nslots; ++s)
+        fill[s] = offsets[s];
+    for (std::int64_t c = 0; c < entries; ++c) {
+        for (int j = 0; j < cols; ++j) {
+            const std::int64_t *slice = stream.flatKLanes(c, j);
+            for (int l = 0; l < lanes; ++l) {
+                const auto flat_k = slice[l];
+                if (flat_k < 0)
+                    continue;
+                std::uint64_t mask = occA[flat_k];
+                while (mask != 0) {
+                    const int m = simd::ctz64(mask);
+                    mask &= mask - 1;
+                    values[fill[slot_of(l, m, j)]++] = c;
                 }
             }
         }
     }
-    for (const auto &q : queues)
-        out.effectualPairs += static_cast<std::int64_t>(q.size());
-    if (out.effectualPairs == 0)
-        return out;
 
-    // Per-slot cursors, per-column stream pointers, shared raw window.
-    std::vector<std::size_t> cursor(queues.size(), 0);
-    std::vector<std::int64_t> head(static_cast<std::size_t>(cols), 0);
+    // Per-slot cursors and head entries (kDrained once empty), per-
+    // column stream pointers, shared raw window.
+    auto *cursor = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    auto *heads = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    for (std::int64_t s = 0; s < nslots; ++s) {
+        cursor[s] = offsets[s];
+        heads[s] = offsets[s] < offsets[s + 1] ? values[offsets[s]]
+                                               : kDrained;
+    }
+    auto *head =
+        arena.allocZeroed<std::int64_t>(static_cast<std::size_t>(cols));
     auto skip_drained = [&](int j) {
-        auto &p = head[static_cast<std::size_t>(j)];
+        auto &p = head[j];
         while (p < entries &&
                remaining[static_cast<std::size_t>(p * cols + j)] == 0) {
             ++p;
@@ -93,97 +148,139 @@ schedulePreprocessed(const TileViewA &a, const RoutingConfig &cfg,
         std::min<std::int64_t>(abuf_raw_depth - 1, max_raw);
     double bw_budget = 0.0;
 
-    std::vector<std::uint8_t> busy(queues.size());
-    struct Offset { int dl, dr; };
+    struct Offset { int dl, dr; std::int64_t delta; };
     std::vector<Offset> steals;
     for (int dl = 0; dl <= cfg.a.d2; ++dl)
         for (int dr = 0; dr <= cfg.a.d3; ++dr)
             if (dl || dr)
-                steals.push_back({dl, dr});
+                steals.push_back(
+                    {dl, dr,
+                     dl + static_cast<std::int64_t>(dr) * lanes});
+
+    const simd::KernelTable &kern = simd::kernels();
+    const std::int64_t col_words = (col_slots + 63) / 64;
+    auto *elig = arena.alloc<std::uint64_t>(
+        static_cast<std::size_t>(col_words));
+    auto *pass1 = arena.alloc<std::uint64_t>(
+        static_cast<std::size_t>(col_words));
+    const std::int64_t *raw_hi = stream.rawHiData();
 
     std::int64_t left = out.effectualPairs;
     auto &st = out.stage2;
     while (left > 0) {
         ++st.cycles;
-        std::fill(busy.begin(), busy.end(), 0);
         std::int64_t consumed_now = 0;
 
-        // An entry is executable when it is inside its column's BBUF
-        // window and its raw span has streamed into the ABUF.
-        auto eligible = [&](int j, std::int64_t e) {
-            if (e >= head[static_cast<std::size_t>(j)] + bbuf_depth)
-                return false;
-            const auto hi = stream.rawHi(e, j);
-            return hi <= frontier;
-        };
-        auto consume = [&](std::size_t src_slot, int j, bool own,
-                           int consumer_lane, int consumer_row) {
-            auto &cur = cursor[src_slot];
-            const auto e = queues[src_slot][cur];
-            ++cur;
-            --remaining[static_cast<std::size_t>(e * cols + j)];
-            --left;
-            ++consumed_now;
-            ++st.ops;
-            if (own)
-                ++st.ownOps;
-            else
-                ++st.stolenOps;
-            if (record) {
-                const int src_lane = static_cast<int>(
-                    src_slot % static_cast<std::size_t>(lanes));
-                const auto flat_k = stream.flatK(e, src_lane, j);
-                const int src_row = static_cast<int>(
-                    (src_slot / static_cast<std::size_t>(lanes)) %
-                    static_cast<std::size_t>(rows));
-                static_cast<void>(consumer_lane);
-                static_cast<void>(consumer_row);
-                out.ops.push_back({flat_k, src_row,
-                                   stream.homeCol(e, src_lane, j),
-                                   st.cycles - 1});
-            }
-        };
-
         for (int j = 0; j < cols; ++j) {
-            // Pass 1: own queues.
-            for (int m = 0; m < rows; ++m) {
-                for (int l = 0; l < lanes; ++l) {
-                    const auto s = slot_of(l, m, j);
-                    const auto &q = queues[s];
-                    if (cursor[s] < q.size() &&
-                        eligible(j, q[cursor[s]])) {
-                        consume(s, j, true, l, m);
-                        busy[s] = 1;
-                    }
+            const std::int64_t base = static_cast<std::int64_t>(j) *
+                                      col_slots;
+            // An entry is executable when it is inside its column's
+            // BBUF window and its raw span has streamed into the ABUF.
+            // The BBUF test is one masked compare over the column's
+            // head entries; the ABUF test then prunes only the
+            // survivors (raw-extent lookups are a gather, left
+            // scalar).
+            const std::int64_t limit = head[j] + bbuf_depth - 1;
+            kern.leMask(heads + base, col_slots, limit, elig);
+            std::int64_t elig_count = 0;
+            for (std::int64_t i = 0; i < col_words; ++i) {
+                std::uint64_t word = elig[i];
+                std::uint64_t keep = word;
+                while (word != 0) {
+                    const int bit = simd::ctz64(word);
+                    word &= word - 1;
+                    const std::int64_t e = heads[base + i * 64 + bit];
+                    if (raw_hi[static_cast<std::size_t>(e * cols + j)] >
+                        frontier)
+                        keep &= ~(std::uint64_t{1} << bit);
+                }
+                elig[i] = keep;
+                elig_count += simd::popcount64(keep);
+            }
+            if (elig_count == 0)
+                continue; // idle slots tallied once per cycle below
+
+            auto consume = [&](std::int64_t src, int j_col, bool own) {
+                const std::int64_t e = heads[src];
+                const std::int64_t next = ++cursor[src];
+                heads[src] =
+                    next < offsets[src + 1] ? values[next] : kDrained;
+                const std::int64_t local = src - base;
+                const std::uint64_t bit = std::uint64_t{1}
+                                          << (local & 63);
+                if (heads[src] > limit ||
+                    raw_hi[static_cast<std::size_t>(heads[src] * cols +
+                                                    j_col)] > frontier) {
+                    elig[local >> 6] &= ~bit;
+                    --elig_count;
+                }
+                --remaining[static_cast<std::size_t>(e * cols + j_col)];
+                --left;
+                ++consumed_now;
+                ++st.ops;
+                if (own)
+                    ++st.ownOps;
+                else
+                    ++st.stolenOps;
+                if (record) {
+                    const int src_lane =
+                        static_cast<int>(local % lanes);
+                    const int src_row =
+                        static_cast<int>(local / lanes % rows);
+                    const auto flat_k =
+                        stream.flatK(e, src_lane, j_col);
+                    out.ops.push_back({flat_k, src_row,
+                                       stream.homeCol(e, src_lane,
+                                                      j_col),
+                                       st.cycles - 1});
+                }
+            };
+
+            // Pass 1: own queues.  Ascending set-bit order over the
+            // column mask is ascending (m, l) — local slot index is
+            // m * lanes + l.
+            for (std::int64_t i = 0; i < col_words; ++i) {
+                std::uint64_t word = elig[i];
+                pass1[i] = word;
+                while (word != 0) {
+                    const int bit = simd::ctz64(word);
+                    word &= word - 1;
+                    consume(base + i * 64 + bit, j, true);
                 }
             }
+
             // Pass 2: lane/row stealing within the column.
-            if (!steals.empty()) {
-                for (int m = 0; m < rows; ++m) {
-                    for (int l = 0; l < lanes; ++l) {
-                        const auto s = slot_of(l, m, j);
-                        if (busy[s])
-                            continue;
+            if (!steals.empty() && elig_count > 0) {
+                for (std::int64_t i = 0;
+                     i < col_words && elig_count > 0; ++i) {
+                    std::uint64_t idle = ~pass1[i];
+                    if (i == col_words - 1 && (col_slots & 63) != 0)
+                        idle &= (std::uint64_t{1}
+                                 << (col_slots & 63)) -
+                                1;
+                    while (idle != 0 && elig_count > 0) {
+                        const int bit = simd::ctz64(idle);
+                        idle &= idle - 1;
+                        const std::int64_t local = i * 64 + bit;
+                        const int l = static_cast<int>(local % lanes);
+                        const int m = static_cast<int>(local / lanes);
                         for (const auto &off : steals) {
-                            const int sl = l + off.dl;
-                            const int sr = m + off.dr;
-                            if (sl >= lanes || sr >= rows)
+                            if (l + off.dl >= lanes ||
+                                m + off.dr >= rows)
                                 continue;
-                            const auto src = slot_of(sl, sr, j);
-                            const auto &q = queues[src];
-                            if (cursor[src] < q.size() &&
-                                eligible(j, q[cursor[src]])) {
-                                consume(src, j, false, l, m);
-                                busy[s] = 1;
-                                break;
-                            }
+                            const std::int64_t src_local =
+                                local + off.delta;
+                            if ((elig[src_local >> 6] >>
+                                 (src_local & 63) & 1u) == 0)
+                                continue;
+                            consume(base + src_local, j, false);
+                            break;
                         }
                     }
                 }
             }
         }
-        st.idleSlotCycles +=
-            static_cast<std::int64_t>(queues.size()) - consumed_now;
+        st.idleSlotCycles += nslots - consumed_now;
         if (left == 0)
             break;
 
@@ -194,7 +291,7 @@ schedulePreprocessed(const TileViewA &a, const RoutingConfig &cfg,
         std::int64_t tail = max_raw;
         for (int j = 0; j < cols; ++j) {
             skip_drained(j);
-            const auto p = head[static_cast<std::size_t>(j)];
+            const auto p = head[j];
             if (p < entries) {
                 const auto lo = stream.rawLo(p, j);
                 if (lo >= 0)
@@ -236,19 +333,80 @@ scheduleOnTheFly(const TileViewA &a, const TileViewB &b,
     grid.rows = a.units();
     grid.cols = b.units();
 
-    SlotQueues queues(grid);
-    for (std::int64_t k1 = 0; k1 < grid.steps; ++k1) {
-        for (int k2 = 0; k2 < grid.lanes; ++k2) {
-            const int lane = shuffler.apply(k1, k2);
-            for (int m = 0; m < grid.rows; ++m) {
-                if (!a.nonzero(k1, k2, m))
-                    continue;
-                for (int j = 0; j < grid.cols; ++j)
-                    if (b.nonzero(k1, k2, j))
-                        queues.push(k1, lane, m, j);
+    // Pairwise occupancy: a slot gets an element at step k1 exactly
+    // when both the A mask (bit m) and the B mask (bit j) are set at
+    // that flat k.  CSR count / prefix / fill in flat-k-major order;
+    // one k2 per (step, lane) keeps per-slot values ascending.
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+    const std::int64_t flat = grid.steps * grid.lanes;
+    const std::int64_t nslots = grid.slots();
+    auto *occA =
+        arena.alloc<std::uint64_t>(static_cast<std::size_t>(flat));
+    auto *occB =
+        arena.alloc<std::uint64_t>(static_cast<std::size_t>(flat));
+    simd::aTileOccupancy(a.matrix(), a.unitBase(), grid.rows,
+                         grid.steps, grid.lanes, occA);
+    simd::bTileOccupancy(b.matrix(), b.unitBase(), grid.cols,
+                         grid.steps, grid.lanes, occB);
+
+    auto *offsets = arena.allocZeroed<std::int64_t>(
+        static_cast<std::size_t>(nslots + 1));
+    for (std::int64_t f = 0; f < flat; ++f) {
+        std::uint64_t mask_a = occA[f];
+        if (mask_a == 0 || occB[f] == 0)
+            continue;
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        while (mask_a != 0) {
+            const int m = simd::ctz64(mask_a);
+            mask_a &= mask_a - 1;
+            std::uint64_t mask_b = occB[f];
+            while (mask_b != 0) {
+                const int j = simd::ctz64(mask_b);
+                mask_b &= mask_b - 1;
+                ++offsets[(static_cast<std::int64_t>(j) * grid.rows +
+                           m) *
+                              grid.lanes +
+                          lane + 1];
             }
         }
     }
+    for (std::int64_t s = 0; s < nslots; ++s)
+        offsets[s + 1] += offsets[s];
+    auto *values = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(offsets[nslots]));
+    auto *fill = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    for (std::int64_t s = 0; s < nslots; ++s)
+        fill[s] = offsets[s];
+    for (std::int64_t f = 0; f < flat; ++f) {
+        std::uint64_t mask_a = occA[f];
+        if (mask_a == 0 || occB[f] == 0)
+            continue;
+        const std::int64_t k1 = f / grid.lanes;
+        const int lane =
+            shuffler.apply(k1, static_cast<int>(f % grid.lanes));
+        while (mask_a != 0) {
+            const int m = simd::ctz64(mask_a);
+            mask_a &= mask_a - 1;
+            std::uint64_t mask_b = occB[f];
+            while (mask_b != 0) {
+                const int j = simd::ctz64(mask_b);
+                mask_b &= mask_b - 1;
+                values[fill[(static_cast<std::int64_t>(j) * grid.rows +
+                             m) *
+                                grid.lanes +
+                            lane]++] = k1;
+            }
+        }
+    }
+
+    SlotQueueSpans queues;
+    queues.grid = grid;
+    queues.offsets = offsets;
+    queues.values = values;
 
     DualSchedule out;
     out.effectualPairs = queues.totalElements();

@@ -3,29 +3,37 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/arena.hh"
+#include "simd/occupancy.hh"
+
 namespace griffin {
 
 namespace {
 
-/** Mutable cursor over one slot's queue. */
-struct Cursor
-{
-    const std::vector<std::int64_t> *queue;
-    std::size_t next = 0;
+constexpr std::int64_t kEmptyHead =
+    std::numeric_limits<std::int64_t>::max();
 
-    bool empty() const { return next >= queue->size(); }
-    std::int64_t head() const { return (*queue)[next]; }
-    void pop() { ++next; }
+/**
+ * One pre-enumerated steal offset: lexicographic (dl, dr, dc) priority
+ * with the flat slot-index delta folded in, so the scan is an add and
+ * three bounds checks per candidate.
+ */
+struct StealOffset
+{
+    int dl;
+    int dr;
+    int dc;
+    std::int64_t delta;
 };
 
 } // namespace
 
 ScheduleResult
-runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
-                  bool record,
+runWindowSchedule(const SlotQueueSpans &queues,
+                  const BorrowWindow &window, bool record,
                   const std::vector<std::int64_t> *step_costs)
 {
-    const SlotGrid &grid = queues.grid();
+    const SlotGrid &grid = queues.grid;
     GRIFFIN_ASSERT(window.steps >= 1, "window of ", window.steps,
                    " steps");
     GRIFFIN_ASSERT(window.advanceCap > 0.0,
@@ -50,31 +58,52 @@ runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
     std::int64_t remaining = queues.totalElements();
     if (remaining == 0)
         return result;
+    if (record)
+        result.ops.reserve(static_cast<std::size_t>(remaining));
 
-    std::vector<Cursor> cursors;
-    cursors.reserve(static_cast<std::size_t>(grid.slots()));
-    for (const auto &q : queues.raw())
-        cursors.push_back(Cursor{&q});
+    const std::int64_t nslots = grid.slots();
+    const std::int64_t words = (nslots + 63) / 64;
 
-    // Pre-enumerate steal offsets in priority order: lexicographic in
-    // (lane, row, col) deltas, own slot (0,0,0) excluded — pass 1
-    // handles it.  This mirrors a fixed priority-encoder chain.
-    struct Offset { int dl, dr, dc; };
-    std::vector<Offset> steals;
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+
+    // Dense head-step array (kEmptyHead marks a drained queue): pass-1
+    // eligibility is one masked compare over it, and the window
+    // advance's min-head scan is one SIMD reduction.
+    auto *cursor = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    auto *heads = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots));
+    auto *elig = arena.alloc<std::uint64_t>(
+        static_cast<std::size_t>(words));
+    auto *pass1 = arena.alloc<std::uint64_t>(
+        static_cast<std::size_t>(words));
+    for (std::int64_t s = 0; s < nslots; ++s) {
+        cursor[s] = queues.offsets[s];
+        heads[s] = queues.offsets[s] < queues.offsets[s + 1]
+                       ? queues.values[queues.offsets[s]]
+                       : kEmptyHead;
+    }
+
+    std::vector<StealOffset> steals;
     for (int dl = 0; dl <= window.laneDist; ++dl)
         for (int dr = 0; dr <= window.rowDist; ++dr)
             for (int dc = 0; dc <= window.colDist; ++dc)
                 if (dl || dr || dc)
-                    steals.push_back({dl, dr, dc});
+                    steals.push_back(
+                        {dl, dr, dc,
+                         dl + static_cast<std::int64_t>(dr) *
+                                  grid.lanes +
+                             static_cast<std::int64_t>(dc) *
+                                 grid.lanes * grid.rows});
 
+    const simd::KernelTable &kern = simd::kernels();
     const std::int64_t w_limit = window.steps; // max step advance/cycle
     std::int64_t w = 0;
     // The first window's worth of operands is loaded during pipeline
     // fill (accounted by the tile simulator), so the streaming budget
     // starts empty and accrues advanceCap per cycle.
     double budget = 0.0;
-    std::vector<std::uint8_t> busy(
-        static_cast<std::size_t>(grid.slots()));
 
     // Advancing the window base from w to w+1 brings step w+W into
     // residence; that is the data that must stream in.  Past the end
@@ -93,15 +122,32 @@ runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
     while (remaining > 0) {
         ++result.stats.cycles;
         const std::int64_t horizon = w + window.steps - 1;
-        std::fill(busy.begin(), busy.end(), 0);
         std::int64_t consumed_this_cycle = 0;
 
-        auto consume = [&](std::int64_t src_slot, int src_lane,
-                           int src_row, int src_col, int con_lane,
-                           int con_row, int con_col, bool own) {
-            auto &cur = cursors[static_cast<std::size_t>(src_slot)];
-            const std::int64_t step = cur.head();
-            cur.pop();
+        // Eligibility = head within the window.  Drained slots carry
+        // the kEmptyHead sentinel, which can never be <= horizon, so
+        // one compare covers both conditions.
+        kern.leMask(heads, nslots, horizon, elig);
+        std::int64_t elig_count = 0;
+        for (std::int64_t i = 0; i < words; ++i)
+            elig_count += simd::popcount64(elig[i]);
+
+        // Consume slot src's head on consumer slot `s`; updates the
+        // head and its eligibility bit (a steal may drain the source
+        // for later stealers in the same cycle).
+        auto consume = [&](std::int64_t src, int src_lane, int src_row,
+                           int src_col, int con_lane, int con_row,
+                           int con_col, bool own) {
+            const std::int64_t step = heads[src];
+            const std::int64_t next = ++cursor[src];
+            heads[src] = next < queues.offsets[src + 1]
+                             ? queues.values[next]
+                             : kEmptyHead;
+            const std::uint64_t bit = std::uint64_t{1} << (src & 63);
+            if (heads[src] > horizon) {
+                elig[src >> 6] &= ~bit;
+                --elig_count;
+            }
             --remaining;
             ++consumed_this_cycle;
             ++result.stats.ops;
@@ -117,63 +163,71 @@ runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
         };
 
         // Pass 1: every slot takes its own head if it is in window.
-        for (int col = 0; col < grid.cols; ++col) {
-            for (int row = 0; row < grid.rows; ++row) {
-                for (int lane = 0; lane < grid.lanes; ++lane) {
-                    const auto s = grid.slotIndex(lane, row, col);
-                    auto &cur = cursors[static_cast<std::size_t>(s)];
-                    if (!cur.empty() && cur.head() <= horizon) {
-                        consume(s, lane, row, col, lane, row, col, true);
-                        busy[static_cast<std::size_t>(s)] = 1;
-                    }
-                }
+        // Ascending set-bit order over the mask IS ascending
+        // (col, row, lane) order — slotIndex is exactly that mixed
+        // radix — so ops record in the same order as ever.
+        for (std::int64_t i = 0; i < words; ++i) {
+            std::uint64_t word = elig[i];
+            pass1[i] = word;
+            while (word != 0) {
+                const std::int64_t s =
+                    i * 64 + simd::ctz64(word);
+                word &= word - 1;
+                const int lane = static_cast<int>(s % grid.lanes);
+                const std::int64_t rest = s / grid.lanes;
+                const int row = static_cast<int>(rest % grid.rows);
+                const int col = static_cast<int>(rest / grid.rows);
+                consume(s, lane, row, col, lane, row, col, true);
             }
         }
 
         // Pass 2: idle slots steal the earliest eligible neighbour
-        // head, scanning offsets in fixed priority order.
-        if (!steals.empty()) {
-            for (int col = 0; col < grid.cols; ++col) {
-                for (int row = 0; row < grid.rows; ++row) {
-                    for (int lane = 0; lane < grid.lanes; ++lane) {
-                        const auto s = grid.slotIndex(lane, row, col);
-                        if (busy[static_cast<std::size_t>(s)])
+        // head, scanning offsets in fixed priority order.  Only slots
+        // busy in pass 1 can be sources (an idle slot's head is past
+        // the horizon by definition), so idle = ~pass1.
+        if (!steals.empty() && elig_count > 0) {
+            for (std::int64_t i = 0; i < words && elig_count > 0;
+                 ++i) {
+                std::uint64_t idle = ~pass1[i];
+                if (i == words - 1 && (nslots & 63) != 0)
+                    idle &= (std::uint64_t{1} << (nslots & 63)) - 1;
+                while (idle != 0 && elig_count > 0) {
+                    const std::int64_t s =
+                        i * 64 + simd::ctz64(idle);
+                    idle &= idle - 1;
+                    const int lane = static_cast<int>(s % grid.lanes);
+                    const std::int64_t rest = s / grid.lanes;
+                    const int row = static_cast<int>(rest % grid.rows);
+                    const int col =
+                        static_cast<int>(rest / grid.rows);
+                    for (const auto &off : steals) {
+                        const int sl = lane + off.dl;
+                        const int sr = row + off.dr;
+                        const int sc = col + off.dc;
+                        if (sl >= grid.lanes || sr >= grid.rows ||
+                            sc >= grid.cols) {
                             continue;
-                        for (const auto &off : steals) {
-                            const int sl = lane + off.dl;
-                            const int sr = row + off.dr;
-                            const int sc = col + off.dc;
-                            if (sl >= grid.lanes || sr >= grid.rows ||
-                                sc >= grid.cols) {
-                                continue;
-                            }
-                            const auto src =
-                                grid.slotIndex(sl, sr, sc);
-                            auto &cur =
-                                cursors[static_cast<std::size_t>(src)];
-                            if (!cur.empty() && cur.head() <= horizon) {
-                                consume(src, sl, sr, sc, lane, row, col,
-                                        false);
-                                busy[static_cast<std::size_t>(s)] = 1;
-                                break;
-                            }
                         }
+                        const std::int64_t src = s + off.delta;
+                        if ((elig[src >> 6] >>
+                             (src & 63) & 1u) == 0)
+                            continue;
+                        consume(src, sl, sr, sc, lane, row, col,
+                                false);
+                        break;
                     }
                 }
             }
         }
 
-        result.stats.idleSlotCycles += grid.slots() - consumed_this_cycle;
+        result.stats.idleSlotCycles += nslots - consumed_this_cycle;
         if (remaining == 0)
             break;
 
         // Advance the window tail toward the earliest outstanding
         // element, bounded by buffer turnover (window depth) and the
         // SRAM bandwidth budget.
-        std::int64_t min_head = std::numeric_limits<std::int64_t>::max();
-        for (const auto &cur : cursors)
-            if (!cur.empty())
-                min_head = std::min(min_head, cur.head());
+        const std::int64_t min_head = kern.minI64(heads, nslots);
 
         budget = std::min(budget + window.advanceCap,
                           window.budgetCeiling);
@@ -195,6 +249,43 @@ runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
     }
 
     return result;
+}
+
+ScheduleResult
+runWindowSchedule(const SlotQueues &queues, const BorrowWindow &window,
+                  bool record,
+                  const std::vector<std::int64_t> *step_costs)
+{
+    // Compatibility shim over the CSR engine: flatten the per-slot
+    // vectors into arena-backed spans.  Hot callers build spans
+    // directly; this path serves tests and external callers.
+    const SlotGrid &grid = queues.grid();
+    const std::int64_t nslots = grid.slots();
+
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+    auto *offsets = arena.alloc<std::int64_t>(
+        static_cast<std::size_t>(nslots + 1));
+    std::int64_t total = 0;
+    const auto &raw = queues.raw();
+    for (std::int64_t s = 0; s < nslots; ++s) {
+        offsets[s] = total;
+        total += static_cast<std::int64_t>(
+            raw[static_cast<std::size_t>(s)].size());
+    }
+    offsets[nslots] = total;
+    auto *values =
+        arena.alloc<std::int64_t>(static_cast<std::size_t>(total));
+    std::int64_t at = 0;
+    for (std::int64_t s = 0; s < nslots; ++s)
+        for (const auto step : raw[static_cast<std::size_t>(s)])
+            values[at++] = step;
+
+    SlotQueueSpans spans;
+    spans.grid = grid;
+    spans.offsets = offsets;
+    spans.values = values;
+    return runWindowSchedule(spans, window, record, step_costs);
 }
 
 } // namespace griffin

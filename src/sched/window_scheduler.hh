@@ -30,6 +30,26 @@
 namespace griffin {
 
 /**
+ * Borrowed (CSR) view of per-slot element queues: slot s owns
+ * values[offsets[s] .. offsets[s+1]), ascending.  The hot builders
+ * (b_preprocess / a_arbiter / dual on-the-fly) assemble this directly
+ * in the per-thread work arena from occupancy bitmasks — no per-slot
+ * vector allocation.
+ */
+struct SlotQueueSpans
+{
+    SlotGrid grid;
+    const std::int64_t *offsets = nullptr; ///< grid.slots() + 1 entries
+    const std::int64_t *values = nullptr;  ///< offsets[grid.slots()]
+
+    std::int64_t
+    totalElements() const
+    {
+        return offsets[static_cast<std::size_t>(grid.slots())];
+    }
+};
+
+/**
  * Run the window schedule to completion.
  *
  * @param queues     per-slot effectual element steps (consumed FIFO)
@@ -41,6 +61,11 @@ namespace griffin {
 ScheduleResult runWindowSchedule(
     const SlotQueues &queues, const BorrowWindow &window, bool record,
     const std::vector<std::int64_t> *step_costs = nullptr);
+
+/** The same engine over a CSR queue view (the hot-path entry). */
+ScheduleResult runWindowSchedule(
+    const SlotQueueSpans &queues, const BorrowWindow &window,
+    bool record, const std::vector<std::int64_t> *step_costs = nullptr);
 
 } // namespace griffin
 

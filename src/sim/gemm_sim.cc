@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "arch/overhead.hh"
 #include "runtime/schedule_cache.hh"
@@ -154,23 +155,29 @@ simulateDualSparse(const ComputeStage &stage, GemmSimResult &result)
                              stage.opt.sampleFraction,
                              stage.opt.minSampledTiles, stage.opt.seed);
     // One preprocessed stream per distinct column tile; the per-call
-    // map short-circuits repeat columns of this GEMM even when no
-    // cross-job cache is attached.
-    std::map<std::int64_t, std::shared_ptr<const BSchedule>> streams;
+    // memo short-circuits repeat columns of this GEMM even when no
+    // cross-job cache is attached.  A sorted flat vector beats a
+    // node-based map here: a handful of distinct columns, looked up
+    // once per sampled tile.
+    std::vector<std::pair<std::int64_t,
+                          std::shared_ptr<const BSchedule>>> streams;
     std::int64_t sum = 0;
     for (const auto &t : picks) {
         TileViewA va(*stage.ops.a, stage.shape, t.row * stage.shape.m0);
         TileViewB vb(*stage.ops.b, stage.shape, t.col * stage.shape.n0);
         const BSchedule *stream = nullptr;
         if (stage.routing.preprocessB) {
-            auto it = streams.find(t.col);
-            if (it == streams.end()) {
-                it = streams
-                         .emplace(t.col,
-                                  obtainStream(stage.opt.scheduleCache,
-                                               vb, stage.routing.b,
-                                               stage.shuffler))
-                         .first;
+            auto it = std::lower_bound(
+                streams.begin(), streams.end(), t.col,
+                [](const auto &e, std::int64_t col) {
+                    return e.first < col;
+                });
+            if (it == streams.end() || it->first != t.col) {
+                it = streams.insert(
+                    it, {t.col,
+                         obtainStream(stage.opt.scheduleCache, vb,
+                                      stage.routing.b,
+                                      stage.shuffler)});
             }
             stream = it->second.get();
         }

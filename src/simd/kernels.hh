@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Internal seam between the dispatcher (occupancy.cc) and the backend
+ * translation units.  Each backend TU exports exactly one accessor;
+ * unsupported backends return nullptr so the dispatcher needs no
+ * per-architecture preprocessor logic.
+ */
+
+#ifndef GRIFFIN_SIMD_KERNELS_HH
+#define GRIFFIN_SIMD_KERNELS_HH
+
+#include "simd/occupancy.hh"
+
+namespace griffin {
+namespace simd {
+namespace detail {
+
+/** The portable reference kernels; always available. */
+const KernelTable &scalarTable();
+
+/** AVX2 kernels when the build targets x86 and the CPU has AVX2. */
+const KernelTable *avx2Table();
+
+/** NEON kernels when the build targets ARM with NEON. */
+const KernelTable *neonTable();
+
+} // namespace detail
+} // namespace simd
+} // namespace griffin
+
+#endif // GRIFFIN_SIMD_KERNELS_HH

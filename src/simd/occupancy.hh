@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tile-occupancy bitmask kernels with runtime SIMD dispatch.
+ *
+ * The sparse schedulers only ever ask one question of an operand
+ * element: is it nonzero?  This layer answers it in bulk — a tile's
+ * occupancy becomes one bitmask word per temporal position (bit n set
+ * iff the byte is nonzero), extracted with compare-to-zero + movemask
+ * on AVX2, `vceqq`/narrowing on NEON, and a portable scalar loop
+ * everywhere else.  The schedulers then walk set bits instead of
+ * calling bounds-checked `nonzero()` per element.
+ *
+ * Dispatch: the backend is chosen once per process.  Order:
+ *
+ *   1. `GRIFFIN_FORCE_SCALAR` (CMake option or a non-empty, non-"0"
+ *      environment variable) pins the scalar fallback;
+ *   2. AVX2 when the CPU reports it (cpuid via
+ *      __builtin_cpu_supports);
+ *   3. NEON when compiled for an ARM target that has it;
+ *   4. scalar.
+ *
+ * Every backend is byte-exact against the scalar reference
+ * (tests/test_simd.cc), and the e2e baselines are byte-identical under
+ * forced-scalar and auto dispatch (tests/simd_dispatch.cmake) — the
+ * kernels are pure data-parallel rewrites, never behaviour changes.
+ *
+ * Raw intrinsics live only in src/simd/kernels_*.cc; griffin-lint's
+ * intrinsics-outside-simd rule keeps it that way.  Everything here is
+ * plain C++ over function pointers.
+ */
+
+#ifndef GRIFFIN_SIMD_OCCUPANCY_HH
+#define GRIFFIN_SIMD_OCCUPANCY_HH
+
+#include <cstdint>
+
+#include "tensor/matrix.hh"
+
+namespace griffin {
+namespace simd {
+
+enum class Backend { Scalar, Avx2, Neon };
+
+/** Stable lower-case name ("scalar", "avx2", "neon") for reports. */
+const char *backendName(Backend backend);
+
+/**
+ * One backend's kernel set.  Width contracts: `width` is 1..64 and no
+ * kernel reads any byte outside the ranges named below, so callers may
+ * pass views right up to an allocation edge (ASan-clean).
+ */
+struct KernelTable
+{
+    /**
+     * Nonzero masks of `groups` rows, each `width` (1..64) bytes,
+     * starting `stride` bytes apart: bit j of out[g] is set iff
+     * src[g*stride + j] != 0.  Reads only [src + g*stride,
+     * src + g*stride + width) per group.
+     */
+    void (*nonzeroMasks)(const std::int8_t *src, std::size_t stride,
+                         int width, std::int64_t groups,
+                         std::uint64_t *out);
+
+    /** Number of nonzero bytes in [src, src + len). */
+    std::int64_t (*countNonzero)(const std::int8_t *src,
+                                 std::size_t len);
+
+    /** counts[i] += (src[i] != 0) for i in [0, len). */
+    void (*accumulateNonzero)(const std::int8_t *src, std::size_t len,
+                              std::int32_t *counts);
+
+    /**
+     * Pack bit s of out[s/64] = (heads[s] <= horizon) for s in [0, n).
+     * Bits at and above n in the last word are zero.
+     */
+    void (*leMask)(const std::int64_t *heads, std::int64_t n,
+                   std::int64_t horizon, std::uint64_t *out);
+
+    /** Minimum of heads[0..n); INT64_MAX when n == 0. */
+    std::int64_t (*minI64)(const std::int64_t *heads, std::int64_t n);
+
+    /**
+     * MT19937-64 output tempering of `n` raw state words (the shift /
+     * xor / mask cascade from [rand.eng.mers]).  Tempering is
+     * element-independent, so the engine refill vectorizes even though
+     * the twist itself is a serial recurrence.  out[i] may alias
+     * nothing in [src, src + n).
+     */
+    void (*mtTemper)(const std::uint64_t *src, std::int64_t n,
+                     std::uint64_t *out);
+};
+
+/** The backend picked by the dispatch order above (cached). */
+Backend activeBackend();
+
+/** Kernels of the active backend. */
+const KernelTable &kernels();
+
+/** The portable reference implementation (always available). */
+const KernelTable &scalarKernels();
+
+/** AVX2 kernels, or nullptr when the CPU/build lacks AVX2. */
+const KernelTable *avx2Kernels();
+
+/** NEON kernels, or nullptr when not built for an ARM NEON target. */
+const KernelTable *neonKernels();
+
+/** Portable popcount (not confined: contains no intrinsics). */
+inline int
+popcount64(std::uint64_t word)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_popcountll(word);
+#else
+    int n = 0;
+    while (word != 0) {
+        word &= word - 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/** Index of the lowest set bit; undefined for word == 0. */
+inline int
+ctz64(std::uint64_t word)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(word);
+#else
+    int n = 0;
+    while ((word & 1u) == 0) {
+        word >>= 1;
+        ++n;
+    }
+    return n;
+#endif
+}
+
+/**
+ * B-tile occupancy: out[k1*k0 + k2] bit n set iff the tile element
+ * (k1, k2, n) — matrix cell (k1*k0 + k2, col_base + n) — is nonzero.
+ * `out` holds steps*k0 words.  Positions past the matrix edge (rows
+ * beyond b.rows(), columns beyond b.cols()) read as zero, matching the
+ * zero-padded TileViewB.  Requires units <= 64.
+ */
+void bTileOccupancy(const MatrixI8 &b, std::int64_t col_base, int units,
+                    std::int64_t steps, int k0, std::uint64_t *out);
+
+/**
+ * A-tile occupancy: out[k1*k0 + k2] bit m set iff the tile element
+ * (k1, k2, m) — matrix cell (row_base + m, k1*k0 + k2) — is nonzero.
+ * `out` holds steps*k0 words; zero-padded like the TileViewA.
+ * Requires units <= 64.
+ */
+void aTileOccupancy(const MatrixI8 &a, std::int64_t row_base, int units,
+                    std::int64_t steps, int k0, std::uint64_t *out);
+
+} // namespace simd
+} // namespace griffin
+
+#endif // GRIFFIN_SIMD_OCCUPANCY_HH

@@ -10,10 +10,12 @@ randomSparse(std::size_t rows, std::size_t cols, double sparsity, Rng &rng)
     GRIFFIN_ASSERT(sparsity >= 0.0 && sparsity <= 1.0,
                    "sparsity ", sparsity, " outside [0,1]");
     MatrixI8 m(rows, cols);
-    for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::int8_t *row = m.data() + r * cols;
         for (std::size_t c = 0; c < cols; ++c)
             if (!rng.bernoulli(sparsity))
-                m.at(r, c) = rng.nonzeroInt8();
+                row[c] = rng.nonzeroInt8();
+    }
     return m;
 }
 
@@ -41,10 +43,11 @@ clusteredSparse(std::size_t rows, std::size_t cols, double sparsity,
                         : std::min(1.0, exit_zero * sparsity /
                                             std::max(1e-9, 1.0 - sparsity));
     for (std::size_t r = 0; r < rows; ++r) {
+        std::int8_t *row = m.data() + r * cols;
         bool in_zero_run = rng.bernoulli(sparsity);
         for (std::size_t c = 0; c < cols; ++c) {
             if (!in_zero_run)
-                m.at(r, c) = rng.nonzeroInt8();
+                row[c] = rng.nonzeroInt8();
             in_zero_run = in_zero_run ? !rng.bernoulli(exit_zero)
                                       : rng.bernoulli(enter_zero);
         }
@@ -62,9 +65,10 @@ unbalancedSparse(std::size_t rows, std::size_t cols, double sparsity,
         const double lo = std::max(0.0, sparsity - spread);
         const double hi = std::min(1.0, sparsity + spread);
         const double row_sparsity = lo + (hi - lo) * rng.uniform01();
+        std::int8_t *row = m.data() + r * cols;
         for (std::size_t c = 0; c < cols; ++c)
             if (!rng.bernoulli(row_sparsity))
-                m.at(r, c) = rng.nonzeroInt8();
+                row[c] = rng.nonzeroInt8();
     }
     return m;
 }
@@ -90,9 +94,10 @@ laneBiasedSparse(std::size_t rows, std::size_t cols, double sparsity,
                 : 1.0 - 2.0 * phase / static_cast<double>(period - 1);
         const double q =
             std::clamp(density * (1.0 + bias * centered), 0.0, 1.0);
+        std::int8_t *row = m.data() + r * cols;
         for (std::size_t c = 0; c < cols; ++c)
             if (rng.bernoulli(q))
-                m.at(r, c) = rng.nonzeroInt8();
+                row[c] = rng.nonzeroInt8();
     }
     return m;
 }

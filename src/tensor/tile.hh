@@ -81,6 +81,10 @@ class TileViewA
         return at(k1, k2, m) != 0;
     }
 
+    /** Backing matrix and first row — for bulk occupancy extraction. */
+    const MatrixI8 &matrix() const { return a_; }
+    std::int64_t unitBase() const { return rowBase_; }
+
   private:
     const MatrixI8 &a_;
     TileShape shape_;
@@ -121,6 +125,10 @@ class TileViewB
     {
         return at(k1, k2, n) != 0;
     }
+
+    /** Backing matrix and first column — for bulk occupancy extraction. */
+    const MatrixI8 &matrix() const { return b_; }
+    std::int64_t unitBase() const { return colBase_; }
 
   private:
     const MatrixI8 &b_;

@@ -3,8 +3,10 @@
 #include <istream>
 #include <ostream>
 
+#include "common/arena.hh"
 #include "common/binio.hh"
 #include "common/rng.hh"
+#include "simd/occupancy.hh"
 #include "tensor/sparsity.hh"
 
 namespace griffin {
@@ -26,16 +28,20 @@ countEffectualOps(const MatrixI8 &a, const MatrixI8 &b)
     GRIFFIN_ASSERT(a.cols() == b.rows(), "GEMM shape mismatch: A ",
                    a.rows(), "x", a.cols(), ", B ", b.rows(), "x",
                    b.cols());
+    // Column-nnz of A accumulates row by row (rows are contiguous; the
+    // k-strided column walk was the hot spot), then one contiguous
+    // count per B row.
+    const simd::KernelTable &kern = simd::kernels();
+    Arena &arena = workArena();
+    ArenaScope scope(arena);
+    auto *a_nnz = arena.allocZeroed<std::int32_t>(a.cols());
+    for (std::size_t m = 0; m < a.rows(); ++m)
+        kern.accumulateNonzero(a.data() + m * a.cols(), a.cols(),
+                               a_nnz);
     std::int64_t total = 0;
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-        std::int64_t a_nnz = 0;
-        for (std::size_t m = 0; m < a.rows(); ++m)
-            a_nnz += a.at(m, k) != 0;
-        std::int64_t b_nnz = 0;
-        for (std::size_t n = 0; n < b.cols(); ++n)
-            b_nnz += b.at(k, n) != 0;
-        total += a_nnz * b_nnz;
-    }
+    for (std::size_t k = 0; k < a.cols(); ++k)
+        total += static_cast<std::int64_t>(a_nnz[k]) *
+                 kern.countNonzero(b.data() + k * b.cols(), b.cols());
     return total;
 }
 

@@ -1,0 +1,52 @@
+/**
+ * Known-bad fixture: raw SIMD intrinsics outside src/simd/.  Each
+ * offending line carries a fire marker; test_lint.cc asserts the
+ * linter reports exactly these (line, rule) pairs.  The same text
+ * linted under a src/simd/ path must be clean — the rule is
+ * path-aware, and that case is pinned by the test too.
+ */
+
+#include <immintrin.h> // FIRE(intrinsics-outside-simd)
+#include <arm_neon.h>  // FIRE(intrinsics-outside-simd)
+#include <emmintrin.h> // FIRE(intrinsics-outside-simd)
+
+#include <cstdint>
+
+namespace demo {
+
+// A dispatched-kernel consumer is fine: names like nonzeroMasks or
+// kernels() carry no intrinsic tokens and must not fire.
+void callThroughTable(const std::int8_t *src, std::uint64_t *out);
+
+inline std::uint32_t
+movemaskNonzero(const std::int8_t *p)
+{
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p)); // FIRE(intrinsics-outside-simd)
+    const __m256i eq = _mm256_cmpeq_epi8(v, _mm256_setzero_si256()); // FIRE(intrinsics-outside-simd)
+    return ~static_cast<std::uint32_t>(_mm256_movemask_epi8(eq)); // FIRE(intrinsics-outside-simd)
+}
+
+inline std::uint64_t
+wideLanes(const std::int64_t *heads)
+{
+    return _mm512_reduce_add_epi64( // FIRE(intrinsics-outside-simd)
+        _mm512_loadu_si512(heads)); // FIRE(intrinsics-outside-simd)
+}
+
+inline int
+builtinGateway(const float *p)
+{
+    return __builtin_ia32_movmskps( // FIRE(intrinsics-outside-simd)
+        __builtin_ia32_loadups(p)); // FIRE(intrinsics-outside-simd)
+}
+
+// Mentions inside strings and comments never fire: "_mm256_add_epi8"
+// stays blanked by the source model.
+inline const char *
+docString()
+{
+    return "_mm256_add_epi8 and immintrin.h belong in src/simd/";
+}
+
+} // namespace demo

@@ -141,6 +141,22 @@ TEST(GriffinLint, UninitSerializedFieldFixtureFiresAtExactLines)
     expectMarkersMatch("bad_uninit_field.cc");
 }
 
+TEST(GriffinLint, IntrinsicsFixtureFiresAtExactLines)
+{
+    expectMarkersMatch("bad_intrinsics.cc");
+}
+
+TEST(GriffinLint, IntrinsicsAreAllowedInsideTheSimdLayer)
+{
+    // The same offending text is clean when the path lies in the
+    // confinement directory: the rule is path-aware by design.
+    const std::string text = readFixture("bad_intrinsics.cc");
+    ASSERT_FALSE(text.empty());
+    const auto findings =
+        lintSource("src/simd/kernels_avx2.cc", text);
+    EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
 TEST(GriffinLint, CleanFixtureHasNoFindings)
 {
     const std::string text = readFixture("good_clean.cc");
@@ -206,9 +222,9 @@ TEST(GriffinLint, RuleNamesAreSortedAndComplete)
 {
     const auto &rules = ruleNames();
     const std::vector<std::string> want = {
-        "banned-random",           "pointer-keyed-map",
-        "uninit-serialized-field", "unordered-sink-iteration",
-        "wall-clock",
+        "banned-random",           "intrinsics-outside-simd",
+        "pointer-keyed-map",       "uninit-serialized-field",
+        "unordered-sink-iteration", "wall-clock",
     };
     EXPECT_EQ(rules, want);
 }

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * SIMD kernel layer: every available backend must be byte-exact
+ * against the scalar reference on awkward shapes (lengths off the
+ * vector width, width-1 rows, all-zero and dense operands), and the
+ * occupancy extractors must agree with a brute-force reading of the
+ * matrix — including when K is not a multiple of k0, so the tile's
+ * flat-k axis overhangs the matrix and pads with zeros.
+ *
+ * These tests are what lets the schedulers trust the masks blindly:
+ * the e2e byte-diff (tests/simd_dispatch.cmake) pins whole-run
+ * equality, this file pins it kernel by kernel at the edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "simd/occupancy.hh"
+#include "tensor/matrix.hh"
+
+namespace griffin {
+namespace {
+
+using simd::KernelTable;
+
+/** Backends present in this build/CPU, scalar reference first. */
+std::vector<std::pair<std::string, const KernelTable *>>
+availableBackends()
+{
+    std::vector<std::pair<std::string, const KernelTable *>> tables;
+    tables.push_back({"scalar", &simd::scalarKernels()});
+    if (simd::avx2Kernels() != nullptr)
+        tables.push_back({"avx2", simd::avx2Kernels()});
+    if (simd::neonKernels() != nullptr)
+        tables.push_back({"neon", simd::neonKernels()});
+    return tables;
+}
+
+std::vector<std::int8_t>
+randomBytes(Rng &rng, std::size_t len, double density)
+{
+    std::vector<std::int8_t> out(len, 0);
+    for (auto &v : out)
+        if (rng.bernoulli(density))
+            v = rng.nonzeroInt8();
+    return out;
+}
+
+TEST(SimdKernels, NonzeroMasksMatchScalarOnAllWidths)
+{
+    Rng rng(101);
+    const std::size_t stride = 67; // off any vector width
+    const std::int64_t groups = 9;
+    const auto bytes = randomBytes(rng, stride * groups + 64, 0.4);
+    const auto &scalar = simd::scalarKernels();
+    for (const auto &[name, table] : availableBackends()) {
+        for (int width = 1; width <= 64; ++width) {
+            std::vector<std::uint64_t> want(groups, ~0ull);
+            std::vector<std::uint64_t> got(groups, ~0ull);
+            scalar.nonzeroMasks(bytes.data(), stride, width, groups,
+                                want.data());
+            table->nonzeroMasks(bytes.data(), stride, width, groups,
+                                got.data());
+            EXPECT_EQ(want, got)
+                << name << " diverges at width " << width;
+        }
+    }
+}
+
+TEST(SimdKernels, CountAndAccumulateMatchScalarOffVectorWidths)
+{
+    Rng rng(202);
+    // Lengths straddling the 16- and 32-byte vector widths, plus the
+    // degenerate 0/1 cases.
+    const std::size_t lengths[] = {0,  1,  15, 16, 17, 31,
+                                   32, 33, 63, 64, 65, 1000};
+    for (const std::size_t len : lengths) {
+        const auto bytes = randomBytes(rng, len, 0.5);
+        const auto &scalar = simd::scalarKernels();
+        for (const auto &[name, table] : availableBackends()) {
+            EXPECT_EQ(table->countNonzero(bytes.data(), len),
+                      scalar.countNonzero(bytes.data(), len))
+                << name << " count diverges at len " << len;
+            std::vector<std::int32_t> want(len + 1, 7);
+            std::vector<std::int32_t> got(len + 1, 7);
+            scalar.accumulateNonzero(bytes.data(), len, want.data());
+            table->accumulateNonzero(bytes.data(), len, got.data());
+            EXPECT_EQ(want, got)
+                << name << " accumulate diverges at len " << len;
+        }
+    }
+}
+
+TEST(SimdKernels, LeMaskMatchesScalarAndClearsHighBits)
+{
+    Rng rng(303);
+    const std::int64_t sizes[] = {1, 3, 4, 5, 63, 64, 65, 130};
+    for (const std::int64_t n : sizes) {
+        std::vector<std::int64_t> heads(n);
+        for (auto &h : heads)
+            h = rng.uniformInt(0, 100);
+        const std::int64_t horizon = 50;
+        const auto &scalar = simd::scalarKernels();
+        const std::int64_t words = (n + 63) / 64;
+        for (const auto &[name, table] : availableBackends()) {
+            std::vector<std::uint64_t> want(words, ~0ull);
+            std::vector<std::uint64_t> got(words, ~0ull);
+            scalar.leMask(heads.data(), n, horizon, want.data());
+            table->leMask(heads.data(), n, horizon, got.data());
+            EXPECT_EQ(want, got)
+                << name << " leMask diverges at n " << n;
+            // Bits at and above n must be zero, not stale garbage —
+            // the schedulers popcount whole words.
+            if (n % 64 != 0)
+                EXPECT_EQ(got[words - 1] >> (n % 64), 0u)
+                    << name << " left stale high bits at n " << n;
+        }
+    }
+}
+
+TEST(SimdKernels, MinI64MatchesScalarIncludingEmpty)
+{
+    Rng rng(404);
+    for (const auto &[name, table] : availableBackends()) {
+        EXPECT_EQ(table->minI64(nullptr, 0),
+                  std::numeric_limits<std::int64_t>::max())
+            << name;
+        for (const std::int64_t n : {1, 2, 3, 4, 5, 7, 64, 129}) {
+            std::vector<std::int64_t> heads(n);
+            for (auto &h : heads)
+                h = rng.uniformInt(-1000, 1000);
+            EXPECT_EQ(table->minI64(heads.data(), n),
+                      simd::scalarKernels().minI64(heads.data(), n))
+                << name << " min diverges at n " << n;
+        }
+    }
+}
+
+TEST(SimdKernels, MtTemperMatchesScalarOffVectorWidths)
+{
+    Rng rng(505);
+    for (const std::int64_t n : {0, 1, 2, 3, 4, 5, 311, 312}) {
+        std::vector<std::uint64_t> raw(n);
+        for (auto &w : raw)
+            w = static_cast<std::uint64_t>(
+                    rng.uniformInt(0, 1 << 30)) *
+                    0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(rng.uniformInt(0, 255));
+        const auto &scalar = simd::scalarKernels();
+        for (const auto &[name, table] : availableBackends()) {
+            std::vector<std::uint64_t> want(n), got(n);
+            scalar.mtTemper(raw.data(), n, want.data());
+            table->mtTemper(raw.data(), n, got.data());
+            EXPECT_EQ(want, got)
+                << name << " temper diverges at n " << n;
+        }
+    }
+}
+
+// ---- occupancy extraction vs brute force ----------------------------
+
+MatrixI8
+randomMatrix(Rng &rng, std::size_t rows, std::size_t cols,
+             double density)
+{
+    MatrixI8 m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            if (rng.bernoulli(density))
+                m.at(r, c) = rng.nonzeroInt8();
+    return m;
+}
+
+std::vector<std::uint64_t>
+bruteB(const MatrixI8 &b, std::int64_t col_base, int units,
+       std::int64_t steps, int k0)
+{
+    std::vector<std::uint64_t> out(steps * k0, 0);
+    for (std::int64_t f = 0; f < steps * k0; ++f)
+        for (int n = 0; n < units; ++n) {
+            const std::size_t r = static_cast<std::size_t>(f);
+            const std::size_t c =
+                static_cast<std::size_t>(col_base + n);
+            if (r < b.rows() && c < b.cols() && b.at(r, c) != 0)
+                out[f] |= std::uint64_t{1} << n;
+        }
+    return out;
+}
+
+std::vector<std::uint64_t>
+bruteA(const MatrixI8 &a, std::int64_t row_base, int units,
+       std::int64_t steps, int k0)
+{
+    std::vector<std::uint64_t> out(steps * k0, 0);
+    for (std::int64_t f = 0; f < steps * k0; ++f)
+        for (int m = 0; m < units; ++m) {
+            const std::size_t r =
+                static_cast<std::size_t>(row_base + m);
+            const std::size_t c = static_cast<std::size_t>(f);
+            if (r < a.rows() && c < a.cols() && a.at(r, c) != 0)
+                out[f] |= std::uint64_t{1} << m;
+        }
+    return out;
+}
+
+TEST(SimdOccupancy, BTileMatchesBruteForceWhenKOverhangsK0)
+{
+    Rng rng(606);
+    // K = 13 rows with k0 = 4, steps = 4: flat-k 16 overhangs the
+    // matrix by 3 positions, which must read as zero padding.
+    const MatrixI8 b = randomMatrix(rng, 13, 21, 0.5);
+    for (const std::int64_t col_base : {0, 8, 16, 24}) {
+        std::vector<std::uint64_t> got(16, ~0ull);
+        simd::bTileOccupancy(b, col_base, 8, 4, 4, got.data());
+        EXPECT_EQ(got, bruteB(b, col_base, 8, 4, 4))
+            << "col_base " << col_base;
+    }
+}
+
+TEST(SimdOccupancy, ATileMatchesBruteForceWhenKOverhangsK0)
+{
+    Rng rng(707);
+    const MatrixI8 a = randomMatrix(rng, 21, 13, 0.5);
+    for (const std::int64_t row_base : {0, 8, 16}) {
+        std::vector<std::uint64_t> got(16, ~0ull);
+        simd::aTileOccupancy(a, row_base, 8, 4, 4, got.data());
+        EXPECT_EQ(got, bruteA(a, row_base, 8, 4, 4))
+            << "row_base " << row_base;
+    }
+}
+
+TEST(SimdOccupancy, AllZeroAndDenseExtremes)
+{
+    Rng rng(808);
+    const MatrixI8 zero(17, 9);
+    const MatrixI8 dense = randomMatrix(rng, 17, 9, 1.0);
+    std::vector<std::uint64_t> got(20, ~0ull);
+
+    simd::bTileOccupancy(zero, 0, 9, 5, 4, got.data());
+    EXPECT_EQ(got, std::vector<std::uint64_t>(20, 0));
+    simd::bTileOccupancy(dense, 0, 9, 5, 4, got.data());
+    EXPECT_EQ(got, bruteB(dense, 0, 9, 5, 4));
+
+    got.assign(9, ~0ull);
+    simd::aTileOccupancy(zero, 0, 17, 3, 3, got.data());
+    EXPECT_EQ(got, std::vector<std::uint64_t>(9, 0));
+    got.assign(9, ~0ull);
+    simd::aTileOccupancy(dense, 0, 17, 3, 3, got.data());
+    EXPECT_EQ(got, bruteA(dense, 0, 17, 3, 3));
+}
+
+TEST(SimdOccupancy, SingleElementMatrix)
+{
+    MatrixI8 one(1, 1);
+    one.at(0, 0) = -3;
+    std::vector<std::uint64_t> got(4, ~0ull);
+    simd::bTileOccupancy(one, 0, 1, 2, 2, got.data());
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 0, 0, 0}));
+    got.assign(4, ~0ull);
+    simd::aTileOccupancy(one, 0, 1, 2, 2, got.data());
+    EXPECT_EQ(got, (std::vector<std::uint64_t>{1, 0, 0, 0}));
+
+    MatrixI8 zero(1, 1);
+    got.assign(4, ~0ull);
+    simd::bTileOccupancy(zero, 0, 1, 2, 2, got.data());
+    EXPECT_EQ(got, std::vector<std::uint64_t>(4, 0));
+}
+
+TEST(SimdDispatch, ActiveBackendHasAStableName)
+{
+    const std::string name =
+        simd::backendName(simd::activeBackend());
+    EXPECT_TRUE(name == "scalar" || name == "avx2" || name == "neon")
+        << name;
+    // The dispatched table is one of the concrete tables, never a
+    // mixture assembled per call.
+    const KernelTable &active = simd::kernels();
+    EXPECT_NE(active.nonzeroMasks, nullptr);
+    EXPECT_NE(active.mtTemper, nullptr);
+}
+
+} // namespace
+} // namespace griffin

@@ -409,6 +409,50 @@ runTokenRules(const std::string &path, const SourceView &view,
     }
 }
 
+// ---- intrinsics-outside-simd ----------------------------------------
+
+/**
+ * Raw SIMD intrinsics are confined to src/simd/: every other layer
+ * consumes the dispatched KernelTable, so one directory owns the
+ * byte-exactness proof against the scalar reference and
+ * GRIFFIN_FORCE_SCALAR can really pin the whole hot path.  The rule is
+ * path-aware — the confinement directory itself (and its tests'
+ * fixture corpus, excluded by the driver) is exempt.
+ */
+bool
+inSimdLayer(const std::string &path)
+{
+    return path.find("src/simd/") != std::string::npos;
+}
+
+void
+runIntrinsicsRule(const std::string &path, const SourceView &view,
+                  std::vector<Finding> &out)
+{
+    if (inSimdLayer(path))
+        return;
+    static const std::regex include_re(
+        R"(^\s*#\s*include\s*[<"]([A-Za-z0-9_]*intrin|arm_neon|arm_sve|arm_acle)\.h[>"])");
+    static const std::regex call_re(
+        R"(\b(_mm(256|512)?_\w+|__builtin_ia32_\w+)\b)");
+    for (int line = 1; line <= view.lines(); ++line) {
+        const std::string &code =
+            view.code[static_cast<std::size_t>(line - 1)];
+        if (std::regex_search(code, include_re))
+            out.push_back(
+                {path, line, "intrinsics-outside-simd",
+                 "intrinsics header included outside src/simd/; "
+                 "consume the dispatched kernel table "
+                 "(simd/occupancy.hh) instead"});
+        else if (std::regex_search(code, call_re))
+            out.push_back(
+                {path, line, "intrinsics-outside-simd",
+                 "raw SIMD intrinsic outside src/simd/; add a kernel "
+                 "to the KernelTable (with a scalar reference) rather "
+                 "than open-coding vector instructions here"});
+    }
+}
+
 // ---- pointer-keyed-map ----------------------------------------------
 
 void
@@ -780,9 +824,9 @@ const std::vector<std::string> &
 ruleNames()
 {
     static const std::vector<std::string> names = {
-        "banned-random",          "pointer-keyed-map",
-        "uninit-serialized-field", "unordered-sink-iteration",
-        "wall-clock",
+        "banned-random",           "intrinsics-outside-simd",
+        "pointer-keyed-map",       "uninit-serialized-field",
+        "unordered-sink-iteration", "wall-clock",
     };
     return names;
 }
@@ -795,6 +839,7 @@ lintSource(const std::string &path, const std::string &text)
 
     std::vector<Finding> raw;
     runTokenRules(path, view, raw);
+    runIntrinsicsRule(path, view, raw);
     runPointerKeyRule(path, view, raw);
     runUnorderedSinkRule(path, view, raw);
     runUninitSerializedRule(path, view, raw);

@@ -32,6 +32,15 @@
  *     baseline diff.  A sort( within the loop body or the five lines
  *     above it is accepted as the ordering step.
  *
+ *   intrinsics-outside-simd
+ *     No raw SIMD intrinsics (immintrin.h / arm_neon.h-family
+ *     includes, _mm_* / _mm256_* / _mm512_* / __builtin_ia32_* calls)
+ *     outside src/simd/.  The SIMD layer owns the dispatched
+ *     KernelTable and its byte-exactness proof against the scalar
+ *     reference; an intrinsic open-coded anywhere else escapes both
+ *     the GRIFFIN_FORCE_SCALAR knob and the equivalence tests.  The
+ *     rule is path-aware: files under src/simd/ are exempt.
+ *
  *   pointer-keyed-map
  *     No raw-pointer-keyed maps (e.g. unordered_map<const char *, V>
  *     keyed by string literal address): literal addresses are not
